@@ -1,0 +1,248 @@
+//! Decoupled workload analysis — the paper's Listing 1 as a library.
+//!
+//! An application alternates `Calculation()` with an analysis of the
+//! workload distribution across processes (min / max / median), a common
+//! load-balancing ingredient. Conventionally this costs three global
+//! reductions per analysis round ("often the bottleneck of scalability");
+//! decoupled, the computation group streams workload updates to a small
+//! analysis group that digests them on the fly.
+
+use std::sync::Arc;
+
+use mpisim::{MachineConfig, World, WorldOutcome};
+use mpistream::{run_decoupled, ChannelConfig, GroupSpec};
+use parking_lot::Mutex;
+
+/// One workload report streamed to the analysis group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadUpdate {
+    pub rank: usize,
+    pub step: usize,
+    pub work_units: u64,
+}
+
+/// Distribution digest the analysis group maintains.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkloadDigest {
+    pub samples: u64,
+    pub min: u64,
+    pub max: u64,
+    pub median: u64,
+}
+
+/// Exact min/max/median over a set of samples (the analysis operator).
+pub fn min_max_median(samples: &mut Vec<u64>) -> WorkloadDigest {
+    if samples.is_empty() {
+        return WorkloadDigest::default();
+    }
+    samples.sort_unstable();
+    WorkloadDigest {
+        samples: samples.len() as u64,
+        min: samples[0],
+        max: samples[samples.len() - 1],
+        median: samples[samples.len() / 2],
+    }
+}
+
+/// Tunables of the analysis case study.
+#[derive(Clone, Debug)]
+pub struct AnalysisConfig {
+    pub machine: MachineConfig,
+    pub seed: u64,
+    /// Calculation steps per rank.
+    pub steps: usize,
+    /// Modelled seconds per work unit.
+    pub secs_per_unit: f64,
+    /// One analysis rank per `alpha_every` (decoupled only).
+    pub alpha_every: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            machine: MachineConfig::default(),
+            seed: 0xA11A,
+            steps: 50,
+            secs_per_unit: 1e-7,
+            alpha_every: 16,
+        }
+    }
+}
+
+/// Deterministic per-rank workload trajectory (an LCG walk, so both
+/// implementations and the oracle see the same values).
+pub fn workload_at(rank: usize, step: usize) -> u64 {
+    let mut x = (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..=step {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    500 + x % 2000
+}
+
+/// Result of one analysis run.
+pub struct AnalysisResult {
+    pub outcome: WorldOutcome,
+    /// Digest over every `(rank, step)` sample, assembled at one rank.
+    pub digest: WorkloadDigest,
+}
+
+/// Serial oracle over all samples.
+pub fn oracle(compute_ranks: usize, steps: usize) -> WorkloadDigest {
+    let mut all = Vec::with_capacity(compute_ranks * steps);
+    for r in 0..compute_ranks {
+        for s in 0..steps {
+            all.push(workload_at(r, s));
+        }
+    }
+    min_max_median(&mut all)
+}
+
+/// Conventional implementation: every rank joins three reductions per
+/// step (min, max, and a median stand-in via a full gather at a root —
+/// medians do not decompose, which is exactly why this pattern hurts).
+pub fn run_reference(nprocs: usize, cfg: &AnalysisConfig) -> AnalysisResult {
+    let world = World::new(cfg.machine.clone()).with_seed(cfg.seed);
+    let digest: Arc<Mutex<WorkloadDigest>> = Arc::new(Mutex::new(WorkloadDigest::default()));
+    let d2 = digest.clone();
+    let cfg2 = cfg.clone();
+    let outcome = world.run_expect(nprocs, move |rank| {
+        let comm = rank.comm_world();
+        let me = rank.world_rank();
+        let mut all: Vec<u64> = Vec::new();
+        for step in 0..cfg2.steps {
+            let w = workload_at(me, step);
+            rank.compute(w as f64 * cfg2.secs_per_unit);
+            // min and max reduce cheaply...
+            let _ = rank.allreduce(&comm, 8, w, |a, b| *a = (*a).min(*b));
+            let _ = rank.allreduce(&comm, 8, w, |a, b| *a = (*a).max(*b));
+            // ...but the median needs the samples themselves.
+            if let Some(ws) = rank.gatherv(&comm, 0, 8, w) {
+                all.extend(ws);
+            }
+        }
+        if me == 0 {
+            *d2.lock() = min_max_median(&mut all);
+        }
+    });
+    let digest = digest.lock().clone();
+    AnalysisResult { outcome, digest }
+}
+
+/// Decoupled implementation (Listing 1): stream updates to the analysis
+/// group; rank `consumers[0]` assembles the digest.
+pub fn run_decoupled_analysis(nprocs: usize, cfg: &AnalysisConfig) -> AnalysisResult {
+    let world = World::new(cfg.machine.clone()).with_seed(cfg.seed);
+    let digest: Arc<Mutex<WorkloadDigest>> = Arc::new(Mutex::new(WorkloadDigest::default()));
+    let d2 = digest.clone();
+    let cfg2 = cfg.clone();
+    let outcome = world.run_expect(nprocs, move |rank| {
+        let comm = rank.comm_world();
+        let spec = GroupSpec { every: cfg2.alpha_every };
+        let steps = cfg2.steps;
+        let secs_per_unit = cfg2.secs_per_unit;
+        let d3 = d2.clone();
+        run_decoupled::<WorkloadUpdate, _, _>(
+            rank,
+            &comm,
+            spec,
+            ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
+            move |rank, p| {
+                let me = rank.world_rank();
+                for step in 0..steps {
+                    let w = workload_at(me, step);
+                    rank.compute(w as f64 * secs_per_unit);
+                    p.stream.isend(rank, WorkloadUpdate { rank: me, step, work_units: w });
+                }
+            },
+            move |rank, c| {
+                let mut samples = Vec::new();
+                c.stream.operate(rank, |_, u| samples.push(u.work_units));
+                // Consumers gather their shards at consumer 0 for the
+                // global digest.
+                let shard_bytes = samples.len() as u64 * 8;
+                if let Some(shards) = rank.gatherv(&c.group, 0, shard_bytes, samples) {
+                    let mut all: Vec<u64> = shards.into_iter().flatten().collect();
+                    *d3.lock() = min_max_median(&mut all);
+                }
+            },
+        );
+    });
+    let digest = digest.lock().clone();
+    AnalysisResult { outcome, digest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::NoiseModel;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig {
+            machine: MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() },
+            steps: 12,
+            alpha_every: 4,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    #[test]
+    fn min_max_median_handles_edges() {
+        assert_eq!(min_max_median(&mut Vec::new()), WorkloadDigest::default());
+        let mut one = vec![7];
+        assert_eq!(
+            min_max_median(&mut one),
+            WorkloadDigest { samples: 1, min: 7, max: 7, median: 7 }
+        );
+        let mut v = vec![5, 1, 9, 3, 7];
+        let d = min_max_median(&mut v);
+        assert_eq!((d.min, d.median, d.max), (1, 5, 9));
+    }
+
+    #[test]
+    fn reference_digest_matches_oracle() {
+        let c = cfg();
+        let res = run_reference(8, &c);
+        assert_eq!(res.digest, oracle(8, c.steps));
+    }
+
+    #[test]
+    fn decoupled_digest_matches_oracle_over_compute_ranks() {
+        let c = cfg();
+        // 8 ranks, every=4: compute ranks are 0,1,2,4,5,6 — the oracle
+        // must cover exactly those trajectories.
+        let res = run_decoupled_analysis(8, &c);
+        let mut all = Vec::new();
+        for r in [0usize, 1, 2, 4, 5, 6] {
+            for s in 0..c.steps {
+                all.push(workload_at(r, s));
+            }
+        }
+        assert_eq!(res.digest, min_max_median(&mut all));
+    }
+
+    #[test]
+    fn decoupling_pays_off_when_reductions_dominate() {
+        // Make compute cheap so the three-collectives-per-step pattern is
+        // the bottleneck the paper describes.
+        let c = AnalysisConfig { secs_per_unit: 1e-9, steps: 30, ..cfg() };
+        let t_ref = run_reference(64, &c).outcome.elapsed_secs();
+        let t_dec = run_decoupled_analysis(64, &c).outcome.elapsed_secs();
+        assert!(
+            t_dec < t_ref,
+            "decoupled analysis ({t_dec}) must beat per-step reductions ({t_ref})"
+        );
+    }
+
+    #[test]
+    fn workload_trajectories_are_deterministic() {
+        assert_eq!(workload_at(3, 5), workload_at(3, 5));
+        assert_ne!(workload_at(3, 5), workload_at(4, 5));
+        assert_ne!(workload_at(3, 5), workload_at(3, 6));
+        for r in 0..20 {
+            for s in 0..20 {
+                let w = workload_at(r, s);
+                assert!((500..2500).contains(&w));
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Local subdomain grid for the 7-point Poisson stencil, with halo layers.
+//!
+//! Each rank owns an `n[0] × n[1] × n[2]` block of interior unknowns,
+//! stored with one halo layer per side. Global boundary halos stay zero
+//! (homogeneous Dirichlet), so the same code covers interior and edge
+//! subdomains.
+
+/// One field (vector) over a rank's subdomain, halo included.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Owned cells per dimension.
+    pub n: [usize; 3],
+    /// `(n+2)³` values, row-major with k fastest.
+    pub data: Vec<f64>,
+}
+
+impl Field {
+    pub fn zeros(n: [usize; 3]) -> Field {
+        let len = (n[0] + 2) * (n[1] + 2) * (n[2] + 2);
+        Field { n, data: vec![0.0; len] }
+    }
+
+    /// Flat index of `(i, j, k)` where each coordinate ranges over
+    /// `0..n+2` (0 and n+1 are halo).
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * (self.n[1] + 2) + j) * (self.n[2] + 2) + k
+    }
+
+    /// Evaluate `f(gx, gy, gz)` on every owned cell, where the global
+    /// index of local cell `(i,j,k)` (1-based owned) is `offset + (i,j,k)`.
+    pub fn fill_from(
+        &mut self,
+        offset: [usize; 3],
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) {
+        for i in 1..=self.n[0] {
+            for j in 1..=self.n[1] {
+                for k in 1..=self.n[2] {
+                    let v = f(offset[0] + i - 1, offset[1] + j - 1, offset[2] + k - 1);
+                    let id = self.idx(i, j, k);
+                    self.data[id] = v;
+                }
+            }
+        }
+    }
+
+    /// Dot product over owned cells only.
+    pub fn dot(&self, other: &Field) -> f64 {
+        debug_assert_eq!(self.n, other.n);
+        let mut acc = 0.0;
+        for i in 1..=self.n[0] {
+            for j in 1..=self.n[1] {
+                for k in 1..=self.n[2] {
+                    let id = self.idx(i, j, k);
+                    acc += self.data[id] * other.data[id];
+                }
+            }
+        }
+        acc
+    }
+
+    /// `self += a * other` over owned cells.
+    pub fn axpy(&mut self, a: f64, other: &Field) {
+        debug_assert_eq!(self.n, other.n);
+        for i in 1..=self.n[0] {
+            for j in 1..=self.n[1] {
+                for k in 1..=self.n[2] {
+                    let id = self.idx(i, j, k);
+                    self.data[id] += a * other.data[id];
+                }
+            }
+        }
+    }
+
+    /// `self = other + b * self` over owned cells (the CG `p` update).
+    pub fn xpby(&mut self, other: &Field, b: f64) {
+        debug_assert_eq!(self.n, other.n);
+        for i in 1..=self.n[0] {
+            for j in 1..=self.n[1] {
+                for k in 1..=self.n[2] {
+                    let id = self.idx(i, j, k);
+                    self.data[id] = other.data[id] + b * self.data[id];
+                }
+            }
+        }
+    }
+
+    /// Copy the owned boundary layer facing `(dim, dir)` — the data a
+    /// neighbour needs for its halo. `dir` is ±1.
+    pub fn extract_face(&self, dim: usize, dir: isize) -> Vec<f64> {
+        let fixed = if dir > 0 { self.n[dim] } else { 1 };
+        self.slice_plane(dim, fixed)
+    }
+
+    /// Write `values` into the halo layer facing `(dim, dir)`.
+    pub fn set_halo(&mut self, dim: usize, dir: isize, values: &[f64]) {
+        let fixed = if dir > 0 { self.n[dim] + 1 } else { 0 };
+        self.write_plane(dim, fixed, values);
+    }
+
+    fn plane_dims(&self, dim: usize) -> (usize, usize, usize) {
+        // (other1, other2) dims and expected length.
+        let others: Vec<usize> = (0..3).filter(|&d| d != dim).collect();
+        (others[0], others[1], self.n[others[0]] * self.n[others[1]])
+    }
+
+    fn slice_plane(&self, dim: usize, fixed: usize) -> Vec<f64> {
+        let (d1, d2, len) = self.plane_dims(dim);
+        let mut out = Vec::with_capacity(len);
+        for a in 1..=self.n[d1] {
+            for b in 1..=self.n[d2] {
+                let mut c = [0usize; 3];
+                c[dim] = fixed;
+                c[d1] = a;
+                c[d2] = b;
+                out.push(self.data[self.idx(c[0], c[1], c[2])]);
+            }
+        }
+        out
+    }
+
+    fn write_plane(&mut self, dim: usize, fixed: usize, values: &[f64]) {
+        let (d1, d2, len) = self.plane_dims(dim);
+        assert_eq!(values.len(), len, "face size mismatch");
+        let mut it = values.iter();
+        for a in 1..=self.n[d1] {
+            for b in 1..=self.n[d2] {
+                let mut c = [0usize; 3];
+                c[dim] = fixed;
+                c[d1] = a;
+                c[d2] = b;
+                let id = self.idx(c[0], c[1], c[2]);
+                self.data[id] = *it.next().expect("length checked");
+            }
+        }
+    }
+
+    /// 7-point negative Laplacian `q = A·p` over the owned region
+    /// selected by `shell`: `Inner` skips the outermost owned layer,
+    /// `Boundary` computes only that layer, `All` does both. `inv_h2` is
+    /// `1/h²` per dimension.
+    pub fn laplacian_into(&self, q: &mut Field, inv_h2: [f64; 3], shell: Shell) {
+        debug_assert_eq!(self.n, q.n);
+        for i in 1..=self.n[0] {
+            for j in 1..=self.n[1] {
+                for k in 1..=self.n[2] {
+                    let on_boundary = i == 1
+                        || i == self.n[0]
+                        || j == 1
+                        || j == self.n[1]
+                        || k == 1
+                        || k == self.n[2];
+                    match shell {
+                        Shell::Inner if on_boundary => continue,
+                        Shell::Boundary if !on_boundary => continue,
+                        _ => {}
+                    }
+                    let c = self.data[self.idx(i, j, k)];
+                    let v = inv_h2[0]
+                        * (2.0 * c
+                            - self.data[self.idx(i - 1, j, k)]
+                            - self.data[self.idx(i + 1, j, k)])
+                        + inv_h2[1]
+                            * (2.0 * c
+                                - self.data[self.idx(i, j - 1, k)]
+                                - self.data[self.idx(i, j + 1, k)])
+                        + inv_h2[2]
+                            * (2.0 * c
+                                - self.data[self.idx(i, j, k - 1)]
+                                - self.data[self.idx(i, j, k + 1)]);
+                    let id = q.idx(i, j, k);
+                    q.data[id] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Which part of the owned region a stencil application covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shell {
+    All,
+    Inner,
+    Boundary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_and_set_roundtrip_all_faces() {
+        let mut f = Field::zeros([3, 4, 5]);
+        // Unique values everywhere.
+        for idx in 0..f.data.len() {
+            f.data[idx] = idx as f64;
+        }
+        for dim in 0..3 {
+            for dir in [-1isize, 1] {
+                let face = f.extract_face(dim, dir);
+                let (_, _, len) = f.plane_dims(dim);
+                assert_eq!(face.len(), len);
+                let mut g = Field::zeros([3, 4, 5]);
+                g.set_halo(dim, dir, &face);
+                // The halo plane of g must equal the owned boundary of f.
+                let fixed_src = if dir > 0 { f.n[dim] } else { 1 };
+                let fixed_dst = if dir > 0 { f.n[dim] + 1 } else { 0 };
+                assert_eq!(g.slice_halo_for_test(dim, fixed_dst), f.slice_plane(dim, fixed_src));
+            }
+        }
+    }
+
+    impl Field {
+        fn slice_halo_for_test(&self, dim: usize, fixed: usize) -> Vec<f64> {
+            self.slice_plane(dim, fixed)
+        }
+    }
+
+    #[test]
+    fn laplacian_of_linear_function_is_zero_inside() {
+        // u = x + 2y + 3z is harmonic: A u = 0 wherever the stencil has
+        // correct neighbours (interior of the owned region).
+        let n = [6, 6, 6];
+        let mut u = Field::zeros(n);
+        for i in 0..n[0] + 2 {
+            for j in 0..n[1] + 2 {
+                for k in 0..n[2] + 2 {
+                    let id = u.idx(i, j, k);
+                    u.data[id] = i as f64 + 2.0 * j as f64 + 3.0 * k as f64;
+                }
+            }
+        }
+        let mut q = Field::zeros(n);
+        u.laplacian_into(&mut q, [1.0; 3], Shell::All);
+        for i in 1..=n[0] {
+            for j in 1..=n[1] {
+                for k in 1..=n[2] {
+                    assert!(q.data[q.idx(i, j, k)].abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inner_plus_boundary_equals_all() {
+        let n = [5, 4, 6];
+        let mut u = Field::zeros(n);
+        for (i, v) in u.data.iter_mut().enumerate() {
+            *v = (i as f64 * 0.37).sin();
+        }
+        let inv = [1.0, 4.0, 9.0];
+        let mut q_all = Field::zeros(n);
+        u.laplacian_into(&mut q_all, inv, Shell::All);
+        let mut q_split = Field::zeros(n);
+        u.laplacian_into(&mut q_split, inv, Shell::Inner);
+        u.laplacian_into(&mut q_split, inv, Shell::Boundary);
+        assert_eq!(q_all.data, q_split.data);
+    }
+
+    #[test]
+    fn dot_and_axpy_cover_owned_cells_only() {
+        let n = [2, 2, 2];
+        let mut a = Field::zeros(n);
+        let mut b = Field::zeros(n);
+        // Poison the halos; they must not contribute.
+        for v in a.data.iter_mut() {
+            *v = 100.0;
+        }
+        for v in b.data.iter_mut() {
+            *v = 100.0;
+        }
+        for i in 1..=2 {
+            for j in 1..=2 {
+                for k in 1..=2 {
+                    let id = a.idx(i, j, k);
+                    a.data[id] = 2.0;
+                    b.data[id] = 3.0;
+                }
+            }
+        }
+        assert_eq!(a.dot(&b), 8.0 * 6.0);
+        a.axpy(1.0, &b);
+        assert_eq!(a.data[a.idx(1, 1, 1)], 5.0);
+        a.xpby(&b, 0.0);
+        assert_eq!(a.data[a.idx(2, 2, 2)], 3.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! MapReduce word histogram (the Fig. 5 case study).
+//!
+//! Extracts a word histogram over a corpus of log files. Two
+//! implementations:
+//!
+//! - [`run_reference`] — the MPI pattern of Hoefler et al. ("Towards
+//!   efficient MapReduce using MPI", cited as [15]): every rank maps its
+//!   files, then the global key set is agreed with `Iallgatherv` and the
+//!   dense count vectors are combined with `Ireduce`.
+//! - [`run_decoupled`] — the paper's strategy: a map group streams
+//!   intermediate `(word, count)` chunks to a reduce group (keyed
+//!   routing); reduce ranks fold the stream on the fly (FCFS) and a master
+//!   rank aggregates the per-consumer shards at the end **without** data
+//!   aggregation on the way in — reproducing the master-incast uptick at
+//!   4,096–8,192 processes the paper reports.
+//!
+//! Word counts are computed for real: both implementations are verified
+//! against [`workloads::Corpus::serial_histogram`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mpisim::{MachineConfig, Rank, World, WorldOutcome};
+use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel};
+use parking_lot::Mutex;
+use pfsim::{Pfs, PfsConfig};
+use workloads::{Corpus, CorpusConfig};
+
+/// Tunables of the MapReduce experiment.
+#[derive(Clone, Debug)]
+pub struct MapReduceConfig {
+    /// Machine model.
+    pub machine: MachineConfig,
+    /// Filesystem model (the corpus is read through it).
+    pub pfs: PfsConfig,
+    /// Corpus description. For weak scaling, callers scale `n_files`
+    /// with the rank count.
+    pub corpus: CorpusConfig,
+    /// Map compute cost per nominal input gigabyte (seconds).
+    pub map_secs_per_gb: f64,
+    /// Modelled wire bytes of one streamed `(word, count)` chunk.
+    pub element_bytes: u64,
+    /// Tokens per streamed chunk (the actual-side granularity knob).
+    pub chunk_tokens: usize,
+    /// Decoupled only: one reduce rank per `alpha_every` ranks.
+    pub alpha_every: usize,
+    /// Modelled bytes of one `(word, count)` pair in exchanges.
+    pub pair_bytes: u64,
+    /// Nominal-to-actual scale applied to exchanged key/count volumes: the
+    /// actual vocabulary is kept small, but the wire sizes of the key-union
+    /// allgatherv, the dense reduce and the master flow are scaled up to
+    /// paper-scale data volumes.
+    pub wire_scale: f64,
+    /// Reference only: CPU cost (s per modelled MB) of materialising and
+    /// combining the *dense* count vectors the MPI workaround needs —
+    /// Hoefler et al. point out that MPI has no variable-sized reduction,
+    /// so the reference reduces union-sized dense vectors. The decoupled
+    /// reducers fold sparse hash entries instead (the complexity reduction
+    /// of §II-E).
+    pub dense_fold_secs_per_mb: f64,
+    /// Decoupled only: modelled wire size of one folded chunk summary
+    /// relayed to the master (much smaller than the raw chunk).
+    pub master_element_bytes: u64,
+    /// RNG seed for the world.
+    pub seed: u64,
+}
+
+impl Default for MapReduceConfig {
+    fn default() -> Self {
+        MapReduceConfig {
+            machine: MachineConfig::default(),
+            pfs: PfsConfig { n_ost: 160, ..PfsConfig::default() },
+            corpus: CorpusConfig::default(),
+            map_secs_per_gb: 4.0,
+            element_bytes: 64 << 10,
+            chunk_tokens: 256,
+            alpha_every: 16,
+            pair_bytes: 8,
+            wire_scale: 64.0,
+            dense_fold_secs_per_mb: 0.02,
+            master_element_bytes: 8 << 10,
+            seed: 0xFEED,
+        }
+    }
+}
+
+/// Result of one MapReduce run.
+pub struct MapReduceResult {
+    pub outcome: WorldOutcome,
+    /// The computed histogram (indexed by word id), as assembled at the
+    /// root/master rank.
+    pub histogram: Vec<u64>,
+}
+
+/// Map one file's tokens into a local histogram, charging compute in
+/// chunk-sized slices so the data flow (in the decoupled version) is
+/// spread over the execution. `emit` is called once per chunk with the
+/// chunk's partial counts.
+fn map_file(
+    rank: &mut Rank,
+    corpus: &Corpus,
+    file: &workloads::FileSpec,
+    cfg: &MapReduceConfig,
+    pfs: &Pfs,
+    mut emit: impl FnMut(&mut Rank, Vec<(u32, u32)>),
+) {
+    let tokens = corpus.tokens_of(file);
+    let n_chunks = tokens.len().div_ceil(cfg.chunk_tokens).max(1);
+    let bytes_per_chunk = file.bytes / n_chunks as u64;
+    let secs_per_chunk =
+        cfg.map_secs_per_gb * bytes_per_chunk as f64 / (1u64 << 30) as f64;
+    for chunk in tokens.chunks(cfg.chunk_tokens) {
+        // Read this slice of the file, then hash its words (really).
+        pfs.read_striped(rank.ctx(), bytes_per_chunk);
+        rank.compute(secs_per_chunk);
+        let mut partial: HashMap<u32, u32> = HashMap::new();
+        for &t in chunk {
+            *partial.entry(t).or_insert(0) += 1;
+        }
+        let mut pairs: Vec<(u32, u32)> = partial.into_iter().collect();
+        pairs.sort_unstable();
+        emit(rank, pairs);
+    }
+}
+
+/// Reference implementation: map everywhere, then
+/// `Iallgatherv` (key union) + `Ireduce` (dense counts).
+pub fn run_reference(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
+    let corpus = Arc::new(Corpus::new(cfg.corpus.clone()));
+    let pfs = Pfs::new(cfg.pfs.clone());
+    let result: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let world = World::new(cfg.machine.clone()).with_seed(cfg.seed);
+    let cfg2 = cfg.clone();
+    let (corpus2, pfs2, result2) = (corpus, pfs, result.clone());
+    let outcome = world.run_expect(nprocs, move |rank| {
+        let comm = rank.comm_world();
+        let me = rank.world_rank();
+        // --- map phase: local histogram over my files ---
+        let mut local: HashMap<u32, u64> = HashMap::new();
+        for file in corpus2.files_for(me, nprocs) {
+            map_file(rank, &corpus2, &file, &cfg2, &pfs2, |_rank, pairs| {
+                for (w, c) in pairs {
+                    *local.entry(w).or_insert(0) += c as u64;
+                }
+            });
+        }
+        // --- key union: allgatherv of local key sets ---
+        let mut my_keys: Vec<u32> = local.keys().copied().collect();
+        my_keys.sort_unstable();
+        let key_bytes = (my_keys.len() as f64 * 4.0 * cfg2.wire_scale) as u64;
+        let req = rank.iallgatherv_start(&comm, key_bytes, my_keys);
+        let key_sets = rank.iallgatherv_wait::<Vec<u32>>(req);
+        let mut global_keys: Vec<u32> = key_sets.into_iter().flatten().collect();
+        global_keys.sort_unstable();
+        global_keys.dedup();
+        // --- dense reduce over the agreed key order ---
+        let dense: Vec<u64> =
+            global_keys.iter().map(|k| local.get(k).copied().unwrap_or(0)).collect();
+        let dense_bytes =
+            (dense.len() as f64 * cfg2.pair_bytes as f64 * cfg2.wire_scale) as u64;
+        // Materialising the union-sized dense vector and combining it
+        // along the tree is real CPU work proportional to its size
+        // (construction + the expected ~1.5 combines per rank).
+        rank.compute(dense_bytes as f64 / 1e6 * cfg2.dense_fold_secs_per_mb * 2.5);
+        let req = rank.ireduce_start(&comm, dense_bytes, dense);
+        let summed = rank.ireduce_wait(req, |a: &mut Vec<u64>, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        });
+        if let Some(summed) = summed {
+            // Root re-expands to a vocabulary-indexed histogram.
+            let vocab = corpus2.vocab();
+            let mut hist = vec![0u64; vocab];
+            for (k, v) in global_keys.iter().zip(summed) {
+                hist[*k as usize] = v;
+            }
+            *result2.lock() = hist;
+        }
+    });
+
+    let histogram = result.lock().clone();
+    MapReduceResult { outcome, histogram }
+}
+
+/// A streamed chunk of intermediate map output.
+type KvChunk = Vec<(u32, u32)>;
+
+/// Decoupled implementation: map group ⇒ (keyed stream) ⇒ reduce group ⇒
+/// (flat gather, no aggregation — per the paper) ⇒ master.
+/// Decoupled implementation (§IV-B of the paper): a map group streams
+/// intermediate `(word, count)` chunks to a group of local reducers
+/// (keyed routing over the word space); the local reducers fold arriving
+/// chunks on the fly (FCFS) **and** forward their per-chunk results to a
+/// master rank *without data aggregation* — the unoptimized intra-group
+/// flow the paper calls out as the cause of master congestion at
+/// 4,096–8,192 processes.
+pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
+    assert!(
+        nprocs >= cfg.alpha_every,
+        "need at least {} ranks for alpha = 1/{}",
+        cfg.alpha_every,
+        cfg.alpha_every
+    );
+    let corpus = Arc::new(Corpus::new(cfg.corpus.clone()));
+    let pfs = Pfs::new(cfg.pfs.clone());
+    let result: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let world = World::new(cfg.machine.clone()).with_seed(cfg.seed);
+    let cfg2 = cfg.clone();
+    let (corpus2, pfs2, result2) = (corpus, pfs, result.clone());
+    let outcome = world.run_expect(nprocs, move |rank| {
+        let comm = rank.comm_world();
+        let spec = GroupSpec { every: cfg2.alpha_every };
+        let me = rank.world_rank();
+        let my_role = spec.role_of(me);
+        // The reduce group's highest rank serves as the master aggregator
+        // (it does not consume map output unless it is the only reducer).
+        let reduce_ranks: Vec<usize> =
+            (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
+        let master = *reduce_ranks.last().expect("at least one reducer");
+        let solo_reducer = reduce_ranks.len() == 1;
+
+        // Channel 1: map group -> local reducers.
+        let ch1_role = match my_role {
+            Role::Producer => Role::Producer,
+            Role::Consumer if me == master && !solo_reducer => Role::Bystander,
+            Role::Consumer => Role::Consumer,
+            Role::Bystander => unreachable!(),
+        };
+        let ch1 = StreamChannel::create(
+            rank,
+            &comm,
+            ch1_role,
+            ChannelConfig {
+                element_bytes: cfg2.element_bytes,
+                aggregation: 1,
+                credits: None,
+                route: mpistream::RoutePolicy::Static,
+            },
+        );
+        // Channel 2: local reducers -> master (absent when solo).
+        let ch2 = if solo_reducer {
+            None
+        } else {
+            let ch2_role = match my_role {
+                Role::Consumer if me == master => Role::Consumer,
+                Role::Consumer => Role::Producer,
+                _ => Role::Bystander,
+            };
+            Some(StreamChannel::create(
+                rank,
+                &comm,
+                ch2_role,
+                ChannelConfig {
+                    element_bytes: cfg2.master_element_bytes,
+                    aggregation: 1, // deliberately unaggregated (the paper)
+                    credits: None,
+                    route: mpistream::RoutePolicy::Static,
+                },
+            ))
+        };
+
+        match ch1_role {
+            Role::Producer => {
+                // Map rank: stream each chunk's pairs, partitioned by the
+                // owning local reducer.
+                let mut stream: Stream<KvChunk> = Stream::attach(ch1);
+                let map_ranks: Vec<usize> =
+                    (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
+                let nmap = map_ranks.len();
+                let mi = map_ranks.iter().position(|&r| r == me).expect("mapper");
+                let nc = stream.channel().consumers().len();
+                for file in corpus2.files_for(mi, nmap) {
+                    map_file(rank, &corpus2, &file, &cfg2, &pfs2, |rank, pairs| {
+                        let mut by_consumer: Vec<KvChunk> = vec![Vec::new(); nc];
+                        for (w, c) in pairs {
+                            by_consumer[w as usize % nc].push((w, c));
+                        }
+                        for (ci, part) in by_consumer.into_iter().enumerate() {
+                            if !part.is_empty() {
+                                stream.isend_to(rank, ci, part);
+                            }
+                        }
+                    });
+                }
+                stream.terminate(rank);
+            }
+            Role::Consumer => {
+                // Local reducer: fold arriving chunks FCFS and forward the
+                // folded chunk to the master without aggregation.
+                let mut input: Stream<KvChunk> = Stream::attach(ch1);
+                let mut to_master: Option<Stream<KvChunk>> =
+                    ch2.map(|c| Stream::attach(c));
+                let mut local: HashMap<u32, u64> = HashMap::new();
+                input.operate(rank, |rank, chunk| {
+                    // Sparse hash fold: cheap per pair.
+                    rank.compute(chunk.len() as f64 * 100e-9);
+                    for &(w, c) in &chunk {
+                        *local.entry(w).or_insert(0) += c as u64;
+                    }
+                    if let Some(m) = to_master.as_mut() {
+                        m.isend_to(rank, 0, chunk);
+                    }
+                });
+                if let Some(mut m) = to_master {
+                    m.terminate(rank);
+                } else {
+                    // Solo reducer: it *is* the master.
+                    let vocab = corpus2.vocab();
+                    let mut hist = vec![0u64; vocab];
+                    for (w, c) in local {
+                        hist[w as usize] += c;
+                    }
+                    *result2.lock() = hist;
+                }
+            }
+            Role::Bystander => {
+                // Master: aggregate the global results from the stream of
+                // unaggregated per-chunk updates.
+                let mut from_reducers: Stream<KvChunk> =
+                    Stream::attach(ch2.expect("master has the reducer channel"));
+                let vocab = corpus2.vocab();
+                let mut hist = vec![0u64; vocab];
+                from_reducers.operate(rank, |rank, chunk| {
+                    rank.compute(chunk.len() as f64 * 100e-9);
+                    for (w, c) in chunk {
+                        hist[w as usize] += c as u64;
+                    }
+                });
+                *result2.lock() = hist;
+            }
+        }
+    });
+
+    let histogram = result.lock().clone();
+    MapReduceResult { outcome, histogram }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::NoiseModel;
+
+    fn small_cfg(n_files: usize) -> MapReduceConfig {
+        MapReduceConfig {
+            corpus: CorpusConfig {
+                n_files,
+                vocab: 500,
+                tokens_per_gb: 2_000,
+                min_file_bytes: 8 << 20,
+                max_file_bytes: 64 << 20,
+                ..CorpusConfig::default()
+            },
+            machine: MachineConfig {
+                noise: NoiseModel::none(),
+                ..MachineConfig::default()
+            },
+            chunk_tokens: 64,
+            alpha_every: 4,
+            ..MapReduceConfig::default()
+        }
+    }
+
+    #[test]
+    fn reference_histogram_matches_serial_oracle() {
+        let cfg = small_cfg(12);
+        let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
+        let res = run_reference(6, &cfg);
+        assert_eq!(res.histogram, oracle);
+    }
+
+    #[test]
+    fn decoupled_histogram_matches_serial_oracle() {
+        let cfg = small_cfg(12);
+        let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
+        let res = run_decoupled(8, &cfg);
+        assert_eq!(res.histogram, oracle);
+    }
+
+    #[test]
+    fn decoupled_with_solo_reducer_matches_oracle() {
+        // every=4 at P=4: exactly one reducer, which doubles as master.
+        let cfg = small_cfg(9);
+        let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
+        let res = run_decoupled(4, &cfg);
+        assert_eq!(res.histogram, oracle);
+    }
+
+    #[test]
+    fn both_implementations_agree_across_sizes() {
+        for (nprocs, files) in [(8usize, 5usize), (12, 20), (16, 16)] {
+            let cfg = small_cfg(files);
+            let a = run_reference(nprocs, &cfg);
+            let b = run_decoupled(nprocs, &cfg);
+            assert_eq!(a.histogram, b.histogram, "P={nprocs} files={files}");
+        }
+    }
+
+    #[test]
+    fn reference_on_one_rank_is_a_serial_run() {
+        let cfg = small_cfg(3);
+        let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
+        let res = run_reference(1, &cfg);
+        assert_eq!(res.histogram, oracle);
+    }
+
+    #[test]
+    fn decoupled_wins_when_the_reduce_phase_matters() {
+        // Miniature of the paper's setting: the exchanged key volume is
+        // large relative to the map time (wire_scale lifts the actual
+        // 500-word vocabulary to paper-scale data volumes). The decoupled
+        // run pipelines the reduce away; the reference pays it after the
+        // map phase.
+        let cfg = MapReduceConfig {
+            wire_scale: 40_000.0,
+            corpus: CorpusConfig {
+                // LCM-friendly: 224 = 7 x 32 mappers (reference) and
+                // 8 x 28 mappers (decoupled), so file-count imbalance does
+                // not mask the reduce-phase effect under study.
+                n_files: 224,
+                vocab: 500,
+                tokens_per_gb: 2_000,
+                min_file_bytes: 8 << 20,
+                max_file_bytes: 64 << 20,
+                ..CorpusConfig::default()
+            },
+            machine: MachineConfig {
+                noise: NoiseModel::none(),
+                ..MachineConfig::default()
+            },
+            chunk_tokens: 64,
+            alpha_every: 8,
+            ..MapReduceConfig::default()
+        };
+        let t_ref = run_reference(32, &cfg).outcome.elapsed_secs();
+        let t_dec = run_decoupled(32, &cfg).outcome.elapsed_secs();
+        assert!(
+            t_dec < t_ref,
+            "decoupled ({t_dec}) should beat reference ({t_ref}) at P=32"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Criterion benchmarks — one group per paper figure plus the model
+//! ablation, at CI-friendly scale (the full sweeps live in the
+//! `--bin figN` harnesses).
+//!
+//! Run with `cargo bench -p bench-harness`.
+
+use apps::cg;
+use apps::mapreduce;
+use apps::pic;
+use bench_harness::configs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfmodel::{figure3, Beta, Complexity, Scenario};
+
+const P: usize = 64;
+
+fn fig2_trace(c: &mut Criterion) {
+    let cfg = pic::PicConfig {
+        actual_per_rank: 128,
+        iterations: 3,
+        alpha_every: 7,
+        dt: 0.3,
+        ..pic::PicConfig::default()
+    };
+    let mut g = c.benchmark_group("fig2_trace");
+    g.sample_size(10);
+    g.bench_function("reference_7ranks", |b| {
+        b.iter(|| pic::run_comm_reference_traced(7, &cfg))
+    });
+    g.bench_function("decoupled_7ranks", |b| {
+        b.iter(|| pic::run_comm_decoupled_traced(7, &cfg))
+    });
+    g.finish();
+}
+
+fn fig3_model(c: &mut Criterion) {
+    let scn = Scenario {
+        t_w0: 10e-3,
+        t_w1: 4e-3,
+        complexity: Complexity::Divisible,
+        t_sigma: 2e-3,
+        data_d: 4 << 20,
+        overhead_o: 1e-6,
+        p: 16,
+        beta: Beta::new(0.05, 1e6),
+        op1_optimization: 8.0,
+    };
+    let mut g = c.benchmark_group("fig3_model");
+    g.bench_function("schedule_comparison", |b| {
+        b.iter(|| figure3(&scn, 1.0 / 8.0, 16e3))
+    });
+    g.bench_function("optimal_alpha_search", |b| b.iter(|| scn.optimal_alpha(16e3)));
+    g.bench_function("optimal_granularity_search", |b| {
+        b.iter(|| scn.optimal_granularity(1.0 / 8.0, 64.0, 1e8))
+    });
+    g.finish();
+}
+
+fn fig5_mapreduce(c: &mut Criterion) {
+    // Scaled-down corpus so one run is ~a second.
+    let mut small = configs::fig5(P, 16);
+    small.corpus.tokens_per_gb = 4_000;
+    small.corpus.min_file_bytes = 32 << 20;
+    small.corpus.max_file_bytes = 128 << 20;
+    let mut g = c.benchmark_group("fig5_mapreduce");
+    g.sample_size(10);
+    g.bench_function("reference_64ranks", |b| {
+        b.iter(|| mapreduce::run_reference(P, &small))
+    });
+    g.bench_function("decoupled_64ranks", |b| {
+        b.iter(|| mapreduce::run_decoupled(P, &small))
+    });
+    g.finish();
+}
+
+fn fig6_cg(c: &mut Criterion) {
+    let cfg = configs::fig6(10);
+    let mut g = c.benchmark_group("fig6_cg");
+    g.sample_size(10);
+    g.bench_function("blocking_64ranks", |b| b.iter(|| cg::run_blocking(P, &cfg)));
+    g.bench_function("nonblocking_64ranks", |b| b.iter(|| cg::run_nonblocking(P, &cfg)));
+    g.bench_function("decoupled_64ranks", |b| b.iter(|| cg::run_decoupled(P, &cfg)));
+    g.finish();
+}
+
+fn fig7_pic_comm(c: &mut Criterion) {
+    let mut cfg = configs::fig7();
+    cfg.iterations = 4;
+    cfg.actual_per_rank = 48;
+    let mut g = c.benchmark_group("fig7_pic_comm");
+    g.sample_size(10);
+    g.bench_function("reference_64ranks", |b| {
+        b.iter(|| pic::run_comm_reference(P, &cfg))
+    });
+    g.bench_function("decoupled_64ranks", |b| {
+        b.iter(|| pic::run_comm_decoupled(P, &cfg))
+    });
+    g.finish();
+}
+
+fn fig8_pic_io(c: &mut Criterion) {
+    let mut cfg = configs::fig8();
+    cfg.iterations = 2;
+    cfg.actual_per_rank = 48;
+    let mut g = c.benchmark_group("fig8_pic_io");
+    g.sample_size(10);
+    g.bench_function("write_all_64ranks", |b| {
+        b.iter(|| pic::run_io_reference(P, &cfg, pic::IoMode::Collective))
+    });
+    g.bench_function("write_shared_64ranks", |b| {
+        b.iter(|| pic::run_io_reference(P, &cfg, pic::IoMode::Shared))
+    });
+    g.bench_function("decoupled_64ranks", |b| {
+        b.iter(|| pic::run_io_decoupled(P, &cfg))
+    });
+    g.finish();
+}
+
+fn engine_microbench(c: &mut Criterion) {
+    use desim::{SimConfig, SimDuration, Simulation};
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    // Raw event throughput: 256 processes x 200 advances.
+    g.bench_function("context_switches_51k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(SimConfig::default());
+            for i in 0..256usize {
+                sim.spawn(format!("p{i}"), |ctx| {
+                    for _ in 0..200 {
+                        ctx.advance(SimDuration::from_nanos(10));
+                    }
+                });
+            }
+            sim.run_expect()
+        })
+    });
+    // Message path: ping-pong pairs.
+    g.bench_function("p2p_pingpong_8k_msgs", |b| {
+        use mpisim::{MachineConfig, Src, World};
+        b.iter(|| {
+            let world = World::new(MachineConfig::ideal());
+            world.run_expect(16, |rank| {
+                let peer = rank.world_rank() ^ 1;
+                for i in 0..500u32 {
+                    if rank.world_rank() % 2 == 0 {
+                        rank.send(peer, 1, 64, i);
+                        let _ = rank.recv::<u32>(Src::Rank(peer), 2);
+                    } else {
+                        let _ = rank.recv::<u32>(Src::Rank(peer), 1);
+                        rank.send(peer, 2, 64, i);
+                    }
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn ablation_model(c: &mut Criterion) {
+    let scn = Scenario {
+        t_w0: 1.0,
+        t_w1: 0.5,
+        complexity: Complexity::LogP,
+        t_sigma: 0.1,
+        data_d: 1 << 30,
+        overhead_o: 1e-6,
+        p: 8192,
+        beta: Beta::new(0.05, 1e6),
+        op1_optimization: 1.0,
+    };
+    let mut g = c.benchmark_group("ablation_model");
+    g.bench_function("eq4_full_sweep", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for k in 2..64usize {
+                let (_, t) = scn.optimal_granularity(1.0 / k as f64, 64.0, 1e9);
+                best = best.min(t);
+            }
+            best
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig2_trace,
+    fig3_model,
+    fig5_mapreduce,
+    fig6_cg,
+    fig7_pic_comm,
+    fig8_pic_io,
+    engine_microbench,
+    ablation_model
+);
+criterion_main!(benches);

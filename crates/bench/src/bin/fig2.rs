@@ -1,0 +1,47 @@
+//! Figure 2: execution-timeline traces of the mini-iPIC3D particle
+//! compute/communication on 7 ranks — reference (top) vs decoupled
+//! (bottom, rank P6 hosting the communication group).
+//!
+//! `cargo run --release -p bench-harness --bin fig2`. Writes the span CSVs
+//! under `results/` and prints ASCII Gantt charts (C = compute, M =
+//! communication, . = idle).
+
+use apps::pic::{run_comm_decoupled_traced, run_comm_reference_traced, PicConfig};
+use bench_harness::write_artifact;
+
+fn main() {
+    let cfg = PicConfig {
+        actual_per_rank: 256,
+        iterations: 4,
+        alpha_every: 7, // 7 ranks: 6 compute + 1 communication (the paper's G1)
+        dt: 0.3,
+        ..PicConfig::default()
+    };
+
+    let reference = run_comm_reference_traced(7, &cfg);
+    println!(
+        "reference implementation ({} steps, makespan {:.3}s):",
+        cfg.iterations,
+        reference.outcome.elapsed_secs()
+    );
+    let g = reference.outcome.sim.trace.to_gantt(100);
+    println!("{g}");
+    write_artifact("fig2_reference.csv", &reference.outcome.sim.trace.to_csv());
+
+    let decoupled = run_comm_decoupled_traced(7, &cfg);
+    println!(
+        "decoupled implementation (makespan {:.3}s; P6 = communication group):",
+        decoupled.outcome.elapsed_secs()
+    );
+    let g = decoupled.outcome.sim.trace.to_gantt(100);
+    println!("{g}");
+    write_artifact("fig2_decoupled.csv", &decoupled.outcome.sim.trace.to_csv());
+
+    // The figure's claim: the decoupled run is shorter and its compute
+    // ranks spend a larger fraction of the timeline computing.
+    println!(
+        "makespan: reference {:.3}s vs decoupled {:.3}s",
+        reference.outcome.elapsed_secs(),
+        decoupled.outcome.elapsed_secs()
+    );
+}

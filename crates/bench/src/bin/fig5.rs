@@ -1,0 +1,30 @@
+//! Figure 5: weak-scaling MapReduce word histogram — reference vs
+//! decoupled at α = 12.5 / 6.25 / 3.125 %.
+//!
+//! `cargo run --release -p bench-harness --bin fig5` (env: MAX_PROCS,
+//! FULL_SCALE=1 for the paper's 8,192).
+
+use apps::mapreduce::{run_decoupled, run_reference};
+use bench_harness::{configs, max_procs, proc_sweep, Table};
+
+fn main() {
+    let max = max_procs(1024);
+    let mut table = Table::new(
+        "Fig. 5 — MapReduce weak scaling, execution time (s)",
+        "procs",
+        &["reference", "dec_a12.5%", "dec_a6.25%", "dec_a3.125%"],
+    );
+    for p in proc_sweep(max) {
+        let t_ref = run_reference(p, &configs::fig5(p, 16)).outcome.elapsed_secs();
+        let d8 = run_decoupled(p, &configs::fig5(p, 8)).outcome.elapsed_secs();
+        let d16 = run_decoupled(p, &configs::fig5(p, 16)).outcome.elapsed_secs();
+        let d32 = if p >= 32 {
+            run_decoupled(p, &configs::fig5(p, 32)).outcome.elapsed_secs()
+        } else {
+            f64::NAN
+        };
+        println!("P={p}: ref {t_ref:.3}  a=1/8 {d8:.3}  a=1/16 {d16:.3}  a=1/32 {d32:.3}");
+        table.push(p, vec![t_ref, d8, d16, d32]);
+    }
+    table.finish("fig5_mapreduce");
+}

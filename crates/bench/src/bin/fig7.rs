@@ -1,0 +1,27 @@
+//! Figure 7: weak-scaling particle communication in the mini-iPIC3D code —
+//! 6-neighbour iterative forwarding vs decoupled two-hop streaming.
+//!
+//! `cargo run --release -p bench-harness --bin fig7`.
+
+use apps::pic::{run_comm_decoupled, run_comm_reference};
+use bench_harness::{configs, max_procs, proc_sweep, Table};
+
+fn main() {
+    let max = max_procs(1024);
+    let cfg = configs::fig7();
+    let mut table = Table::new(
+        "Fig. 7 — iPIC3D particle communication weak scaling, execution time (s)",
+        "procs",
+        &["reference", "decoupling"],
+    );
+    for p in proc_sweep(max) {
+        let r = run_comm_reference(p, &cfg);
+        let d = run_comm_decoupled(p, &cfg);
+        println!(
+            "P={p}: reference {:.3}  decoupled {:.3}  (particles {} / {})",
+            r.op_secs, d.op_secs, r.final_particles, d.final_particles
+        );
+        table.push(p, vec![r.op_secs, d.op_secs]);
+    }
+    table.finish("fig7_pic_comm");
+}

@@ -1,0 +1,33 @@
+//! Figure 8: weak-scaling particle I/O in the mini-iPIC3D code —
+//! `write_all` (RefColl) vs `write_shared` (RefShared) vs the decoupled
+//! I/O group.
+//!
+//! `cargo run --release -p bench-harness --bin fig8`.
+
+use apps::pic::{run_io_decoupled, run_io_reference, IoMode};
+use bench_harness::{configs, max_procs, proc_sweep, Table};
+
+fn main() {
+    let max = max_procs(1024);
+    let cfg = configs::fig8();
+    let mut table = Table::new(
+        "Fig. 8 — iPIC3D particle I/O weak scaling, execution time (s)",
+        "procs",
+        &["RefColl", "RefShared", "Decoupling"],
+    );
+    for p in proc_sweep(max) {
+        let c = run_io_reference(p, &cfg, IoMode::Collective);
+        let s = run_io_reference(p, &cfg, IoMode::Shared);
+        let d = run_io_decoupled(p, &cfg);
+        println!(
+            "P={p}: RefColl {:.3}  RefShared {:.3}  Decoupling {:.3}  \
+             ({:.1} GB written each)",
+            c.op_secs,
+            s.op_secs,
+            d.op_secs,
+            c.bytes_written as f64 / 1e9
+        );
+        table.push(p, vec![c.op_secs, s.op_secs, d.op_secs]);
+    }
+    table.finish("fig8_pic_io");
+}

@@ -1,0 +1,208 @@
+//! Minimal SVG line-chart renderer for the figure harnesses — no
+//! dependencies, good enough to eyeball the reproduced curves next to the
+//! paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::Table;
+
+const WIDTH: f64 = 760.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 180.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 60.0;
+
+/// A colour-blind-friendly categorical palette.
+const COLORS: [&str; 6] = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"];
+
+/// Render `table` as an SVG line chart: x = process count (log₂ scale),
+/// y = seconds (linear from zero), one polyline per column.
+pub fn render_svg(table: &Table) -> String {
+    let mut svg = String::new();
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+
+    let xs: Vec<f64> = table.rows.iter().map(|(x, _)| (*x as f64).log2()).collect();
+    let (x_min, x_max) = match (xs.first(), xs.last()) {
+        (Some(a), Some(b)) if b > a => (*a, *b),
+        (Some(a), _) => (*a - 0.5, *a + 0.5),
+        _ => (0.0, 1.0),
+    };
+    let y_max = table
+        .rows
+        .iter()
+        .flat_map(|(_, vs)| vs.iter())
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.08;
+
+    let x_of = |lx: f64| MARGIN_L + (lx - x_min) / (x_max - x_min) * plot_w;
+    let y_of = |v: f64| MARGIN_T + (1.0 - v / y_max) * plot_h;
+
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    );
+    let _ = write!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    // Title.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="28" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        xml_escape(&table.title)
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h,
+        MARGIN_L + plot_w,
+        MARGIN_T + plot_h
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h
+    );
+    // X ticks at the actual data points.
+    for (x, _) in &table.rows {
+        let px = x_of((*x as f64).log2());
+        let py = MARGIN_T + plot_h;
+        let _ = write!(svg, r#"<line x1="{px}" y1="{py}" x2="{px}" y2="{}" stroke="black"/>"#, py + 5.0);
+        let _ = write!(
+            svg,
+            r#"<text x="{px}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{x}</text>"#,
+            py + 20.0
+        );
+    }
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 15.0,
+        xml_escape(&table.x_label)
+    );
+    // Y ticks (5 divisions).
+    for i in 0..=5 {
+        let v = y_max * i as f64 / 5.0;
+        let py = y_of(v);
+        let _ = write!(
+            svg,
+            r#"<line x1="{}" y1="{py}" x2="{MARGIN_L}" y2="{py}" stroke="black"/>"#,
+            MARGIN_L - 5.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{v:.2}</text>"#,
+            MARGIN_L - 9.0,
+            py + 4.0
+        );
+        if i > 0 {
+            let _ = write!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#dddddd"/>"##,
+                MARGIN_L + plot_w
+            );
+        }
+    }
+    // Series.
+    for (ci, col) in table.columns.iter().enumerate() {
+        let color = COLORS[ci % COLORS.len()];
+        let mut path = String::new();
+        for (x, vals) in &table.rows {
+            let v = vals[ci];
+            if !v.is_finite() {
+                continue;
+            }
+            let px = x_of((*x as f64).log2());
+            let py = y_of(v);
+            if path.is_empty() {
+                let _ = write!(path, "M{px:.1},{py:.1}");
+            } else {
+                let _ = write!(path, " L{px:.1},{py:.1}");
+            }
+            let _ = write!(
+                svg,
+                r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.2" fill="{color}"/>"#
+            );
+        }
+        let _ = write!(
+            svg,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+        );
+        // Legend.
+        let ly = MARGIN_T + 14.0 + ci as f64 * 20.0;
+        let lx = MARGIN_L + plot_w + 14.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+            lx + 22.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12">{}</text>"#,
+            lx + 28.0,
+            ly + 4.0,
+            xml_escape(col)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", "procs", &["ref", "dec"]);
+        t.push(32, vec![1.0, 0.8]);
+        t.push(64, vec![1.5, 0.9]);
+        t.push(128, vec![2.5, 1.0]);
+        t
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = render_svg(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One polyline and one legend entry per column.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("stroke-width=\"3\"").count(), 2);
+        // One marker per finite point.
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("demo"));
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let mut t = sample();
+        t.push(256, vec![3.0, f64::NAN]);
+        let svg = render_svg(&t);
+        assert_eq!(svg.matches("<circle").count(), 7, "NaN point must be dropped");
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let mut t = sample();
+        t.title = "a < b & c".into();
+        let svg = render_svg(&t);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn single_row_does_not_panic() {
+        let mut t = Table::new("one", "procs", &["x"]);
+        t.push(32, vec![1.0]);
+        let svg = render_svg(&t);
+        assert!(svg.contains("</svg>"));
+    }
+}

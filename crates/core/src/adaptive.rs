@@ -1,0 +1,108 @@
+//! Adaptive stream granularity — the extension the paper leaves as future
+//! work ("Currently, the library only supports static configuration of
+//! these values. An extension to support adaptive changes of the
+//! configuration is subject of a current work", §III).
+//!
+//! The controller tunes the **aggregation factor** (how many logical
+//! elements coalesce into one wire message) at run time. Finer batches
+//! improve pipelining β(S) but pay the per-message overhead `D/S · o`
+//! (Eq. 4); the right point depends on the producer's element rate, which
+//! is generally unknown a-priori and may drift. The controller targets a
+//! fixed *message* rate: if batches are being emitted faster than
+//! `target_batch_interval`, it doubles the batch size; if much slower, it
+//! halves it.
+
+use desim::SimTime;
+
+/// Multiplicative-increase / multiplicative-decrease controller for the
+/// producer-side aggregation factor.
+#[derive(Clone, Debug)]
+pub struct AdaptiveGranularity {
+    /// Desired virtual time between consecutive wire messages.
+    pub target_batch_interval: f64,
+    /// Inclusive bounds on the aggregation factor.
+    pub min_batch: usize,
+    pub max_batch: usize,
+    batch: usize,
+    last_flush: Option<SimTime>,
+}
+
+impl AdaptiveGranularity {
+    pub fn new(target_batch_interval: f64, min_batch: usize, max_batch: usize) -> Self {
+        assert!(target_batch_interval > 0.0);
+        assert!(min_batch >= 1 && min_batch <= max_batch);
+        AdaptiveGranularity {
+            target_batch_interval,
+            min_batch,
+            max_batch,
+            batch: min_batch,
+            last_flush: None,
+        }
+    }
+
+    /// Current recommended aggregation factor.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Record that a wire message was emitted at `now`; adapt the factor.
+    pub fn on_flush(&mut self, now: SimTime) {
+        if let Some(prev) = self.last_flush {
+            let interval = now.since(prev).as_secs_f64();
+            if interval < self.target_batch_interval * 0.5 {
+                self.batch = (self.batch * 2).min(self.max_batch);
+            } else if interval > self.target_batch_interval * 2.0 {
+                self.batch = (self.batch / 2).max(self.min_batch);
+            }
+        }
+        self.last_flush = Some(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    #[test]
+    fn fast_producers_grow_batches() {
+        let mut a = AdaptiveGranularity::new(1e-3, 1, 1024);
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            t = t + SimDuration::from_micros(10); // far under target
+            a.on_flush(t);
+        }
+        assert_eq!(a.batch(), 1024, "should saturate at max");
+    }
+
+    #[test]
+    fn slow_producers_shrink_batches() {
+        let mut a = AdaptiveGranularity::new(1e-3, 1, 1024);
+        // Force it up first.
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t = t + SimDuration::from_micros(10);
+            a.on_flush(t);
+        }
+        let grown = a.batch();
+        assert!(grown > 1);
+        for _ in 0..20 {
+            t = t + SimDuration::from_millis(10); // far over target
+            a.on_flush(t);
+        }
+        assert_eq!(a.batch(), 1, "should decay to min");
+    }
+
+    #[test]
+    fn on_target_interval_is_stable() {
+        let mut a = AdaptiveGranularity::new(1e-3, 1, 1024);
+        let mut t = SimTime::ZERO;
+        a.on_flush(t);
+        let before = a.batch();
+        for _ in 0..50 {
+            t = t + SimDuration::from_millis(1);
+            a.on_flush(t);
+        }
+        assert_eq!(a.batch(), before, "in-band intervals must not oscillate");
+    }
+}

@@ -1,0 +1,143 @@
+//! Stream channels: the communication fabric between decoupled groups.
+
+use mpisim::{Comm, Rank, Tag};
+
+use crate::group::Role;
+
+/// Namespace byte for stream traffic inside the simulator's tag space.
+pub(crate) const NS_STREAM: u8 = 2;
+
+/// Tag codes within one channel.
+pub(crate) const CODE_DATA: u32 = 0;
+pub(crate) const CODE_CREDIT: u32 = 1;
+
+/// How stream elements are routed from producers to consumers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Producer `i` always feeds consumer `i % n_consumers`. Preserves
+    /// per-producer ordering at a single consumer and keeps the mapping
+    /// cache-friendly; the default in the paper's case studies.
+    Static,
+    /// Successive elements from one producer rotate over all consumers —
+    /// maximal spreading for load balance.
+    RoundRobin,
+}
+
+/// Configuration of one channel (the knobs of Eq. 4).
+#[derive(Clone, Debug)]
+pub struct ChannelConfig {
+    /// Modelled wire size of one stream element, in bytes — the stream
+    /// granularity `S`.
+    pub element_bytes: u64,
+    /// Elements coalesced into one message on the producer side. `1`
+    /// disables aggregation. Raising this trades pipelining fineness
+    /// (β(S) in the model) against per-message overhead (D/S · o).
+    pub aggregation: usize,
+    /// Flow-control window: maximum elements a producer may have
+    /// unacknowledged per consumer. `None` = unbounded (buffer at the
+    /// consumer can then grow up to the total transferred data `D`;
+    /// see the memory discussion in §II-D).
+    pub credits: Option<usize>,
+    /// Default routing of `Stream::isend`.
+    pub route: RoutePolicy,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            element_bytes: 64 << 10,
+            aggregation: 1,
+            credits: None,
+            route: RoutePolicy::Static,
+        }
+    }
+}
+
+/// A communication channel between a producer group and a consumer group
+/// (`MPIStream_CreateChannel` in the paper). Creation is collective over
+/// `comm`; every member declares its [`Role`].
+#[derive(Clone, Debug)]
+pub struct StreamChannel {
+    pub(crate) id: u16,
+    pub(crate) producers: Vec<usize>,
+    pub(crate) consumers: Vec<usize>,
+    pub(crate) my_role: Role,
+    pub(crate) config: ChannelConfig,
+}
+
+impl StreamChannel {
+    /// Collectively create a channel over `comm`. Each rank passes its own
+    /// role; the membership lists are agreed through an allgather, and the
+    /// channel id is allocated world-uniquely and broadcast.
+    pub fn create(
+        rank: &mut Rank,
+        comm: &Comm,
+        role: Role,
+        config: ChannelConfig,
+    ) -> StreamChannel {
+        assert!(config.aggregation >= 1, "aggregation factor must be >= 1");
+        assert!(config.element_bytes >= 1, "element size must be >= 1 byte");
+        if let Some(c) = config.credits {
+            assert!(
+                c >= config.aggregation,
+                "credit window ({c}) must admit at least one aggregated batch \
+                 ({} elements)",
+                config.aggregation
+            );
+        }
+        let code = match role {
+            Role::Producer => 0u8,
+            Role::Consumer => 1,
+            Role::Bystander => 2,
+        };
+        let roles = rank.allgatherv(comm, 1, (rank.world_rank(), code));
+        let mut producers = Vec::new();
+        let mut consumers = Vec::new();
+        for (w, c) in roles {
+            match c {
+                0 => producers.push(w),
+                1 => consumers.push(w),
+                _ => {}
+            }
+        }
+        producers.sort_unstable();
+        consumers.sort_unstable();
+        assert!(!producers.is_empty(), "channel needs at least one producer");
+        assert!(!consumers.is_empty(), "channel needs at least one consumer");
+        let id = if comm.rank_of(rank.world_rank()) == Some(0) {
+            Some(rank.alloc_channel_id())
+        } else {
+            None
+        };
+        let id = rank.bcast(comm, 0, 2, id);
+        StreamChannel { id, producers, consumers, my_role: role, config }
+    }
+
+    /// World ranks of the producer group.
+    pub fn producers(&self) -> &[usize] {
+        &self.producers
+    }
+
+    /// World ranks of the consumer group.
+    pub fn consumers(&self) -> &[usize] {
+        &self.consumers
+    }
+
+    /// This rank's role on the channel.
+    pub fn role(&self) -> Role {
+        self.my_role
+    }
+
+    /// Channel configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    pub(crate) fn data_tag(&self) -> Tag {
+        Tag::internal(NS_STREAM, self.id, CODE_DATA)
+    }
+
+    pub(crate) fn credit_tag(&self) -> Tag {
+        Tag::internal(NS_STREAM, self.id, CODE_CREDIT)
+    }
+}

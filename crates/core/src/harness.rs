@@ -1,0 +1,65 @@
+//! High-level decoupling harness: split, wire, run, terminate.
+//!
+//! [`run_decoupled`] packages the boilerplate of §III-B: form the two
+//! groups from a [`GroupSpec`], create the channel, attach the stream,
+//! run the producer/consumer bodies, and terminate the flow. Application
+//! case studies with richer topologies (multiple channels, reply streams)
+//! compose the lower-level pieces directly.
+
+use mpisim::{Comm, Rank};
+
+use crate::channel::{ChannelConfig, StreamChannel};
+use crate::group::{GroupSpec, Role};
+use crate::stream::Stream;
+
+/// Everything a producer body gets to work with.
+pub struct ProducerCtx<'s, T> {
+    /// Stream endpoint to inject into. Terminated automatically when the
+    /// body returns (explicit early [`Stream::terminate`] is fine too).
+    pub stream: &'s mut Stream<T>,
+    /// The producer group's own communicator (for collectives among the
+    /// remaining, non-decoupled ranks).
+    pub group: Comm,
+}
+
+/// Everything a consumer body gets to work with.
+pub struct ConsumerCtx<'s, T> {
+    /// Stream endpoint to drain (typically via [`Stream::operate`]).
+    pub stream: &'s mut Stream<T>,
+    /// The consumer (decoupled) group's communicator.
+    pub group: Comm,
+}
+
+/// Split `comm` per `spec`, create a producer→consumer channel with
+/// `config`, and run `producer` on compute ranks and `consumer` on
+/// decoupled ranks. Returns this rank's stream statistics.
+pub fn run_decoupled<T, P, C>(
+    rank: &mut Rank,
+    comm: &Comm,
+    spec: GroupSpec,
+    config: ChannelConfig,
+    producer: P,
+    consumer: C,
+) -> crate::stream::StreamStats
+where
+    T: Send + 'static,
+    P: FnOnce(&mut Rank, &mut ProducerCtx<'_, T>),
+    C: FnOnce(&mut Rank, &mut ConsumerCtx<'_, T>),
+{
+    let (producers, consumers, role) = spec.split(rank, comm);
+    let channel = StreamChannel::create(rank, comm, role, config);
+    let mut stream: Stream<T> = Stream::attach(channel);
+    match role {
+        Role::Producer => {
+            let mut pctx = ProducerCtx { stream: &mut stream, group: producers };
+            producer(rank, &mut pctx);
+            stream.terminate(rank);
+        }
+        Role::Consumer => {
+            let mut cctx = ConsumerCtx { stream: &mut stream, group: consumers };
+            consumer(rank, &mut cctx);
+        }
+        Role::Bystander => unreachable!("GroupSpec assigns no bystanders"),
+    }
+    stream.stats()
+}

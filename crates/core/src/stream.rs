@@ -1,0 +1,447 @@
+//! Streams: asynchronous element flows with attached operators.
+//!
+//! Mirrors the paper's library surface:
+//!
+//! | paper                   | here                         |
+//! |-------------------------|------------------------------|
+//! | `MPIStream_Attach`      | [`Stream::attach`]           |
+//! | `MPIStream_Isend`       | [`Stream::isend`]            |
+//! | `MPIStream_Operate`     | [`Stream::operate`]          |
+//! | `MPIStream_Terminate`   | [`Stream::terminate`]        |
+//! | `MPIStream_FreeChannel` | dropping the [`Stream`]      |
+//!
+//! Consumers process elements **first-come-first-served** across all
+//! producers (`AnySource` matching on availability time), which is the
+//! mechanism that absorbs producer imbalance: a late producer never stalls
+//! the consumer as long as any other producer has data in flight.
+
+use mpisim::{MsgInfo, Rank, Src};
+
+use crate::channel::{RoutePolicy, StreamChannel};
+use crate::group::Role;
+
+/// Wire format of one stream message.
+enum Wire<T> {
+    /// A batch of `aggregation`-coalesced elements.
+    Data(Vec<T>),
+    /// End of this producer's flow; carries the total elements it sent to
+    /// this consumer (conservation checking).
+    Term { sent: u64 },
+}
+
+/// Producer- and consumer-side statistics of one stream endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Elements pushed by this producer / processed by this consumer.
+    pub elements: u64,
+    /// Wire messages sent / received (data messages only).
+    pub batches: u64,
+    /// Modelled payload bytes moved.
+    pub bytes: u64,
+}
+
+/// One endpoint of a stream over a [`StreamChannel`].
+///
+/// Producer endpoints push with [`Stream::isend`] and close with
+/// [`Stream::terminate`]; consumer endpoints drain with
+/// [`Stream::operate`] (or step with [`Stream::operate_some`]).
+pub struct Stream<T> {
+    channel: StreamChannel,
+    // --- producer state ---
+    /// Pending (not yet flushed) elements per consumer index.
+    agg: Vec<Vec<T>>,
+    rr_next: usize,
+    /// Outstanding (unacknowledged) elements per consumer index, for
+    /// credit-based flow control.
+    outstanding: Vec<u64>,
+    /// Elements sent per consumer index (for Term accounting).
+    sent_per_consumer: Vec<u64>,
+    terminated: bool,
+    // --- consumer state ---
+    terms_seen: usize,
+    /// Total elements producers claim to have sent us (sum of Terms).
+    claimed: u64,
+    /// Elements received but not yet handed out by [`Stream::recv_one`].
+    pending: std::collections::VecDeque<T>,
+    stats: StreamStats,
+}
+
+impl<T: Send + 'static> Stream<T> {
+    /// Attach a stream endpoint to `channel` (the element type `T` plays
+    /// the role of the MPI derived datatype).
+    pub fn attach(channel: StreamChannel) -> Stream<T> {
+        let nc = channel.consumers.len();
+        Stream {
+            channel,
+            agg: (0..nc).map(|_| Vec::new()).collect(),
+            rr_next: 0,
+            outstanding: vec![0; nc],
+            sent_per_consumer: vec![0; nc],
+            terminated: false,
+            terms_seen: 0,
+            claimed: 0,
+            pending: std::collections::VecDeque::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// The underlying channel.
+    pub fn channel(&self) -> &StreamChannel {
+        &self.channel
+    }
+
+    /// Endpoint statistics so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    fn my_producer_index(&self, rank: &Rank) -> usize {
+        self.channel
+            .producers
+            .iter()
+            .position(|&w| w == rank.world_rank())
+            .expect("this rank is not a producer on the channel")
+    }
+
+    fn default_consumer_index(&mut self, rank: &Rank) -> usize {
+        match self.channel.config.route {
+            RoutePolicy::Static => {
+                self.my_producer_index(rank) % self.channel.consumers.len()
+            }
+            RoutePolicy::RoundRobin => {
+                let i = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.channel.consumers.len();
+                i
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Producer side
+    // ------------------------------------------------------------------
+
+    /// Inject one element into the stream (`MPIStream_Isend`): route it to
+    /// a consumer per the channel policy, coalescing `aggregation`
+    /// elements per wire message. Asynchronous — blocks only when the
+    /// credit window is exhausted.
+    pub fn isend(&mut self, rank: &mut Rank, elem: T) {
+        assert_eq!(self.channel.my_role, Role::Producer, "isend on a non-producer endpoint");
+        let c = self.default_consumer_index(rank);
+        self.isend_to(rank, c, elem);
+    }
+
+    /// Inject one element routed by `key` (hash-partitioned streams, e.g.
+    /// word-histogram keys).
+    pub fn isend_keyed(&mut self, rank: &mut Rank, key: u64, elem: T) {
+        let c = (mix64(key) % self.channel.consumers.len() as u64) as usize;
+        self.isend_to(rank, c, elem);
+    }
+
+    /// Inject one element to an explicit consumer index (application-
+    /// specific routing, e.g. "the consumer responsible for my subdomain").
+    pub fn isend_to(&mut self, rank: &mut Rank, consumer: usize, elem: T) {
+        assert!(!self.terminated, "isend after terminate");
+        assert_eq!(self.channel.my_role, Role::Producer, "isend on a non-producer endpoint");
+        self.agg[consumer].push(elem);
+        if self.agg[consumer].len() >= self.channel.config.aggregation {
+            self.flush_one(rank, consumer);
+        }
+    }
+
+    /// Flush any partially filled aggregation buffers.
+    pub fn flush(&mut self, rank: &mut Rank) {
+        for c in 0..self.channel.consumers.len() {
+            if !self.agg[c].is_empty() {
+                self.flush_one(rank, c);
+            }
+        }
+    }
+
+    fn flush_one(&mut self, rank: &mut Rank, consumer: usize) {
+        let batch = std::mem::take(&mut self.agg[consumer]);
+        debug_assert!(!batch.is_empty());
+        let n = batch.len() as u64;
+        // Credit window: block until the consumer has drained enough.
+        if let Some(window) = self.channel.config.credits {
+            while self.outstanding[consumer] + n > window as u64 {
+                self.absorb_credit(rank, consumer);
+            }
+        }
+        let bytes = n * self.channel.config.element_bytes;
+        let dst = self.channel.consumers[consumer];
+        let tag = self.channel.data_tag();
+        let req = rank.isend_t(dst, tag, bytes, Wire::Data(batch));
+        rank.wait_send(req);
+        self.outstanding[consumer] += n;
+        self.sent_per_consumer[consumer] += n;
+        self.stats.elements += n;
+        self.stats.batches += 1;
+        self.stats.bytes += bytes;
+    }
+
+    /// Blockingly consume one credit message for `consumer`.
+    fn absorb_credit(&mut self, rank: &mut Rank, consumer: usize) {
+        let src = self.channel.consumers[consumer];
+        let (acked, _) = rank.recv_t::<u64>(Src::Rank(src), self.channel.credit_tag());
+        self.outstanding[consumer] = self.outstanding[consumer].saturating_sub(acked);
+    }
+
+    /// Opportunistically drain any credits that have already arrived
+    /// (keeps the window loose without blocking).
+    fn drain_credits(&mut self, rank: &mut Rank) {
+        if self.channel.config.credits.is_none() {
+            return;
+        }
+        let tag = self.channel.credit_tag();
+        while let Some((acked, info)) = rank.try_recv_t::<u64>(Src::Any, tag) {
+            let c = self
+                .channel
+                .consumers
+                .iter()
+                .position(|&w| w == info.src)
+                .expect("credit from a consumer");
+            self.outstanding[c] = self.outstanding[c].saturating_sub(acked);
+        }
+    }
+
+    /// Close this producer's flow (`MPIStream_Terminate`): flush all
+    /// buffers and notify every consumer.
+    pub fn terminate(&mut self, rank: &mut Rank) {
+        assert_eq!(self.channel.my_role, Role::Producer, "terminate on a non-producer endpoint");
+        if self.terminated {
+            return;
+        }
+        self.flush(rank);
+        let tag = self.channel.data_tag();
+        for (c, &dst) in self.channel.consumers.clone().iter().enumerate() {
+            let sent = self.sent_per_consumer[c];
+            rank.send_t(dst, tag, 16, Wire::<T>::Term { sent });
+        }
+        // Drain remaining credit messages so they do not linger as
+        // unconsumed traffic (and so outstanding counts settle for tests).
+        self.drain_credits(rank);
+        self.terminated = true;
+    }
+
+    /// Whether this producer endpoint has terminated.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    // ------------------------------------------------------------------
+    // Consumer side
+    // ------------------------------------------------------------------
+
+    /// Apply `op` to every arriving element, first-come-first-served over
+    /// all producers, until every producer has terminated
+    /// (`MPIStream_Operate`). Returns the number of elements processed.
+    pub fn operate(&mut self, rank: &mut Rank, mut op: impl FnMut(&mut Rank, T)) -> u64 {
+        assert_eq!(self.channel.my_role, Role::Consumer, "operate on a non-consumer endpoint");
+        let mut processed = 0;
+        // Drain anything a prior recv_one pulled but did not hand out.
+        while let Some(elem) = self.pending.pop_front() {
+            op(rank, elem);
+            processed += 1;
+        }
+        while self.terms_seen < self.channel.producers.len() {
+            processed += self.step(rank, &mut op);
+        }
+        debug_assert_eq!(
+            self.stats.elements, self.claimed,
+            "conservation: processed must equal producers' claimed total"
+        );
+        processed
+    }
+
+    /// Process arriving elements while `running` stays true (for consumers
+    /// that interleave stream processing with other work). Returns
+    /// elements processed; stops early once all producers terminated.
+    pub fn operate_while(
+        &mut self,
+        rank: &mut Rank,
+        mut running: impl FnMut() -> bool,
+        mut op: impl FnMut(&mut Rank, T),
+    ) -> u64 {
+        let mut processed = 0;
+        while self.terms_seen < self.channel.producers.len() && running() {
+            processed += self.step(rank, &mut op);
+        }
+        processed
+    }
+
+    /// Process at most the next wire message if one is already available;
+    /// never blocks. Returns elements processed (0 if nothing was ready).
+    pub fn operate_some(&mut self, rank: &mut Rank, mut op: impl FnMut(&mut Rank, T)) -> u64 {
+        assert_eq!(self.channel.my_role, Role::Consumer);
+        let tag = self.channel.data_tag();
+        match rank.try_recv_t::<Wire<T>>(Src::Any, tag) {
+            Some((wire, info)) => self.dispatch(rank, wire, info, &mut op),
+            None => 0,
+        }
+    }
+
+    /// Like [`Stream::operate_some`] but also reports whether *any* wire
+    /// message (data or termination marker) was consumed — the progress
+    /// signal multiplexers need to avoid busy-waiting.
+    pub fn try_step(
+        &mut self,
+        rank: &mut Rank,
+        mut op: impl FnMut(&mut Rank, T),
+    ) -> (u64, bool) {
+        assert_eq!(self.channel.my_role, Role::Consumer);
+        let tag = self.channel.data_tag();
+        match rank.try_recv_t::<Wire<T>>(Src::Any, tag) {
+            Some((wire, info)) => (self.dispatch(rank, wire, info, &mut op), true),
+            None => (0, false),
+        }
+    }
+
+    /// Whether every producer has signalled termination.
+    pub fn all_terminated(&self) -> bool {
+        self.terms_seen >= self.channel.producers.len()
+    }
+
+    /// Release the endpoint (`MPIStream_FreeChannel`): consumes the
+    /// stream, asserting it is in a clean terminal state — producers must
+    /// have terminated, consumers must have drained every claimed element.
+    /// Dropping a `Stream` without `free` is allowed (Rust cleans up), but
+    /// `free` catches protocol bugs the way the C API's explicit call did.
+    pub fn free(self, _rank: &mut Rank) {
+        match self.channel.my_role {
+            Role::Producer => {
+                assert!(
+                    self.terminated,
+                    "free() on a producer endpoint that never terminated"
+                );
+                assert!(
+                    self.agg.iter().all(|b| b.is_empty()),
+                    "free() with unflushed elements"
+                );
+            }
+            Role::Consumer => {
+                assert!(
+                    self.all_terminated(),
+                    "free() on a consumer endpoint before all producers terminated"
+                );
+                assert!(
+                    self.pending.is_empty(),
+                    "free() with {} undelivered elements",
+                    self.pending.len()
+                );
+                assert_eq!(
+                    self.stats.elements, self.claimed,
+                    "free() with unconsumed claimed elements"
+                );
+            }
+            Role::Bystander => {}
+        }
+    }
+
+    /// Pull-style consumption: block for the next element (FCFS across
+    /// producers). Returns `None` once every producer has terminated and
+    /// all elements were handed out. Mixing `recv_one` with `operate` on
+    /// the same endpoint is supported — both drain the same buffers.
+    pub fn recv_one(&mut self, rank: &mut Rank) -> Option<T> {
+        assert_eq!(self.channel.my_role, Role::Consumer, "recv_one on a non-consumer endpoint");
+        loop {
+            if let Some(elem) = self.pending.pop_front() {
+                return Some(elem);
+            }
+            if self.all_terminated() {
+                debug_assert_eq!(self.stats.elements, self.claimed);
+                return None;
+            }
+            let tag = self.channel.data_tag();
+            let (wire, info) = rank.recv_t::<Wire<T>>(Src::Any, tag);
+            match wire {
+                Wire::Data(batch) => {
+                    let n = batch.len() as u64;
+                    self.stats.elements += n;
+                    self.stats.batches += 1;
+                    self.stats.bytes += info.bytes;
+                    self.pending.extend(batch);
+                    if self.channel.config.credits.is_some() {
+                        rank.send_t(info.src, self.channel.credit_tag(), 8, n);
+                    }
+                }
+                Wire::Term { sent } => {
+                    self.terms_seen += 1;
+                    self.claimed += sent;
+                }
+            }
+        }
+    }
+
+    /// Blockingly receive and dispatch one wire message.
+    fn step(&mut self, rank: &mut Rank, op: &mut impl FnMut(&mut Rank, T)) -> u64 {
+        let tag = self.channel.data_tag();
+        let (wire, info) = rank.recv_t::<Wire<T>>(Src::Any, tag);
+        self.dispatch(rank, wire, info, op)
+    }
+
+    fn dispatch(
+        &mut self,
+        rank: &mut Rank,
+        wire: Wire<T>,
+        info: MsgInfo,
+        op: &mut impl FnMut(&mut Rank, T),
+    ) -> u64 {
+        match wire {
+            Wire::Data(batch) => {
+                let n = batch.len() as u64;
+                self.stats.elements += n;
+                self.stats.batches += 1;
+                self.stats.bytes += info.bytes;
+                for elem in batch {
+                    op(rank, elem);
+                }
+                if self.channel.config.credits.is_some() {
+                    // Acknowledge the whole batch in one small message.
+                    rank.send_t(info.src, self.channel.credit_tag(), 8, n);
+                }
+                n
+            }
+            Wire::Term { sent } => {
+                self.terms_seen += 1;
+                self.claimed += sent;
+                0
+            }
+        }
+    }
+}
+
+/// Finalizer-style avalanche hash (so consecutive keys spread evenly).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mix64;
+
+    #[test]
+    fn mix64_spreads_consecutive_keys() {
+        let n = 16u64;
+        let mut buckets = vec![0usize; n as usize];
+        for k in 0..1_600 {
+            buckets[(mix64(k) % n) as usize] += 1;
+        }
+        // Each bucket should get roughly 100; no pathological clumping.
+        assert!(buckets.iter().all(|&b| b > 50 && b < 200), "{buckets:?}");
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_probe() {
+        // Distinct inputs must map to distinct outputs (sampled).
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..10_000u64 {
+            assert!(seen.insert(mix64(k)));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the stream library: conservation, termination
+//! and routing invariants under randomized configurations.
+
+use std::sync::Arc;
+
+use mpisim::{MachineConfig, World};
+use mpistream::{ChannelConfig, GroupSpec, Role, RoutePolicy, Stream, StreamChannel};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every element injected by any producer is processed exactly once,
+    /// across random world sizes, group fractions, aggregation factors,
+    /// credit windows and routing policies.
+    #[test]
+    fn streams_conserve_elements(
+        every in 2usize..6,
+        blocks in 1usize..4,       // world = every * blocks
+        per_producer in prop::collection::vec(0usize..40, 1..24),
+        aggregation in 1usize..9,
+        credits_raw in 0usize..4,  // 0 = unbounded, else 16*credits
+        round_robin in any::<bool>(),
+    ) {
+        let nprocs = every * blocks;
+        let credits = if credits_raw == 0 { None } else { Some(credits_raw * 16) };
+        let route = if round_robin { RoutePolicy::RoundRobin } else { RoutePolicy::Static };
+        // Element counts per producer (cycled if fewer entries given).
+        let counts = Arc::new(per_producer);
+        let received: Arc<Mutex<Vec<(usize, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sent_total = Arc::new(Mutex::new(0u64));
+
+        let (rcv, snt, cnt) = (received.clone(), sent_total.clone(), counts.clone());
+        let world = World::new(MachineConfig::default()).with_seed(42);
+        world.run_expect(nprocs, move |rank| {
+            let comm = rank.comm_world();
+            let spec = GroupSpec { every };
+            let role = spec.role_of(rank.world_rank());
+            let ch = StreamChannel::create(
+                rank,
+                &comm,
+                role,
+                ChannelConfig {
+                    element_bytes: 1 << 10,
+                    aggregation,
+                    credits,
+                    route,
+                },
+            );
+            let mut stream: Stream<(usize, u32)> = Stream::attach(ch);
+            match role {
+                Role::Producer => {
+                    let me = rank.world_rank();
+                    let n = cnt[me % cnt.len()];
+                    for i in 0..n {
+                        stream.isend(rank, (me, i as u32));
+                    }
+                    stream.terminate(rank);
+                    *snt.lock() += n as u64;
+                }
+                Role::Consumer => {
+                    stream.operate(rank, |_, e| rcv.lock().push(e));
+                }
+                Role::Bystander => unreachable!(),
+            }
+        });
+
+        let got = received.lock();
+        prop_assert_eq!(got.len() as u64, *sent_total.lock());
+        // No duplicates.
+        let mut dedup: Vec<(usize, u32)> = got.clone();
+        dedup.sort_unstable();
+        let before = dedup.len();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), before, "duplicate delivery detected");
+    }
+
+    /// Keyed routing sends equal keys to the same consumer regardless of
+    /// how producers interleave, for any group shape.
+    #[test]
+    fn keyed_routing_is_stable(
+        every in 2usize..5,
+        blocks in 2usize..4,
+        keys in prop::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let nprocs = every * blocks;
+        let keys = Arc::new(keys);
+        let owner: Arc<Mutex<std::collections::HashMap<u64, usize>>> =
+            Arc::new(Mutex::new(std::collections::HashMap::new()));
+        let (own, ks) = (owner.clone(), keys.clone());
+        let world = World::new(MachineConfig::default()).with_seed(7);
+        world.run_expect(nprocs, move |rank| {
+            let comm = rank.comm_world();
+            let spec = GroupSpec { every };
+            let role = spec.role_of(rank.world_rank());
+            let ch = StreamChannel::create(rank, &comm, role, ChannelConfig::default());
+            let mut stream: Stream<u64> = Stream::attach(ch);
+            match role {
+                Role::Producer => {
+                    for &k in ks.iter() {
+                        stream.isend_keyed(rank, k, k);
+                    }
+                    stream.terminate(rank);
+                }
+                Role::Consumer => {
+                    let me = rank.world_rank();
+                    stream.operate(rank, |_, k| {
+                        let mut map = own.lock();
+                        if let Some(prev) = map.insert(k, me) {
+                            assert_eq!(prev, me, "key {k} split across consumers");
+                        }
+                    });
+                }
+                Role::Bystander => unreachable!(),
+            }
+        });
+        // Every key was delivered somewhere.
+        let owner = owner.lock();
+        for k in keys.iter() {
+            prop_assert!(owner.contains_key(k));
+        }
+    }
+
+    /// The group split is a partition consistent with `role_of`, for any
+    /// spec and world that fits it.
+    #[test]
+    fn group_split_is_consistent(every in 2usize..9, blocks in 1usize..5) {
+        let nprocs = every * blocks;
+        let seen: Arc<Mutex<Vec<(usize, bool, usize, usize)>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        let world = World::new(MachineConfig::ideal());
+        world.run_expect(nprocs, move |rank| {
+            let comm = rank.comm_world();
+            let spec = GroupSpec { every };
+            let (producers, consumers, role) = spec.split(rank, &comm);
+            let me = rank.world_rank();
+            assert_eq!(role, spec.role_of(me));
+            match role {
+                Role::Producer => assert!(producers.contains(me)),
+                Role::Consumer => assert!(consumers.contains(me)),
+                Role::Bystander => unreachable!(),
+            }
+            s2.lock().push((
+                me,
+                role == Role::Consumer,
+                producers.size(),
+                consumers.size(),
+            ));
+        });
+        let seen = seen.lock();
+        let n_consumers = seen.iter().filter(|(_, c, _, _)| *c).count();
+        prop_assert_eq!(n_consumers, blocks, "one consumer per block of `every`");
+        for &(_, _, np, nc) in seen.iter() {
+            prop_assert_eq!(np + nc, nprocs);
+            prop_assert_eq!(nc, blocks);
+        }
+    }
+}

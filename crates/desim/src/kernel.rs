@@ -1,0 +1,390 @@
+//! The simulation kernel: virtual clock, event heap and coroutine scheduling.
+//!
+//! # Execution model
+//!
+//! Every simulated process is backed by a real OS thread, but **exactly one
+//! simulated process executes at any moment**. Control is handed from one
+//! process to the next by *token passing*: the currently running process,
+//! when it suspends, pops the next event from the heap, advances the virtual
+//! clock to that event's timestamp, unparks the event's owner and then parks
+//! itself. This gives a sequential, fully deterministic simulation (events
+//! at equal timestamps fire in schedule order) while letting process bodies
+//! be written as ordinary imperative Rust.
+//!
+//! # Wake-up semantics
+//!
+//! An event is nothing more than "wake process *p* at time *t*". A process
+//! may be woken spuriously (e.g. a stale wake-up scheduled by a sender whose
+//! message the process already consumed), so **every blocking primitive must
+//! re-check its predicate in a loop** after [`Kernel::suspend`] returns.
+//! This is the same discipline as condition variables.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated process (dense, assigned in spawn order).
+pub type Pid = usize;
+
+/// A scheduled wake-up: `(time, seq, pid)` ordered by time then FIFO.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    pid: Pid,
+}
+
+/// One-slot token used to park/unpark a process thread without the
+/// spurious-wakeup hazards of bare `thread::park`.
+struct Token {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Token {
+    fn new() -> Self {
+        Token { flag: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn set(&self) {
+        let mut f = self.flag.lock();
+        *f = true;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) {
+        let mut f = self.flag.lock();
+        while !*f {
+            self.cv.wait(&mut f);
+        }
+        *f = false;
+    }
+}
+
+struct ProcMeta {
+    name: String,
+    token: Arc<Token>,
+    done: bool,
+    /// Human-readable description of what the process is blocked on,
+    /// reported on deadlock.
+    blocked_on: &'static str,
+}
+
+struct Sched {
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Event>>,
+    procs: Vec<ProcMeta>,
+    live: usize,
+}
+
+/// Shared simulation kernel. One per [`crate::Simulation`]; handed to every
+/// process through its [`crate::Ctx`].
+pub struct Kernel {
+    state: Mutex<Sched>,
+    main_token: Token,
+    aborted: AtomicBool,
+    abort_reason: Mutex<Option<String>>,
+}
+
+/// Panic payload used to unwind parked process threads when the simulation
+/// aborts (deadlock or a sibling process panicked). `Simulation::run`
+/// recognises it and converts it into a single, readable error.
+pub(crate) struct SimAbort;
+
+impl Kernel {
+    pub(crate) fn new() -> Arc<Kernel> {
+        Arc::new(Kernel {
+            state: Mutex::new(Sched {
+                now: 0,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                procs: Vec::new(),
+                live: 0,
+            }),
+            main_token: Token::new(),
+            aborted: AtomicBool::new(false),
+            abort_reason: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn register_proc(&self, name: String) -> Pid {
+        let mut s = self.state.lock();
+        let pid = s.procs.len();
+        let token = Arc::new(Token::new());
+        s.procs.push(ProcMeta { name, token, done: false, blocked_on: "start" });
+        s.live += 1;
+        pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.state.lock().now)
+    }
+
+    /// Number of registered processes.
+    pub fn num_procs(&self) -> usize {
+        self.state.lock().procs.len()
+    }
+
+    /// Schedule a wake-up for `pid` at absolute time `at`. May be called
+    /// from any running process (or from `Simulation::run` before start).
+    pub fn schedule_at(&self, at: SimTime, pid: Pid) {
+        let mut s = self.state.lock();
+        // Floating-point cost models can round a hair into the past; clamp
+        // to `now` so the heap never goes backwards.
+        let seq = s.seq;
+        s.seq += 1;
+        let time = at.0.max(s.now);
+        s.heap.push(Reverse(Event { time, seq, pid }));
+    }
+
+    /// Schedule a wake-up for `pid` after `delay`.
+    pub fn schedule_after(&self, delay: SimDuration, pid: Pid) {
+        let mut s = self.state.lock();
+        let seq = s.seq;
+        s.seq += 1;
+        let time = s.now + delay.0;
+        s.heap.push(Reverse(Event { time, seq, pid }));
+    }
+
+    /// Suspend the calling process `me` until some event wakes it.
+    ///
+    /// The caller transfers control to the owner of the next event in the
+    /// heap. Returns when `me` is next unparked — which may be *spurious*;
+    /// callers must loop on their predicate. `why` is reported if a deadlock
+    /// is detected while `me` is suspended here.
+    pub fn suspend(&self, me: Pid, why: &'static str) {
+        self.check_abort();
+        let next = {
+            let mut s = self.state.lock();
+            s.procs[me].blocked_on = why;
+            loop {
+                match s.heap.pop() {
+                    Some(Reverse(ev)) => {
+                        if s.procs[ev.pid].done {
+                            continue; // stale event for an exited process
+                        }
+                        debug_assert!(ev.time >= s.now, "event heap went backwards");
+                        s.now = ev.time;
+                        break Some(ev.pid);
+                    }
+                    None => break None,
+                }
+            }
+        };
+        match next {
+            Some(p) if p == me => {
+                // Our own wake-up is the next event: keep running.
+            }
+            Some(p) => {
+                let token = {
+                    let s = self.state.lock();
+                    s.procs[p].token.clone()
+                };
+                token.set();
+                self.park(me);
+            }
+            None => {
+                // No event can ever fire again and `me` is about to block:
+                // every live process is now parked with nothing to wake it.
+                self.abort(format!(
+                    "deadlock: no scheduled events and all processes blocked\n{}",
+                    self.blocked_report()
+                ));
+            }
+        }
+        self.check_abort();
+    }
+
+    /// Advance the calling process's local time by `dt` (a "compute" step).
+    /// Other processes run during the interval.
+    pub fn advance(&self, me: Pid, dt: SimDuration) {
+        if dt == SimDuration::ZERO {
+            return;
+        }
+        let target = {
+            let s = self.state.lock();
+            s.now + dt.0
+        };
+        self.schedule_at(SimTime(target), me);
+        loop {
+            self.suspend(me, "advance");
+            if self.state.lock().now >= target {
+                return;
+            }
+        }
+    }
+
+    /// Called by the process wrapper when the body returns. Transfers
+    /// control onwards; when the last process exits, wakes the runner.
+    pub(crate) fn proc_exit(&self, me: Pid) {
+        let live = {
+            let mut s = self.state.lock();
+            s.procs[me].done = true;
+            s.live -= 1;
+            s.live
+        };
+        if live == 0 {
+            self.main_token.set();
+            return;
+        }
+        // Hand the token to the next event's owner, if any.
+        let next = {
+            let mut s = self.state.lock();
+            loop {
+                match s.heap.pop() {
+                    Some(Reverse(ev)) => {
+                        if s.procs[ev.pid].done {
+                            continue;
+                        }
+                        s.now = ev.time;
+                        break Some(ev.pid);
+                    }
+                    None => break None,
+                }
+            }
+        };
+        match next {
+            Some(p) => {
+                let token = {
+                    let s = self.state.lock();
+                    s.procs[p].token.clone()
+                };
+                token.set();
+            }
+            None => self.abort(format!(
+                "deadlock: process `{}` exited with {} live processes \
+                 blocked and no scheduled events\n{}",
+                self.proc_name(me),
+                live,
+                self.blocked_report()
+            )),
+        }
+    }
+
+    /// Kick off the simulation: wake the owner of the earliest event, then
+    /// block until all processes have exited (or the simulation aborted).
+    pub(crate) fn run_to_completion(&self) {
+        let first = {
+            let mut s = self.state.lock();
+            if s.live == 0 {
+                return;
+            }
+            match s.heap.pop() {
+                Some(Reverse(ev)) => {
+                    s.now = ev.time;
+                    Some(ev.pid)
+                }
+                None => None,
+            }
+        };
+        match first {
+            Some(p) => {
+                let token = {
+                    let s = self.state.lock();
+                    s.procs[p].token.clone()
+                };
+                token.set();
+            }
+            None => {
+                // Cannot happen through `Simulation::run` (it schedules a
+                // t=0 activation per process), but fail gracefully: this is
+                // the runner thread, so record the failure without
+                // unwinding through the caller.
+                self.mark_failed(
+                    "simulation started with live processes but no initial events".into(),
+                );
+                return;
+            }
+        }
+        self.main_token.wait();
+    }
+
+    /// Park a process thread until its activation token is set; used for
+    /// the initial t=0 activation of each process.
+    pub(crate) fn entry_wait(&self, pid: Pid) {
+        self.park(pid);
+    }
+
+    fn park(&self, me: Pid) {
+        let token = {
+            let s = self.state.lock();
+            s.procs[me].token.clone()
+        };
+        token.wait();
+        self.check_abort();
+    }
+
+    /// Mark the simulation aborted, wake every thread so it can unwind, and
+    /// unwind the caller.
+    pub(crate) fn abort(&self, reason: String) -> ! {
+        {
+            let mut r = self.abort_reason.lock();
+            if r.is_none() {
+                *r = Some(reason);
+            }
+        }
+        self.aborted.store(true, Ordering::SeqCst);
+        let tokens: Vec<Arc<Token>> = {
+            let s = self.state.lock();
+            s.procs.iter().filter(|p| !p.done).map(|p| p.token.clone()).collect()
+        };
+        for t in tokens {
+            t.set();
+        }
+        self.main_token.set();
+        std::panic::panic_any(SimAbort);
+    }
+
+    pub(crate) fn check_abort(&self) {
+        if self.aborted.load(Ordering::SeqCst) {
+            std::panic::panic_any(SimAbort);
+        }
+    }
+
+    pub(crate) fn abort_reason(&self) -> Option<String> {
+        self.abort_reason.lock().clone()
+    }
+
+    pub(crate) fn mark_failed(&self, reason: String) {
+        {
+            let mut r = self.abort_reason.lock();
+            if r.is_none() {
+                *r = Some(reason);
+            }
+        }
+        self.aborted.store(true, Ordering::SeqCst);
+        let tokens: Vec<Arc<Token>> = {
+            let s = self.state.lock();
+            s.procs.iter().filter(|p| !p.done).map(|p| p.token.clone()).collect()
+        };
+        for t in tokens {
+            t.set();
+        }
+        self.main_token.set();
+    }
+
+    fn proc_name(&self, pid: Pid) -> String {
+        self.state.lock().procs[pid].name.clone()
+    }
+
+    fn blocked_report(&self) -> String {
+        let s = self.state.lock();
+        let mut out = String::new();
+        for (pid, p) in s.procs.iter().enumerate() {
+            if !p.done {
+                out.push_str(&format!(
+                    "  pid {} `{}` blocked on: {}\n",
+                    pid, p.name, p.blocked_on
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,334 @@
+//! Simulation construction and execution, plus the per-process [`Ctx`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kernel::{Kernel, Pid, SimAbort};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Span, Trace, TraceSink};
+
+/// Configuration knobs for one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Master seed; each process derives its own RNG from `(seed, pid)`.
+    pub seed: u64,
+    /// Record tagged spans (see [`Ctx::trace_begin`]).
+    pub trace: bool,
+    /// Stack size for process threads. Simulated ranks mostly keep data on
+    /// the heap, so the default is small to allow thousands of processes.
+    pub stack_size: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0x5eed_1234, trace: false, stack_size: 512 * 1024 }
+    }
+}
+
+/// Per-process statistics gathered during the run.
+#[derive(Clone, Debug, Default)]
+pub struct ProcStats {
+    pub name: String,
+    /// Virtual time spent in `advance` (modelled computation / service).
+    pub busy: SimDuration,
+    /// Virtual time at which the process body returned.
+    pub finished_at: SimTime,
+}
+
+/// The result of a completed simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimOutcome {
+    /// Virtual time when the last process exited.
+    pub end_time: SimTime,
+    /// Per-process stats, indexed by pid.
+    pub proc_stats: Vec<ProcStats>,
+    /// Recorded spans (empty unless `SimConfig::trace`).
+    pub trace: Trace,
+}
+
+/// A failed simulation: deadlock or a panicking process.
+#[derive(Clone, Debug)]
+pub struct SimError(pub String);
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+type ProcBody = Box<dyn FnOnce(&mut Ctx) + Send + 'static>;
+
+/// A discrete-event simulation under construction. Spawn processes, then
+/// [`Simulation::run`].
+pub struct Simulation {
+    kernel: Arc<Kernel>,
+    config: SimConfig,
+    trace: TraceSink,
+    pending: Vec<(Pid, String, ProcBody)>,
+}
+
+impl Simulation {
+    pub fn new(config: SimConfig) -> Self {
+        let trace = TraceSink::new(config.trace);
+        Simulation { kernel: Kernel::new(), config, trace, pending: Vec::new() }
+    }
+
+    /// Shared kernel handle (usable to pre-build primitives that need it).
+    pub fn kernel(&self) -> Arc<Kernel> {
+        self.kernel.clone()
+    }
+
+    /// Register a simulated process. Bodies start at virtual time zero in
+    /// spawn order. Returns the process id.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut Ctx) + Send + 'static,
+    ) -> Pid {
+        let name = name.into();
+        let pid = self.kernel.register_proc(name.clone());
+        self.pending.push((pid, name, Box::new(body)));
+        pid
+    }
+
+    /// Execute the simulation to completion.
+    pub fn run(self) -> Result<SimOutcome, SimError> {
+        install_quiet_abort_hook();
+        let Simulation { kernel, config, trace, pending } = self;
+        let nprocs = pending.len();
+        if nprocs == 0 {
+            return Ok(SimOutcome::default());
+        }
+        let stats: Arc<Mutex<Vec<ProcStats>>> =
+            Arc::new(Mutex::new(vec![ProcStats::default(); nprocs]));
+
+        let mut handles = Vec::with_capacity(nprocs);
+        for (pid, name, body) in pending {
+            // Every process gets an initial wake-up at t=0, fired in spawn
+            // order by the FIFO tie-break.
+            kernel.schedule_at(SimTime::ZERO, pid);
+            let kernel = kernel.clone();
+            let trace = trace.clone();
+            let stats = stats.clone();
+            let seed = config.seed;
+            let thread_name = format!("sim-{pid}-{name}");
+            let handle = std::thread::Builder::new()
+                .name(thread_name)
+                .stack_size(config.stack_size)
+                .spawn(move || {
+                    // Wait for our t=0 activation before touching anything.
+                    let entry = catch_unwind(AssertUnwindSafe(|| {
+                        kernel.entry_wait(pid);
+                    }));
+                    if entry.is_err() {
+                        return; // aborted before start
+                    }
+                    let mut ctx = Ctx {
+                        kernel: kernel.clone(),
+                        pid,
+                        nprocs,
+                        rng: derive_rng(seed, pid),
+                        trace,
+                        busy: SimDuration::ZERO,
+                        open_spans: Vec::new(),
+                    };
+                    let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                    match result {
+                        Ok(()) => {
+                            {
+                                let mut st = stats.lock();
+                                st[pid] = ProcStats {
+                                    name,
+                                    busy: ctx.busy,
+                                    finished_at: kernel.now(),
+                                };
+                            }
+                            // May unwind with SimAbort on deadlock; the
+                            // quiet hook keeps that silent.
+                            kernel.proc_exit(pid);
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<SimAbort>().is_some() {
+                                // Simulation-wide abort already in progress.
+                                return;
+                            }
+                            let msg = panic_message(payload.as_ref());
+                            kernel.mark_failed(format!(
+                                "process {pid} `{name}` panicked: {msg}"
+                            ));
+                        }
+                    }
+                })
+                .expect("failed to spawn simulation thread");
+            handles.push(handle);
+        }
+
+        kernel.run_to_completion();
+        for h in handles {
+            // Threads that unwound with SimAbort report Err; that is fine.
+            let _ = h.join();
+        }
+        if let Some(reason) = kernel.abort_reason() {
+            return Err(SimError(reason));
+        }
+        let proc_stats = Arc::try_unwrap(stats)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        Ok(SimOutcome { end_time: kernel.now(), proc_stats, trace: trace.take() })
+    }
+
+    /// [`Simulation::run`], panicking on failure. Convenient in tests.
+    pub fn run_expect(self) -> SimOutcome {
+        match self.run() {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+fn derive_rng(seed: u64, pid: Pid) -> StdRng {
+    // SplitMix64-style mix so neighbouring pids get unrelated streams.
+    let mut z = seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Install (once) a panic hook that silences the internal [`SimAbort`]
+/// unwinds used to tear simulations down, while delegating every other
+/// panic to the previous hook.
+fn install_quiet_abort_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Handle through which a process body interacts with the simulation.
+///
+/// A `Ctx` is exclusive to its process: it is handed to the body as
+/// `&mut Ctx` and carries the process's RNG, busy-time accounting and open
+/// trace spans.
+pub struct Ctx {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    nprocs: usize,
+    rng: StdRng,
+    trace: TraceSink,
+    busy: SimDuration,
+    open_spans: Vec<(&'static str, SimTime)>,
+}
+
+impl Ctx {
+    /// This process's id (dense, spawn order).
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Total number of processes in the simulation.
+    #[inline]
+    pub fn num_procs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Spend `dt` of virtual time computing (other processes run meanwhile).
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.busy += dt;
+        self.kernel.advance(self.pid, dt);
+    }
+
+    /// [`Ctx::advance`] with float seconds.
+    pub fn advance_secs(&mut self, secs: f64) {
+        self.advance(SimDuration::from_secs_f64(secs));
+    }
+
+    /// Suspend until some event wakes this process. May wake spuriously;
+    /// callers loop on their predicate. `why` shows up in deadlock reports.
+    pub fn suspend(&mut self, why: &'static str) {
+        self.kernel.suspend(self.pid, why);
+    }
+
+    /// Schedule a wake-up for this process at absolute virtual time `at`.
+    pub fn wake_self_at(&self, at: SimTime) {
+        self.kernel.schedule_at(at, self.pid);
+    }
+
+    /// Schedule a wake-up for `pid` at absolute virtual time `at`.
+    pub fn wake_at(&self, at: SimTime, pid: Pid) {
+        self.kernel.schedule_at(at, pid);
+    }
+
+    /// The shared kernel (for building synchronization primitives).
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// Deterministic per-process random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Virtual time this process has spent in [`Ctx::advance`] so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Open a trace span tagged `tag`. Nestable; close with
+    /// [`Ctx::trace_end`] in LIFO order.
+    pub fn trace_begin(&mut self, tag: &'static str) {
+        if self.trace.enabled() {
+            self.open_spans.push((tag, self.now()));
+        }
+    }
+
+    /// Close the innermost open span with tag `tag` and record it.
+    pub fn trace_end(&mut self, tag: &'static str) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let idx = self
+            .open_spans
+            .iter()
+            .rposition(|(t, _)| *t == tag)
+            .unwrap_or_else(|| panic!("trace_end(\"{tag}\") without matching trace_begin"));
+        let (_, start) = self.open_spans.remove(idx);
+        self.trace.record(Span { pid: self.pid, tag, start, end: self.now() });
+    }
+
+    /// Run `f` inside a span tagged `tag`.
+    pub fn traced<R>(&mut self, tag: &'static str, f: impl FnOnce(&mut Ctx) -> R) -> R {
+        self.trace_begin(tag);
+        let r = f(self);
+        self.trace_end(tag);
+        r
+    }
+}

@@ -1,0 +1,255 @@
+//! Span tracing in virtual time.
+//!
+//! Processes record `(pid, tag, start, end)` spans; after the run the
+//! collected [`Trace`] can be queried, dumped as CSV or rendered as an
+//! ASCII Gantt chart — the moral equivalent of the HPCToolkit timelines in
+//! Figure 2 of the paper.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::Pid;
+use crate::time::{SimDuration, SimTime};
+
+/// One recorded interval on one process's timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub pid: Pid,
+    /// Static category tag, e.g. `"comp"`, `"comm"`, `"io"`, `"idle"`.
+    pub tag: &'static str,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl Span {
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+#[derive(Default)]
+struct TraceInner {
+    enabled: bool,
+    spans: Vec<Span>,
+}
+
+/// Shared trace recorder. Cheap no-op unless enabled.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+impl TraceSink {
+    pub fn new(enabled: bool) -> Self {
+        TraceSink { inner: Arc::new(Mutex::new(TraceInner { enabled, spans: Vec::new() })) }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.lock().enabled
+    }
+
+    pub fn record(&self, span: Span) {
+        let mut inner = self.inner.lock();
+        if inner.enabled {
+            inner.spans.push(span);
+        }
+    }
+
+    pub(crate) fn take(&self) -> Trace {
+        let mut inner = self.inner.lock();
+        let mut spans = std::mem::take(&mut inner.spans);
+        spans.sort_by_key(|s| (s.pid, s.start.as_nanos(), s.end.as_nanos()));
+        Trace { spans }
+    }
+}
+
+/// The finished trace of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// All spans recorded by one process, in time order.
+    pub fn for_pid(&self, pid: Pid) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.pid == pid).collect()
+    }
+
+    /// Total time each tag accounts for on each process.
+    pub fn totals_by_tag(&self) -> HashMap<(Pid, &'static str), SimDuration> {
+        let mut map: HashMap<(Pid, &'static str), SimDuration> = HashMap::new();
+        for s in &self.spans {
+            *map.entry((s.pid, s.tag)).or_default() += s.duration();
+        }
+        map
+    }
+
+    /// Latest end time over all spans.
+    pub fn horizon(&self) -> SimTime {
+        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Per-process utilization summary: for each pid, the fraction of the
+    /// trace horizon covered by each tag. The Fig. 2-style headline
+    /// numbers ("compute ranks are busy 95% of the time") fall out of
+    /// this directly.
+    pub fn utilization(&self) -> Vec<(Pid, Vec<(&'static str, f64)>)> {
+        let horizon = self.horizon().as_secs_f64().max(f64::MIN_POSITIVE);
+        let totals = self.totals_by_tag();
+        let npids = self.spans.iter().map(|s| s.pid + 1).max().unwrap_or(0);
+        let mut out = Vec::with_capacity(npids);
+        for pid in 0..npids {
+            let mut tags: Vec<(&'static str, f64)> = totals
+                .iter()
+                .filter(|((p, _), _)| *p == pid)
+                .map(|((_, tag), d)| (*tag, d.as_secs_f64() / horizon))
+                .collect();
+            tags.sort_by(|a, b| a.0.cmp(b.0));
+            out.push((pid, tags));
+        }
+        out
+    }
+
+    /// Dump as CSV (`pid,tag,start_s,end_s`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("pid,tag,start_s,end_s\n");
+        for s in &self.spans {
+            let _ = writeln!(
+                out,
+                "{},{},{:.9},{:.9}",
+                s.pid,
+                s.tag,
+                s.start.as_secs_f64(),
+                s.end.as_secs_f64()
+            );
+        }
+        out
+    }
+
+    /// Render an ASCII Gantt chart, one row per pid, `width` columns across
+    /// the full time horizon. Gaps are `.`; glyphs come from `glyph_of`.
+    pub fn to_gantt_with(&self, width: usize, glyph_of: impl Fn(&str) -> char) -> String {
+        let horizon = self.horizon().as_nanos().max(1);
+        let npids = self.spans.iter().map(|s| s.pid + 1).max().unwrap_or(0);
+        let mut out = String::new();
+        for pid in 0..npids {
+            let mut row = vec!['.'; width];
+            for s in self.spans.iter().filter(|s| s.pid == pid) {
+                let a = (s.start.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let b = (s.end.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let glyph = glyph_of(s.tag);
+                for cell in row.iter_mut().take(b.min(width - 1) + 1).skip(a.min(width - 1)) {
+                    *cell = glyph;
+                }
+            }
+            let _ = writeln!(out, "P{:<3} |{}|", pid, row.iter().collect::<String>());
+        }
+        out
+    }
+
+    /// [`Trace::to_gantt_with`] using a default glyph scheme: the common
+    /// HPC tags get distinct letters (`comp` → `C`, `comm` → `M`,
+    /// `io` → `I`), anything else its capitalised first character.
+    pub fn to_gantt(&self, width: usize) -> String {
+        self.to_gantt_with(width, |tag| match tag {
+            "comp" => 'C',
+            "comm" => 'M',
+            "io" => 'I',
+            other => other.chars().next().unwrap_or('?').to_ascii_uppercase(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(pid: Pid, tag: &'static str, a: u64, b: u64) -> Span {
+        Span { pid, tag, start: SimTime(a), end: SimTime(b) }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::new(false);
+        sink.record(span(0, "comp", 0, 10));
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn totals_accumulate_per_pid_and_tag() {
+        let sink = TraceSink::new(true);
+        sink.record(span(0, "comp", 0, 10));
+        sink.record(span(0, "comp", 20, 25));
+        sink.record(span(1, "comm", 0, 7));
+        let trace = sink.take();
+        let totals = trace.totals_by_tag();
+        assert_eq!(totals[&(0, "comp")], SimDuration::from_nanos(15));
+        assert_eq!(totals[&(1, "comm")], SimDuration::from_nanos(7));
+        assert_eq!(trace.horizon(), SimTime(25));
+    }
+
+    #[test]
+    fn csv_and_gantt_render() {
+        let sink = TraceSink::new(true);
+        sink.record(span(0, "comp", 0, 500));
+        sink.record(span(1, "comm", 500, 1000));
+        let trace = sink.take();
+        let csv = trace.to_csv();
+        assert!(csv.starts_with("pid,tag,start_s,end_s"));
+        assert_eq!(csv.lines().count(), 3);
+        let gantt = trace.to_gantt(20);
+        assert!(gantt.contains('C'));
+        assert_eq!(gantt.lines().count(), 2);
+    }
+
+    #[test]
+    fn for_pid_filters_and_sorts() {
+        let sink = TraceSink::new(true);
+        sink.record(span(1, "b", 10, 20));
+        sink.record(span(1, "a", 0, 10));
+        sink.record(span(0, "x", 0, 5));
+        let trace = sink.take();
+        let p1 = trace.for_pid(1);
+        assert_eq!(p1.len(), 2);
+        assert_eq!(p1[0].tag, "a");
+        assert_eq!(p1[1].tag, "b");
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+
+    #[test]
+    fn utilization_fractions_are_relative_to_horizon() {
+        let sink = TraceSink::new(true);
+        sink.record(Span { pid: 0, tag: "comp", start: SimTime(0), end: SimTime(80) });
+        sink.record(Span { pid: 0, tag: "comm", start: SimTime(80), end: SimTime(100) });
+        sink.record(Span { pid: 1, tag: "comp", start: SimTime(0), end: SimTime(50) });
+        let trace = sink.take();
+        let util = trace.utilization();
+        assert_eq!(util.len(), 2);
+        let p0: std::collections::HashMap<_, _> = util[0].1.iter().copied().collect();
+        assert!((p0["comp"] - 0.8).abs() < 1e-12);
+        assert!((p0["comm"] - 0.2).abs() < 1e-12);
+        let p1: std::collections::HashMap<_, _> = util[1].1.iter().copied().collect();
+        assert!((p1["comp"] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_empty_trace_is_empty() {
+        let trace = TraceSink::new(true).take();
+        assert!(trace.utilization().is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Engine-level integration tests: determinism, failure handling, scale.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use desim::sync::{SimBarrier, SimChannel};
+use desim::{SimConfig, SimDuration, SimTime, Simulation};
+use parking_lot::Mutex;
+use rand::Rng;
+
+#[test]
+fn empty_simulation_completes_at_time_zero() {
+    let sim = Simulation::new(SimConfig::default());
+    let out = sim.run().unwrap();
+    assert_eq!(out.end_time, SimTime::ZERO);
+    assert!(out.proc_stats.is_empty());
+}
+
+#[test]
+fn processes_start_at_time_zero_in_spawn_order() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let order = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..5usize {
+        let order = order.clone();
+        sim.spawn(format!("p{i}"), move |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            order.lock().push(i);
+        });
+    }
+    sim.run_expect();
+    assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn advance_interleaves_processes_by_virtual_time() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let log = Arc::new(Mutex::new(Vec::new()));
+    // p0 steps 3x10us, p1 steps 2x15us: interleaving must follow the clock.
+    for (i, step, count) in [(0usize, 10u64, 3usize), (1, 15, 2)] {
+        let log = log.clone();
+        sim.spawn(format!("p{i}"), move |ctx| {
+            for _ in 0..count {
+                ctx.advance(SimDuration::from_micros(step));
+                log.lock().push((i, ctx.now().as_nanos() / 1_000));
+            }
+        });
+    }
+    sim.run_expect();
+    // At t=30 both processes have events; ties break FIFO by *schedule*
+    // time, and p1 scheduled its t=30 wake-up at t=15, before p0's at t=20.
+    assert_eq!(
+        *log.lock(),
+        vec![(0, 10), (1, 15), (0, 20), (1, 30), (0, 30)]
+    );
+}
+
+#[test]
+fn outcome_reports_busy_time_and_finish_time() {
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.spawn("worker", |ctx| {
+        ctx.advance(SimDuration::from_millis(3));
+    });
+    sim.spawn("idler", |_ctx| {});
+    let out = sim.run_expect();
+    assert_eq!(out.end_time, SimTime(3_000_000));
+    assert_eq!(out.proc_stats[0].busy, SimDuration::from_millis(3));
+    assert_eq!(out.proc_stats[0].finished_at, SimTime(3_000_000));
+    assert_eq!(out.proc_stats[1].busy, SimDuration::ZERO);
+    assert_eq!(out.proc_stats[1].finished_at, SimTime::ZERO);
+}
+
+#[test]
+fn deadlock_is_detected_and_reported() {
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.spawn("stuck", |ctx| {
+        ctx.suspend("waiting for godot");
+    });
+    let err = sim.run().unwrap_err();
+    assert!(err.0.contains("deadlock"), "got: {}", err.0);
+    assert!(err.0.contains("waiting for godot"), "got: {}", err.0);
+    assert!(err.0.contains("stuck"), "got: {}", err.0);
+}
+
+#[test]
+fn deadlock_with_partner_processes_is_detected() {
+    // Two processes each waiting for the other to wake them.
+    let mut sim = Simulation::new(SimConfig::default());
+    for i in 0..2 {
+        sim.spawn(format!("p{i}"), |ctx| {
+            ctx.suspend("mutual wait");
+        });
+    }
+    let err = sim.run().unwrap_err();
+    assert!(err.0.contains("deadlock"));
+}
+
+#[test]
+fn process_panic_fails_the_simulation_with_message() {
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.spawn("ok", |ctx| {
+        ctx.advance(SimDuration::from_secs(1));
+    });
+    sim.spawn("bad", |ctx| {
+        ctx.advance(SimDuration::from_micros(1));
+        panic!("boom at {:?}", ctx.now());
+    });
+    let err = sim.run().unwrap_err();
+    assert!(err.0.contains("boom"), "got: {}", err.0);
+    assert!(err.0.contains("bad"), "got: {}", err.0);
+}
+
+#[test]
+fn identical_seeds_give_identical_outcomes() {
+    fn run_once(seed: u64) -> (u64, Vec<u64>) {
+        let mut sim = Simulation::new(SimConfig { seed, ..SimConfig::default() });
+        let ch: SimChannel<u64> = SimChannel::new();
+        let samples = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..8usize {
+            let tx = ch.clone();
+            let samples = samples.clone();
+            sim.spawn(format!("p{i}"), move |ctx| {
+                for _ in 0..20 {
+                    let jitter: f64 = ctx.rng().gen_range(0.0..1e-4);
+                    samples.lock().push((jitter * 1e9) as u64);
+                    ctx.advance_secs(1e-5 + jitter);
+                    tx.send(ctx, ctx.now().as_nanos());
+                }
+            });
+        }
+        let out = sim.run_expect();
+        let s = samples.lock().clone();
+        (out.end_time.as_nanos(), s)
+    }
+    let a = run_once(42);
+    let b = run_once(42);
+    let c = run_once(43);
+    assert_eq!(a, b, "same seed must reproduce exactly");
+    assert_ne!(a.0, c.0, "different seed should perturb timing");
+}
+
+#[test]
+fn different_pids_get_decorrelated_rngs() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let draws = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..4usize {
+        let draws = draws.clone();
+        sim.spawn(format!("p{i}"), move |ctx| {
+            let v: u64 = ctx.rng().gen();
+            draws.lock().push(v);
+        });
+    }
+    sim.run_expect();
+    let draws = draws.lock();
+    let mut dedup = draws.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), draws.len(), "per-pid RNG streams collided");
+}
+
+#[test]
+fn trace_records_spans_in_virtual_time() {
+    let mut sim = Simulation::new(SimConfig { trace: true, ..SimConfig::default() });
+    sim.spawn("p", |ctx| {
+        ctx.traced("comp", |ctx| ctx.advance(SimDuration::from_micros(10)));
+        ctx.traced("comm", |ctx| ctx.advance(SimDuration::from_micros(5)));
+    });
+    let out = sim.run_expect();
+    let spans = out.trace.spans();
+    assert_eq!(spans.len(), 2);
+    assert_eq!(spans[0].tag, "comp");
+    assert_eq!(spans[0].start, SimTime::ZERO);
+    assert_eq!(spans[0].end, SimTime(10_000));
+    assert_eq!(spans[1].tag, "comm");
+    assert_eq!(spans[1].end, SimTime(15_000));
+}
+
+#[test]
+fn nested_trace_spans_close_lifo() {
+    let mut sim = Simulation::new(SimConfig { trace: true, ..SimConfig::default() });
+    sim.spawn("p", |ctx| {
+        ctx.trace_begin("outer");
+        ctx.advance(SimDuration::from_micros(1));
+        ctx.trace_begin("inner");
+        ctx.advance(SimDuration::from_micros(2));
+        ctx.trace_end("inner");
+        ctx.advance(SimDuration::from_micros(1));
+        ctx.trace_end("outer");
+    });
+    let out = sim.run_expect();
+    let totals = out.trace.totals_by_tag();
+    assert_eq!(totals[&(0, "outer")], SimDuration::from_micros(4));
+    assert_eq!(totals[&(0, "inner")], SimDuration::from_micros(2));
+}
+
+#[test]
+fn barrier_synchronises_thousand_processes() {
+    const N: usize = 1_000;
+    let mut sim = Simulation::new(SimConfig::default());
+    let bar = Arc::new(SimBarrier::new(N));
+    let max_t = Arc::new(AtomicU64::new(0));
+    for i in 0..N {
+        let bar = bar.clone();
+        let max_t = max_t.clone();
+        sim.spawn(format!("p{i}"), move |ctx| {
+            ctx.advance(SimDuration::from_nanos(i as u64));
+            bar.wait(ctx);
+            max_t.fetch_max(ctx.now().as_nanos(), Ordering::SeqCst);
+            assert!(ctx.now() >= SimTime(N as u64 - 1));
+        });
+    }
+    sim.run_expect();
+    assert_eq!(max_t.load(Ordering::SeqCst), N as u64 - 1);
+}
+
+/// The big one: the Fig. 5-8 experiments need 8,192 simulated ranks. Verify
+/// the engine can host that many coroutine threads and push a meaningful
+/// number of events through them.
+#[test]
+fn scales_to_8192_processes() {
+    const N: usize = 8_192;
+    let mut sim = Simulation::new(SimConfig::default());
+    let ch: SimChannel<usize> = SimChannel::new();
+    let done = Arc::new(AtomicU64::new(0));
+    for i in 0..N {
+        let ch = ch.clone();
+        let done = done.clone();
+        sim.spawn(format!("r{i}"), move |ctx| {
+            for _ in 0..4 {
+                ctx.advance(SimDuration::from_micros(1));
+                ch.send(ctx, i);
+                // Keep the queue from growing unboundedly.
+                let _ = ch.try_recv(ctx);
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    let out = sim.run_expect();
+    assert_eq!(done.load(Ordering::SeqCst), N as u64);
+    assert_eq!(out.end_time, SimTime(4_000));
+    assert_eq!(out.proc_stats.len(), N);
+}

@@ -1,0 +1,3 @@
+//! Anchor crate for the workspace-level integration tests (`tests/`) and
+//! runnable examples (`examples/`); see the target declarations in this
+//! crate's `Cargo.toml`. It exports nothing of its own.

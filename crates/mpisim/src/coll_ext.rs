@@ -1,0 +1,338 @@
+//! Additional collectives and point-to-point combinators beyond the core
+//! set in [`crate::coll`]: scatter/gather with uniform blocks, exclusive
+//! prefix scan, sparse all-to-all, and paired send-receive.
+//!
+//! Like the core collectives these move real data over real messages;
+//! algorithms are the textbook ones so costs scale faithfully.
+
+use crate::comm::Comm;
+use crate::msg::{Src, Tag};
+use crate::rank::Rank;
+
+/// Namespace byte for extended-collective tags.
+const NS_COLL_EXT: u8 = 3;
+
+impl Rank<'_> {
+    fn coll_ext_tag(&mut self, comm: &Comm) -> Tag {
+        let seq = self.next_seq(comm);
+        Tag::internal(NS_COLL_EXT, comm.id(), seq)
+    }
+
+    /// Paired exchange with two (possibly different) partners — the
+    /// classic deadlock-free halo building block. Sends `value` to `dst`
+    /// and receives one message from `src`, both under `tag`.
+    pub fn sendrecv<T: Send + 'static>(
+        &mut self,
+        dst: usize,
+        src: usize,
+        tag: u32,
+        bytes: u64,
+        value: T,
+    ) -> T {
+        let req = self.isend(dst, tag, bytes, value);
+        let (got, _) = self.recv::<T>(Src::Rank(src), tag);
+        self.wait_send(req);
+        got
+    }
+
+    /// Scatter: communicator rank `root` supplies one item per member
+    /// (in communicator-rank order); everyone receives theirs. Flat
+    /// algorithm (root sends P−1 messages), like small-message MPICH.
+    pub fn scatter<T: Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        bytes: u64,
+        items: Option<Vec<T>>,
+    ) -> T {
+        let tag = self.coll_ext_tag(comm);
+        let me = comm.rank_of(self.world_rank()).expect("member");
+        if me == root {
+            let mut items = items.expect("scatter root must supply items");
+            assert_eq!(items.len(), comm.size(), "one item per member");
+            let mut reqs = Vec::new();
+            let mut mine = None;
+            // Send from the back so removal is O(1) and order is fixed.
+            for r in (0..comm.size()).rev() {
+                let item = items.pop().expect("length checked");
+                if r == root {
+                    mine = Some(item);
+                } else {
+                    reqs.push(self.isend_tagged(
+                        comm.world_rank(r),
+                        tag,
+                        bytes,
+                        Box::new(item),
+                    ));
+                }
+            }
+            self.wait_send_all(reqs);
+            mine.expect("root keeps its own item")
+        } else {
+            let w = comm.world_rank(root);
+            let (v, _) = self.recv_tagged::<T>(Src::Rank(w), tag);
+            v
+        }
+    }
+
+    /// Gather with uniform blocks (flat to the root); the counterpart of
+    /// [`Rank::scatter`]. Returns items in communicator-rank order at the
+    /// root.
+    pub fn gather<T: Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        bytes: u64,
+        value: T,
+    ) -> Option<Vec<T>> {
+        // Uniform gather is just gatherv with equal blocks.
+        self.gatherv(comm, root, bytes, value)
+    }
+
+    /// Exclusive prefix scan: rank `i` receives `op` folded over the
+    /// values of ranks `0..i` (`None` at rank 0). Linear-chain algorithm —
+    /// O(P) latency like naive MPI_Exscan, which is fine for setup-time
+    /// uses (offsets into shared files, global displacements).
+    pub fn exscan<T: Clone + Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        bytes: u64,
+        value: T,
+        op: impl Fn(&mut T, &T),
+    ) -> Option<T> {
+        let tag = self.coll_ext_tag(comm);
+        let me = comm.rank_of(self.world_rank()).expect("member");
+        let n = comm.size();
+        let prefix = if me == 0 {
+            None
+        } else {
+            let w = comm.world_rank(me - 1);
+            let (v, _) = self.recv_tagged::<T>(Src::Rank(w), tag);
+            Some(v)
+        };
+        if me + 1 < n {
+            let mut next = value;
+            if let Some(p) = &prefix {
+                let mine = next;
+                next = p.clone();
+                op(&mut next, &mine);
+            }
+            let w = comm.world_rank(me + 1);
+            let req = self.isend_tagged(w, tag, bytes, Box::new(next));
+            self.wait_send(req);
+        }
+        prefix
+    }
+
+    /// Sparse personalized all-to-all: each rank supplies `(dest, bytes,
+    /// payload)` triples; returns everything addressed to it as
+    /// `(src, payload)` pairs, in arrival (FCFS) order. The message
+    /// *counts* are agreed with an allreduce first (the standard
+    /// sparse-alltoall metadata exchange), so its cost includes the
+    /// synchronizing collective the paper's reference codes pay.
+    pub fn alltoallv_sparse<T: Send + 'static>(
+        &mut self,
+        comm: &Comm,
+        sends: Vec<(usize, u64, T)>,
+    ) -> Vec<(usize, T)> {
+        let tag = self.coll_ext_tag(comm);
+        let n = comm.size();
+        let me = comm.rank_of(self.world_rank()).expect("member");
+        // Count vector: how many messages each member will receive.
+        let mut counts = vec![0u64; n];
+        for (dest, _, _) in &sends {
+            assert!(*dest < n, "alltoallv destination out of range");
+            counts[*dest] += 1;
+        }
+        let totals = self.allreduce(comm, 8 * n as u64, counts, |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        });
+        let expect = totals[me];
+        let mut reqs = Vec::new();
+        for (dest, bytes, payload) in sends {
+            reqs.push(self.isend_tagged(comm.world_rank(dest), tag, bytes, Box::new(payload)));
+        }
+        let mut out = Vec::with_capacity(expect as usize);
+        for _ in 0..expect {
+            let (v, info) = self.recv_tagged::<T>(Src::Any, tag);
+            let src = comm.rank_of(info.src).expect("sender is a member");
+            out.push((src, v));
+        }
+        self.wait_send_all(reqs);
+        out
+    }
+
+    /// Complete whichever of the given receive requests matches first
+    /// (by message availability), returning `(index, payload, info)`.
+    pub fn waitany<T: Send + 'static>(
+        &mut self,
+        reqs: &[crate::rank::RecvReq],
+    ) -> (usize, T, crate::msg::MsgInfo) {
+        assert!(!reqs.is_empty(), "waitany needs at least one request");
+        loop {
+            for (i, r) in reqs.iter().enumerate() {
+                if let Some((v, info)) = self.try_recv_req::<T>(r) {
+                    return (i, v, info);
+                }
+            }
+            // Nothing ready: block until the mailbox changes, then rescan.
+            self.park_on_mailbox();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::world::World;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn ideal() -> World {
+        World::new(MachineConfig::ideal())
+    }
+
+    #[test]
+    fn sendrecv_ring_rotates_values() {
+        ideal().run_expect(5, |rank| {
+            let n = rank.world_size();
+            let me = rank.world_rank();
+            let right = (me + 1) % n;
+            let left = (me + n - 1) % n;
+            let got = rank.sendrecv(right, left, 3, 8, me);
+            assert_eq!(got, left);
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_in_rank_order() {
+        for root in [0usize, 2, 5] {
+            ideal().run_expect(6, move |rank| {
+                let comm = rank.comm_world();
+                let items = if rank.world_rank() == root {
+                    Some((0..6).map(|i| i * 100).collect())
+                } else {
+                    None
+                };
+                let mine = rank.scatter(&comm, root, 8, items);
+                assert_eq!(mine, rank.world_rank() * 100);
+            });
+        }
+    }
+
+    #[test]
+    fn gather_is_the_inverse_of_scatter() {
+        ideal().run_expect(4, |rank| {
+            let comm = rank.comm_world();
+            let items = if rank.world_rank() == 1 {
+                Some(vec!["a", "b", "c", "d"])
+            } else {
+                None
+            };
+            let mine = rank.scatter(&comm, 1, 1, items);
+            let back = rank.gather(&comm, 1, 1, mine);
+            if rank.world_rank() == 1 {
+                assert_eq!(back.unwrap(), vec!["a", "b", "c", "d"]);
+            } else {
+                assert!(back.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn exscan_computes_exclusive_prefix_sums() {
+        ideal().run_expect(7, |rank| {
+            let comm = rank.comm_world();
+            let me = rank.world_rank() as u64;
+            let got = rank.exscan(&comm, 8, me + 1, |a, b| *a += b);
+            if me == 0 {
+                assert_eq!(got, None);
+            } else {
+                // Sum of (1..=me).
+                assert_eq!(got, Some(me * (me + 1) / 2));
+            }
+        });
+    }
+
+    #[test]
+    fn exscan_supports_noncommutative_ops() {
+        ideal().run_expect(4, |rank| {
+            let comm = rank.comm_world();
+            let me = rank.world_rank();
+            let s = format!("{me}");
+            let got = rank.exscan(&comm, 1, s, |a, b| a.push_str(b));
+            match me {
+                0 => assert_eq!(got, None),
+                1 => assert_eq!(got.as_deref(), Some("0")),
+                2 => assert_eq!(got.as_deref(), Some("01")),
+                _ => assert_eq!(got.as_deref(), Some("012")),
+            }
+        });
+    }
+
+    #[test]
+    fn alltoallv_sparse_delivers_exactly_the_addressed_messages() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g2 = got.clone();
+        ideal().run_expect(5, move |rank| {
+            let comm = rank.comm_world();
+            let me = rank.world_rank();
+            // Rank r sends r messages, to destinations r+1, r+2, ... (mod n).
+            let sends: Vec<(usize, u64, (usize, usize))> =
+                (0..me).map(|k| ((me + k + 1) % 5, 16, (me, k))).collect();
+            let recvd = rank.alltoallv_sparse(&comm, sends);
+            for (src, (from, k)) in recvd {
+                assert_eq!(src, from);
+                g2.lock().push((from, k, me));
+            }
+        });
+        let mut got = got.lock().clone();
+        got.sort_unstable();
+        // Total messages: 0+1+2+3+4 = 10, each unique.
+        assert_eq!(got.len(), 10);
+        got.dedup();
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn alltoallv_sparse_with_no_traffic_still_synchronizes() {
+        ideal().run_expect(3, |rank| {
+            let comm = rank.comm_world();
+            let recvd = rank.alltoallv_sparse::<u8>(&comm, Vec::new());
+            assert!(recvd.is_empty());
+        });
+    }
+
+    #[test]
+    fn waitany_returns_the_first_available_match() {
+        let world = World::new(MachineConfig {
+            noise: crate::config::NoiseModel::none(),
+            ..MachineConfig::default()
+        });
+        world.run_expect(3, |rank| {
+            match rank.world_rank() {
+                0 => {
+                    rank.compute_exact(5e-3); // late
+                    rank.send(2, 10, 8, 0u32);
+                }
+                1 => {
+                    rank.compute_exact(1e-3); // early
+                    rank.send(2, 11, 8, 1u32);
+                }
+                _ => {
+                    let reqs =
+                        vec![rank.irecv(Src::Rank(0), 10), rank.irecv(Src::Rank(1), 11)];
+                    let (idx, v, info) = rank.waitany::<u32>(&reqs);
+                    assert_eq!(idx, 1, "rank 1's message lands first");
+                    assert_eq!(v, 1);
+                    assert_eq!(info.src, 1);
+                    let (idx2, v2, _) = rank.waitany::<u32>(&reqs);
+                    assert_eq!((idx2, v2), (0, 0));
+                }
+            }
+        });
+    }
+}

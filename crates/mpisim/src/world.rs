@@ -1,0 +1,176 @@
+//! World construction: spawn `P` simulated ranks and run them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use desim::{Ctx, LinkClock, SimConfig, SimError, SimOutcome, Simulation};
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::config::MachineConfig;
+use crate::msg::Mailbox;
+use crate::rank::Rank;
+
+pub(crate) struct NicState {
+    pub tx: LinkClock,
+    pub rx: LinkClock,
+}
+
+/// State shared by every rank of a world.
+pub(crate) struct Shared {
+    pub config: MachineConfig,
+    pub nprocs: usize,
+    pub mailboxes: Vec<Mailbox>,
+    pub nics: Vec<Mutex<NicState>>,
+    pub comms: Mutex<Vec<Comm>>,
+    /// Rendezvous state for `Rank::split` operations, keyed by
+    /// `(parent_comm_id, seq)`.
+    pub splits: Mutex<HashMap<(u16, u32), SplitState>>,
+    pub msgs_sent: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    pub per_rank_msgs: Vec<AtomicU64>,
+    /// World-unique id source for stream channels (and other layered
+    /// libraries needing a tag namespace of their own).
+    pub channel_ids: AtomicU64,
+}
+
+pub(crate) struct SplitState {
+    /// (color, key, world_rank) deposited by each arrived member.
+    pub entries: Vec<(i64, i64, usize)>,
+    /// pids waiting for the split to complete.
+    pub waiters: Vec<desim::Pid>,
+    /// Latest arrival time, for the synchronization release.
+    pub last_arrival: desim::SimTime,
+    /// Result: world_rank -> comm (None color yields no comm).
+    pub result: Option<HashMap<usize, Option<Comm>>>,
+    /// How many members have picked their result up (for GC).
+    pub picked: usize,
+}
+
+impl Shared {
+    pub fn register_comm(&self, ranks: Vec<usize>) -> Comm {
+        let mut comms = self.comms.lock();
+        let id = u16::try_from(comms.len()).expect("too many communicators");
+        let comm = Comm::new(id, ranks);
+        comms.push(comm.clone());
+        comm
+    }
+
+    pub fn world_comm(&self) -> Comm {
+        self.comms.lock()[0].clone()
+    }
+}
+
+/// Aggregate result of a world run.
+#[derive(Debug)]
+pub struct WorldOutcome {
+    /// The underlying simulation outcome (end time, per-proc stats, trace).
+    pub sim: SimOutcome,
+    /// Total point-to-point messages sent (including library-internal).
+    pub msgs_sent: u64,
+    /// Total modelled bytes sent.
+    pub bytes_sent: u64,
+    /// Messages sent per world rank.
+    pub per_rank_msgs: Vec<u64>,
+}
+
+impl WorldOutcome {
+    /// Virtual makespan of the run in seconds — the headline number every
+    /// figure in the paper reports.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.sim.end_time.as_secs_f64()
+    }
+}
+
+/// A simulated machine running one SPMD program on `P` ranks.
+pub struct World {
+    pub config: MachineConfig,
+    pub seed: u64,
+    pub trace: bool,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World { config: MachineConfig::default(), seed: 0xC0FFEE, trace: false }
+    }
+}
+
+impl World {
+    pub fn new(config: MachineConfig) -> Self {
+        World { config, ..World::default() }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Run `body` as an SPMD program on `nprocs` ranks and return the
+    /// outcome. The body receives a [`Rank`] handle; world rank and sizes
+    /// are available on it.
+    pub fn run<F>(&self, nprocs: usize, body: F) -> Result<WorldOutcome, SimError>
+    where
+        F: Fn(&mut Rank) + Send + Sync + 'static,
+    {
+        assert!(nprocs > 0, "world needs at least one rank");
+        let shared = Arc::new(Shared {
+            config: self.config.clone(),
+            nprocs,
+            mailboxes: (0..nprocs).map(|_| Mailbox::new()).collect(),
+            nics: (0..nprocs)
+                .map(|_| Mutex::new(NicState { tx: LinkClock::new(), rx: LinkClock::new() }))
+                .collect(),
+            comms: Mutex::new(Vec::new()),
+            splits: Mutex::new(HashMap::new()),
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            per_rank_msgs: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            channel_ids: AtomicU64::new(0),
+        });
+        // Communicator 0 is the world.
+        shared.register_comm((0..nprocs).collect());
+
+        let mut sim = Simulation::new(SimConfig {
+            seed: self.seed,
+            trace: self.trace,
+            ..SimConfig::default()
+        });
+        let body = Arc::new(body);
+        for r in 0..nprocs {
+            let shared = shared.clone();
+            let body = body.clone();
+            sim.spawn(format!("rank{r}"), move |ctx: &mut Ctx| {
+                let mut rank = Rank::new(ctx, shared, r);
+                body(&mut rank);
+            });
+        }
+        let sim_outcome = sim.run()?;
+        Ok(WorldOutcome {
+            sim: sim_outcome,
+            msgs_sent: shared.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: shared.bytes_sent.load(Ordering::Relaxed),
+            per_rank_msgs: shared
+                .per_rank_msgs
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        })
+    }
+
+    /// [`World::run`], panicking on simulation failure.
+    pub fn run_expect<F>(&self, nprocs: usize, body: F) -> WorldOutcome
+    where
+        F: Fn(&mut Rank) + Send + Sync + 'static,
+    {
+        match self.run(nprocs, body) {
+            Ok(o) => o,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}

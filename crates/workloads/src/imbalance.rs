@@ -1,0 +1,101 @@
+//! Workload-imbalance profiles and the expected synchronization penalty.
+//!
+//! The paper's performance model (Eq. 1) charges every staged execution an
+//! imbalance term `Tσ` — the expected time the fastest processes idle
+//! waiting for the slowest at a synchronization point. This module
+//! provides per-rank workload multipliers and an estimator of `Tσ`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::samplers::lognormal;
+
+/// How per-rank work varies around the mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Imbalance {
+    /// Perfectly regular work.
+    None,
+    /// Multiplicative log-normal spread with the given coefficient of
+    /// variation (mean 1).
+    LogNormal { cv: f64 },
+    /// A fixed fraction of ranks carries `factor`× the work (hotspots,
+    /// e.g. the mid-plane ranks of a particle code).
+    Hotspot { fraction: f64, factor: f64 },
+}
+
+impl Imbalance {
+    /// Deterministic multiplier for `rank` of `nranks` under `seed`.
+    pub fn factor(&self, seed: u64, rank: usize, nranks: usize) -> f64 {
+        match *self {
+            Imbalance::None => 1.0,
+            Imbalance::LogNormal { cv } => {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+                lognormal(1.0, cv, &mut rng)
+            }
+            Imbalance::Hotspot { fraction, factor } => {
+                let hot = ((nranks as f64) * fraction).ceil() as usize;
+                // Spread hot ranks evenly.
+                let stride = (nranks / hot.max(1)).max(1);
+                if rank % stride == 0 && rank / stride < hot {
+                    factor
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Monte-Carlo estimate of `Tσ` for `nranks` ranks with unit mean
+    /// work: `E[max_i w_i] − 1`.
+    pub fn t_sigma(&self, seed: u64, nranks: usize) -> f64 {
+        let max = (0..nranks)
+            .map(|r| self.factor(seed, r, nranks))
+            .fold(0.0f64, f64::max);
+        (max - 1.0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        assert_eq!(Imbalance::None.factor(1, 5, 64), 1.0);
+        assert_eq!(Imbalance::None.t_sigma(1, 64), 0.0);
+    }
+
+    #[test]
+    fn lognormal_factors_are_deterministic_and_spread() {
+        let im = Imbalance::LogNormal { cv: 0.3 };
+        let a = im.factor(7, 3, 64);
+        let b = im.factor(7, 3, 64);
+        let c = im.factor(7, 4, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Mean over many ranks ~ 1.
+        let mean: f64 =
+            (0..10_000).map(|r| im.factor(7, r, 10_000)).sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.02, "{mean}");
+    }
+
+    #[test]
+    fn t_sigma_grows_with_scale() {
+        let im = Imbalance::LogNormal { cv: 0.2 };
+        let small = im.t_sigma(3, 16);
+        let large = im.t_sigma(3, 4096);
+        assert!(
+            large > small,
+            "expected max of more draws to be larger: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn hotspot_marks_expected_count() {
+        let im = Imbalance::Hotspot { fraction: 0.25, factor: 4.0 };
+        let hot = (0..64).filter(|&r| im.factor(0, r, 64) > 1.0).count();
+        assert_eq!(hot, 16);
+        assert_eq!(im.t_sigma(0, 64), 3.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! GEM-like particle workload — stand-in for the paper's GEM magnetic
+//! reconnection challenge setup (Birn et al. 2001) used in the iPIC3D
+//! experiments.
+//!
+//! What Figures 7 and 8 need from the physics is:
+//!
+//! - a **skewed spatial distribution**: particles concentrate in a Harris
+//!   current sheet around the domain mid-plane, so ranks owning mid-plane
+//!   subdomains carry far more particles than edge ranks;
+//! - **dynamic migration**: particles drift and jitter every step, so the
+//!   set and number of boundary crossings changes unpredictably.
+//!
+//! The generator is deterministic per `(seed, rank)` and separates the
+//! *nominal* particle count (used by the timing model at paper scale) from
+//! the *actual* in-memory particles (kept small for big worlds).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::samplers::gaussian;
+
+/// One computational particle in the unit cube.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Particle {
+    pub pos: [f64; 3],
+    pub vel: [f64; 3],
+}
+
+/// Particle workload parameters.
+#[derive(Clone, Debug)]
+pub struct ParticleConfig {
+    pub seed: u64,
+    /// Harris sheet half-thickness (fraction of the domain); smaller =
+    /// more skew.
+    pub sheet_thickness: f64,
+    /// Thermal velocity (fraction of domain per unit time).
+    pub v_thermal: f64,
+    /// Drift velocity along x for sheet particles.
+    pub v_drift: f64,
+}
+
+impl Default for ParticleConfig {
+    fn default() -> Self {
+        ParticleConfig { seed: 0xBEEF, sheet_thickness: 0.1, v_thermal: 0.02, v_drift: 0.05 }
+    }
+}
+
+impl ParticleConfig {
+    /// Harris-sheet density profile over y ∈ [0, 1]:
+    /// `sech²((y − ½)/λ)`, normalised to ∫ = 1 by [`Self::density_cdf`].
+    pub fn density(&self, y: f64) -> f64 {
+        let t = (y - 0.5) / self.sheet_thickness;
+        let c = t.cosh();
+        1.0 / (c * c)
+    }
+
+    /// CDF of the sheet profile: `∫₀ʸ sech²((u-½)/λ) du`, normalised.
+    pub fn density_cdf(&self, y: f64) -> f64 {
+        let l = self.sheet_thickness;
+        let f = |v: f64| ((v - 0.5) / l).tanh();
+        (f(y) - f(0.0)) / (f(1.0) - f(0.0))
+    }
+
+    /// Inverse CDF (for sampling y positions).
+    pub fn density_quantile(&self, u: f64) -> f64 {
+        let l = self.sheet_thickness;
+        let f0 = ((0.0f64 - 0.5) / l).tanh();
+        let f1 = ((1.0f64 - 0.5) / l).tanh();
+        let t = f0 + u * (f1 - f0);
+        0.5 + l * t.atanh()
+    }
+
+    /// Expected fraction of all particles falling in `y ∈ [y0, y1)`.
+    pub fn mass_in(&self, y0: f64, y1: f64) -> f64 {
+        self.density_cdf(y1) - self.density_cdf(y0)
+    }
+
+    /// Number of particles owned by the subdomain `y ∈ [y0, y1)` of a run
+    /// with `total` particles (deterministic rounding; the `index` breaks
+    /// ties so global conservation holds when callers sum over a uniform
+    /// partition).
+    pub fn count_in(&self, total: u64, y0: f64, y1: f64) -> u64 {
+        (total as f64 * self.mass_in(y0, y1)).round() as u64
+    }
+
+    /// Generate the actual particles of the subdomain
+    /// `[x0,x1)×[y0,y1)×[z0,z1)` (unit cube coordinates), `n` of them,
+    /// deterministically for `(seed, rank)`.
+    pub fn generate(
+        &self,
+        rank: usize,
+        n: usize,
+        lo: [f64; 3],
+        hi: [f64; 3],
+    ) -> Vec<Particle> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (rank as u64).wrapping_mul(0x2545_F491));
+        let (u0, u1) = (self.density_cdf(lo[1]), self.density_cdf(hi[1]));
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(lo[0]..hi[0]);
+                let z = rng.gen_range(lo[2]..hi[2]);
+                // Sample y from the sheet profile restricted to [y0, y1).
+                let u = rng.gen_range(u0..u1.max(u0 + f64::EPSILON));
+                let y = self.density_quantile(u).clamp(lo[1], hi[1]);
+                // Drift is strongest inside the sheet.
+                let w = self.density(y);
+                let vel = [
+                    self.v_drift * w + self.v_thermal * gaussian(&mut rng),
+                    self.v_thermal * gaussian(&mut rng),
+                    self.v_thermal * gaussian(&mut rng),
+                ];
+                Particle { pos: [x, y, z], vel }
+            })
+            .collect()
+    }
+}
+
+/// Advance a particle by `dt` with periodic wrap in the unit cube and a
+/// velocity jitter re-draw (models scattering so migration stays
+/// unpredictable). Returns the new particle.
+pub fn advance(p: &Particle, dt: f64, cfg: &ParticleConfig, rng: &mut StdRng) -> Particle {
+    let mut pos = p.pos;
+    let mut vel = p.vel;
+    for d in 0..3 {
+        pos[d] = (pos[d] + vel[d] * dt).rem_euclid(1.0);
+        // Ornstein-Uhlenbeck-ish jitter keeping the velocity scale stable.
+        vel[d] = 0.9 * vel[d] + 0.1 * cfg.v_thermal * gaussian(rng);
+    }
+    // Re-apply sheet drift at the new location.
+    vel[0] += 0.1 * cfg.v_drift * cfg.density(pos[1]);
+    Particle { pos, vel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let cfg = ParticleConfig::default();
+        assert!((cfg.density_cdf(0.0)).abs() < 1e-12);
+        assert!((cfg.density_cdf(1.0) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in 1..=100 {
+            let y = i as f64 / 100.0;
+            let c = cfg.density_cdf(y);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let cfg = ParticleConfig::default();
+        for i in 1..20 {
+            let u = i as f64 / 20.0;
+            let y = cfg.density_quantile(u);
+            assert!((cfg.density_cdf(y) - u).abs() < 1e-9, "u={u}");
+        }
+    }
+
+    #[test]
+    fn mid_plane_subdomains_get_more_particles() {
+        let cfg = ParticleConfig::default();
+        let centre = cfg.count_in(1_000_000, 0.45, 0.55);
+        let edge = cfg.count_in(1_000_000, 0.0, 0.1);
+        assert!(
+            centre > edge * 5,
+            "sheet skew missing: centre {centre} vs edge {edge}"
+        );
+    }
+
+    #[test]
+    fn generated_particles_stay_in_their_subdomain() {
+        let cfg = ParticleConfig::default();
+        let lo = [0.25, 0.5, 0.0];
+        let hi = [0.5, 0.75, 0.25];
+        for p in cfg.generate(3, 500, lo, hi) {
+            for d in 0..3 {
+                assert!(p.pos[d] >= lo[d] && p.pos[d] <= hi[d], "{:?}", p.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_rank() {
+        let cfg = ParticleConfig::default();
+        let a = cfg.generate(7, 100, [0.0; 3], [1.0; 3]);
+        let b = cfg.generate(7, 100, [0.0; 3], [1.0; 3]);
+        let c = cfg.generate(8, 100, [0.0; 3], [1.0; 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn advance_wraps_periodically_and_moves() {
+        let cfg = ParticleConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Particle { pos: [0.99, 0.5, 0.5], vel: [0.5, 0.0, 0.0] };
+        let q = advance(&p, 0.1, &cfg, &mut rng);
+        assert!(q.pos[0] < 0.1, "should wrap, got {}", q.pos[0]);
+        assert!((0.0..1.0).contains(&q.pos[1]));
+    }
+
+    #[test]
+    fn counts_over_uniform_partition_conserve_total_approximately() {
+        let cfg = ParticleConfig::default();
+        let total = 10_000_000u64;
+        let slabs = 16;
+        let sum: u64 = (0..slabs)
+            .map(|i| {
+                cfg.count_in(total, i as f64 / slabs as f64, (i + 1) as f64 / slabs as f64)
+            })
+            .sum();
+        let err = (sum as i64 - total as i64).unsigned_abs();
+        assert!(err <= slabs, "rounding error {err} too large");
+    }
+}

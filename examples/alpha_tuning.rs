@@ -1,0 +1,49 @@
+//! Tuning the group fraction α: simulate a sweep, fit the performance
+//! model to it, and compare the model's recommended α with the measured
+//! optimum — the workflow §II-D and §III suggest for configuring a
+//! decoupled application.
+//!
+//! Run with: `cargo run --release --example alpha_tuning`
+
+use apps::analysis::{run_decoupled_analysis, run_reference, AnalysisConfig};
+use perfmodel::{Beta, Complexity, Scenario};
+
+fn main() {
+    const P: usize = 64;
+    let base = AnalysisConfig { steps: 40, secs_per_unit: 2e-9, ..AnalysisConfig::default() };
+
+    println!("workload-analysis app on {P} ranks; sweeping the decoupled group fraction\n");
+    let t_ref = run_reference(P, &base).outcome.elapsed_secs();
+    println!("conventional (3 collectives per step): {:.4} s", t_ref);
+
+    let mut best = (0usize, f64::INFINITY);
+    let mut sweep = Vec::new();
+    for every in [2usize, 4, 8, 16, 32] {
+        let cfg = AnalysisConfig { alpha_every: every, ..base.clone() };
+        let t = run_decoupled_analysis(P, &cfg).outcome.elapsed_secs();
+        println!("decoupled alpha = 1/{every:<2}: {t:.4} s  (speedup {:.2}x)", t_ref / t);
+        sweep.push((every, t));
+        if t < best.1 {
+            best = (every, t);
+        }
+    }
+
+    // Ask the analytic model the same question.
+    let scn = Scenario {
+        t_w0: 40.0 * 1500.0 * 2e-9, // steps x mean work x unit cost
+        t_w1: t_ref - 40.0 * 1500.0 * 2e-9,
+        complexity: Complexity::LogP, // collectives shrink with the group
+        t_sigma: 0.0,
+        data_d: 40 * (1 << 10),
+        overhead_o: 1e-6,
+        p: P,
+        beta: Beta::new(0.05, (1u64 << 20) as f64),
+        op1_optimization: 1.0,
+    };
+    let (alpha_star, t_star) = scn.optimal_alpha(1024.0);
+    println!(
+        "\nmeasured optimum: alpha = 1/{} ({:.4} s); model suggests alpha = {:.3} \
+         (predicted {:.4} s)",
+        best.0, best.1, alpha_star, t_star
+    );
+}

@@ -1,0 +1,127 @@
+//! Scaling-shape integration tests: small sweeps asserting the *relative*
+//! behaviours the paper reports (who wins, and that gaps widen with P) at
+//! CI-friendly scales. The full paper-scale sweeps live in the
+//! `bench-harness` figure binaries.
+
+use apps::cg::{run_blocking, run_nonblocking, CgConfig};
+use apps::mapreduce::{run_decoupled as mr_dec, run_reference as mr_ref, MapReduceConfig};
+use apps::pic::{run_comm_decoupled, run_comm_reference, run_io_decoupled, run_io_reference, IoMode, PicConfig};
+use workloads::CorpusConfig;
+
+/// Fig. 5 shape: the reference's reduce phase grows with P, so the
+/// decoupled advantage widens.
+#[test]
+fn mapreduce_gap_widens_with_scale() {
+    let cfg_at = |p: usize| MapReduceConfig {
+        wire_scale: 20_000.0,
+        corpus: CorpusConfig {
+            n_files: 4 * p, // weak scaling: corpus grows with P
+            vocab: 400,
+            tokens_per_gb: 1_500,
+            min_file_bytes: 8 << 20,
+            max_file_bytes: 32 << 20,
+            ..CorpusConfig::default()
+        },
+        chunk_tokens: 64,
+        alpha_every: 8,
+        ..MapReduceConfig::default()
+    };
+    let ratio_at = |p: usize| {
+        let cfg = cfg_at(p);
+        let r = mr_ref(p, &cfg).outcome.elapsed_secs();
+        let d = mr_dec(p, &cfg).outcome.elapsed_secs();
+        r / d
+    };
+    let small = ratio_at(16);
+    let large = ratio_at(64);
+    assert!(
+        large > small,
+        "speedup should widen with P: {small:.2}x at 16 vs {large:.2}x at 64"
+    );
+    assert!(large > 1.0, "decoupling must win at P=64, got {large:.2}x");
+}
+
+/// Fig. 6 shape: non-blocking beats blocking, and its advantage holds as
+/// P grows (overlap hides the halo latency).
+#[test]
+fn cg_nonblocking_beats_blocking_at_scale() {
+    let cfg = CgConfig { n_local: 6, iterations: 15, ..CgConfig::default() };
+    let tb = run_blocking(64, &cfg).outcome.elapsed_secs();
+    let tn = run_nonblocking(64, &cfg).outcome.elapsed_secs();
+    assert!(tn < tb, "non-blocking {tn} must beat blocking {tb} at P=64");
+}
+
+/// Fig. 7 shape: reference particle-communication time grows with P (the
+/// per-round collectives harvest the global per-step imbalance), the
+/// decoupled one stays flat-ish and wins at scale.
+#[test]
+fn pic_comm_reference_degrades_faster_than_decoupled() {
+    let cfg = PicConfig {
+        actual_per_rank: 48,
+        iterations: 4,
+        alpha_every: 16,
+        dt: 0.3,
+        ..PicConfig::default()
+    };
+    let ratio_at = |p: usize| {
+        let r = run_comm_reference(p, &cfg).op_secs;
+        let d = run_comm_decoupled(p, &cfg).op_secs;
+        r / d
+    };
+    let small = ratio_at(16);
+    let large = ratio_at(128);
+    assert!(
+        large > small * 0.9,
+        "reference should degrade at least as fast: {small:.2} vs {large:.2}"
+    );
+    assert!(large > 1.0, "decoupled must win at P=128 ({large:.2}x)");
+}
+
+/// Fig. 8 shape: at P=64, shared ≫ collective > decoupled.
+#[test]
+fn pic_io_ordering_matches_figure8() {
+    let cfg = PicConfig {
+        actual_per_rank: 48,
+        iterations: 2,
+        alpha_every: 8,
+        mover_flops_per_particle: 40.0,
+        dt: 0.2,
+        ..PicConfig::default()
+    };
+    // P = 128: past the decoupled-vs-collective crossover (~P=100 in our
+    // machine model; the paper sees it at 64).
+    let coll = run_io_reference(128, &cfg, IoMode::Collective).outcome.elapsed_secs();
+    let shared = run_io_reference(128, &cfg, IoMode::Shared).outcome.elapsed_secs();
+    let dec = run_io_decoupled(128, &cfg).outcome.elapsed_secs();
+    assert!(
+        shared > 2.0 * coll,
+        "shared writes should be far slower: {shared} vs {coll}"
+    );
+    assert!(dec < coll, "decoupled {dec} should beat collective {coll}");
+}
+
+/// The α sweep of Fig. 5: some interior α wins over both a very large and
+/// a very small decoupled group.
+#[test]
+fn mapreduce_alpha_sweep_has_useful_interior() {
+    let base = MapReduceConfig {
+        wire_scale: 20_000.0,
+        corpus: CorpusConfig {
+            n_files: 128,
+            vocab: 400,
+            tokens_per_gb: 1_500,
+            min_file_bytes: 8 << 20,
+            max_file_bytes: 32 << 20,
+            ..CorpusConfig::default()
+        },
+        chunk_tokens: 64,
+        ..MapReduceConfig::default()
+    };
+    let time_at = |every: usize| {
+        let cfg = MapReduceConfig { alpha_every: every, ..base.clone() };
+        mr_dec(64, &cfg).outcome.elapsed_secs()
+    };
+    let t2 = time_at(2); // half the machine decoupled: starves the map
+    let t8 = time_at(8);
+    assert!(t8 < t2, "alpha=1/8 ({t8}) should beat alpha=1/2 ({t2})");
+}
