@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: build, full test suite, and a fixed-range chaos smoke
+# sweep. Everything runs offline — dependencies are vendored under
+# `vendor/` and resolved through the workspace, so no network is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test suite =="
+cargo test -q --offline
+
+echo "== chaos smoke (25 seeds, fixed range) =="
+# A deterministic subset of the default 250-seed sweep; the fixed range
+# keeps the smoke run reproducible and fast. See crates/integration/
+# tests/chaos.rs and DESIGN.md §8.
+CHAOS_SEED_START=0 CHAOS_SEEDS=25 \
+    cargo test -q --offline -p integration --test chaos
+
+echo "== ci.sh: all green =="

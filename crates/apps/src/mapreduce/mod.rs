@@ -238,6 +238,7 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                 aggregation: 1,
                 credits: None,
                 route: mpistream::RoutePolicy::Static,
+                failure_timeout: None,
             },
         );
         // Channel 2: local reducers -> master (absent when solo).
@@ -258,6 +259,7 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                     aggregation: 1, // deliberately unaggregated (the paper)
                     credits: None,
                     route: mpistream::RoutePolicy::Static,
+                    failure_timeout: None,
                 },
             ))
         };

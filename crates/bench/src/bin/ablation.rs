@@ -31,6 +31,7 @@ fn pipeline_time(aggregation: usize, credits: Option<usize>, adaptive: bool) -> 
                     aggregation,
                     credits,
                     route: RoutePolicy::Static,
+                    failure_timeout: None,
                 },
                 move |rank, pc| {
                     let mut ctl = AdaptiveGranularity::new(200e-6, 1, 512);

@@ -1,6 +1,6 @@
 //! Stream channels: the communication fabric between decoupled groups.
 
-use mpisim::{Comm, Rank, Tag};
+use mpisim::{Comm, Rank, SimDuration, Tag};
 
 use crate::group::Role;
 
@@ -40,6 +40,14 @@ pub struct ChannelConfig {
     pub credits: Option<usize>,
     /// Default routing of `Stream::isend`.
     pub route: RoutePolicy,
+    /// Failure-detection timeout. `None` (the default) keeps the original
+    /// infallible protocol: endpoints wait forever and a crashed peer
+    /// deadlocks the stream. `Some(t)`: a consumer that hears nothing from
+    /// a still-open producer for `t` of virtual time declares it dead (see
+    /// [`crate::Stream::operate_outcome`]), and a producer whose credit
+    /// window stays exhausted for `t` declares the consumer dead and
+    /// re-routes (under [`RoutePolicy::RoundRobin`]) or drops elements.
+    pub failure_timeout: Option<SimDuration>,
 }
 
 impl Default for ChannelConfig {
@@ -49,6 +57,7 @@ impl Default for ChannelConfig {
             aggregation: 1,
             credits: None,
             route: RoutePolicy::Static,
+            failure_timeout: None,
         }
     }
 }

@@ -57,4 +57,4 @@ pub use channel::{ChannelConfig, RoutePolicy, StreamChannel};
 pub use group::{GroupSpec, Role};
 pub use harness::{run_decoupled, ConsumerCtx, ProducerCtx};
 pub use select::operate2;
-pub use stream::{Stream, StreamStats};
+pub use stream::{ProducerReport, ProducerState, Stream, StreamOutcome, StreamStats};

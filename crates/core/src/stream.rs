@@ -38,6 +38,77 @@ pub struct StreamStats {
     pub batches: u64,
     /// Modelled payload bytes moved.
     pub bytes: u64,
+    /// Elements abandoned producer-side because no live consumer could
+    /// accept them (their consumer was declared dead and the route policy
+    /// admits no alternative). Always `0` on fault-free runs.
+    pub lost: u64,
+}
+
+/// Terminal state of one producer as seen by a consumer endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProducerState {
+    /// The producer closed its flow cleanly with a `Term` marker.
+    Terminated,
+    /// The producer went silent past the channel's `failure_timeout` and
+    /// was declared dead by the consumer's failure detector.
+    Dead,
+}
+
+/// Per-producer accounting inside a [`StreamOutcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProducerReport {
+    /// World rank of the producer.
+    pub rank: usize,
+    /// Elements from this producer actually processed by this consumer.
+    pub delivered: u64,
+    /// Elements the producer claims to have sent us (the `Term` payload);
+    /// `None` when it died before terminating, so its claim is unknown.
+    pub claimed: Option<u64>,
+    /// How this producer's flow ended.
+    pub state: ProducerState,
+}
+
+impl ProducerReport {
+    /// Elements known to be lost from this producer: claimed by its `Term`
+    /// but never delivered (link drops). `0` when the producer died without
+    /// terminating — its claim is unknown, not zero.
+    pub fn lost(&self) -> u64 {
+        self.claimed.map_or(0, |c| c.saturating_sub(self.delivered))
+    }
+}
+
+/// Result of a fault-tolerant drain ([`Stream::operate_outcome`]): how many
+/// elements were processed and what became of each producer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Total elements processed, over all producers.
+    pub processed: u64,
+    /// One report per producer, in channel (sorted world-rank) order.
+    pub producers: Vec<ProducerReport>,
+}
+
+impl StreamOutcome {
+    /// Whether every producer closed cleanly and every claimed element was
+    /// delivered — i.e. the run was indistinguishable from fault-free.
+    pub fn complete(&self) -> bool {
+        self.producers
+            .iter()
+            .all(|p| p.state == ProducerState::Terminated && p.lost() == 0)
+    }
+
+    /// World ranks of the producers declared dead.
+    pub fn dead(&self) -> Vec<usize> {
+        self.producers
+            .iter()
+            .filter(|p| p.state == ProducerState::Dead)
+            .map(|p| p.rank)
+            .collect()
+    }
+
+    /// Total elements known lost (claimed by a `Term` but not delivered).
+    pub fn lost(&self) -> u64 {
+        self.producers.iter().map(|p| p.lost()).sum()
+    }
 }
 
 /// One endpoint of a stream over a [`StreamChannel`].
@@ -56,9 +127,15 @@ pub struct Stream<T> {
     outstanding: Vec<u64>,
     /// Elements sent per consumer index (for Term accounting).
     sent_per_consumer: Vec<u64>,
+    /// Consumer indices this producer declared dead (credit silence past
+    /// the channel's `failure_timeout`).
+    dead_consumers: Vec<bool>,
     terminated: bool,
     // --- consumer state ---
     terms_seen: usize,
+    /// World ranks of producers this consumer declared dead
+    /// (see [`Stream::operate_outcome`]).
+    dead_producers: Vec<usize>,
     /// Total elements producers claim to have sent us (sum of Terms).
     claimed: u64,
     /// Elements received but not yet handed out by [`Stream::recv_one`].
@@ -77,8 +154,10 @@ impl<T: Send + 'static> Stream<T> {
             rr_next: 0,
             outstanding: vec![0; nc],
             sent_per_consumer: vec![0; nc],
+            dead_consumers: vec![false; nc],
             terminated: false,
             terms_seen: 0,
+            dead_producers: Vec::new(),
             claimed: 0,
             pending: std::collections::VecDeque::new(),
             stats: StreamStats::default(),
@@ -160,30 +239,94 @@ impl<T: Send + 'static> Stream<T> {
     fn flush_one(&mut self, rank: &mut Rank, consumer: usize) {
         let batch = std::mem::take(&mut self.agg[consumer]);
         debug_assert!(!batch.is_empty());
-        let n = batch.len() as u64;
-        // Credit window: block until the consumer has drained enough.
-        if let Some(window) = self.channel.config.credits {
-            while self.outstanding[consumer] + n > window as u64 {
-                self.absorb_credit(rank, consumer);
-            }
-        }
-        let bytes = n * self.channel.config.element_bytes;
-        let dst = self.channel.consumers[consumer];
-        let tag = self.channel.data_tag();
-        let req = rank.isend_t(dst, tag, bytes, Wire::Data(batch));
-        rank.wait_send(req);
-        self.outstanding[consumer] += n;
-        self.sent_per_consumer[consumer] += n;
-        self.stats.elements += n;
-        self.stats.batches += 1;
-        self.stats.bytes += bytes;
+        self.send_batch(rank, consumer, batch);
     }
 
-    /// Blockingly consume one credit message for `consumer`.
-    fn absorb_credit(&mut self, rank: &mut Rank, consumer: usize) {
+    /// Deliver one batch to `consumer`, re-routing it if the consumer is —
+    /// or is discovered mid-wait to be — dead. [`RoutePolicy::RoundRobin`]
+    /// re-routes to the next live consumer; under [`RoutePolicy::Static`]
+    /// (and keyed routing) elements are pinned to their consumer, so they
+    /// are dropped and counted in [`StreamStats::lost`].
+    fn send_batch(&mut self, rank: &mut Rank, mut consumer: usize, batch: Vec<T>) {
+        let n = batch.len() as u64;
+        loop {
+            if self.dead_consumers[consumer] {
+                match self.reroute_from(consumer) {
+                    Some(c) => consumer = c,
+                    None => {
+                        self.stats.lost += n;
+                        return;
+                    }
+                }
+            }
+            // Credit window: block until the consumer has drained enough —
+            // or, with a failure timeout, until it is declared dead.
+            if let Some(window) = self.channel.config.credits {
+                let mut died = false;
+                while self.outstanding[consumer] + n > window as u64 {
+                    if !self.absorb_credit(rank, consumer) {
+                        self.declare_consumer_dead(consumer);
+                        died = true;
+                        break;
+                    }
+                }
+                if died {
+                    continue;
+                }
+            }
+            let bytes = n * self.channel.config.element_bytes;
+            let dst = self.channel.consumers[consumer];
+            let tag = self.channel.data_tag();
+            let req = rank.isend_t(dst, tag, bytes, Wire::Data(batch));
+            rank.wait_send(req);
+            self.outstanding[consumer] += n;
+            self.sent_per_consumer[consumer] += n;
+            self.stats.elements += n;
+            self.stats.batches += 1;
+            self.stats.bytes += bytes;
+            return;
+        }
+    }
+
+    /// The consumer index that takes over from dead `consumer`, if the
+    /// route policy admits one.
+    fn reroute_from(&self, consumer: usize) -> Option<usize> {
+        match self.channel.config.route {
+            RoutePolicy::RoundRobin => {
+                let nc = self.channel.consumers.len();
+                (1..nc)
+                    .map(|d| (consumer + d) % nc)
+                    .find(|&c| !self.dead_consumers[c])
+            }
+            RoutePolicy::Static => None,
+        }
+    }
+
+    /// Failure-detection verdict on a consumer: stop waiting on it and
+    /// reclaim its credit window so no later send can block on it either.
+    fn declare_consumer_dead(&mut self, consumer: usize) {
+        self.dead_consumers[consumer] = true;
+        self.outstanding[consumer] = 0;
+    }
+
+    /// Blockingly consume one credit message for `consumer`. With a
+    /// `failure_timeout` configured the wait is bounded: `false` means the
+    /// consumer stayed silent past the timeout.
+    fn absorb_credit(&mut self, rank: &mut Rank, consumer: usize) -> bool {
         let src = self.channel.consumers[consumer];
-        let (acked, _) = rank.recv_t::<u64>(Src::Rank(src), self.channel.credit_tag());
+        let tag = self.channel.credit_tag();
+        let acked = match self.channel.config.failure_timeout {
+            None => rank.recv_t::<u64>(Src::Rank(src), tag).0,
+            Some(t) => {
+                let deadline = rank.now() + t;
+                match rank.recv_t_deadline::<u64>(Src::Rank(src), tag, deadline) {
+                    Some((acked, _)) => acked,
+                    None => return false,
+                }
+            }
+        };
         self.outstanding[consumer] = self.outstanding[consumer].saturating_sub(acked);
+        true
     }
 
     /// Opportunistically drain any credits that have already arrived
@@ -214,6 +357,11 @@ impl<T: Send + 'static> Stream<T> {
         self.flush(rank);
         let tag = self.channel.data_tag();
         for (c, &dst) in self.channel.consumers.clone().iter().enumerate() {
+            // A consumer declared dead gets no Term: its traffic was
+            // re-routed (or dropped) and nobody is listening there.
+            if self.dead_consumers[c] {
+                continue;
+            }
             let sent = self.sent_per_consumer[c];
             rank.send_t(dst, tag, 16, Wire::<T>::Term { sent });
         }
@@ -251,6 +399,136 @@ impl<T: Send + 'static> Stream<T> {
             "conservation: processed must equal producers' claimed total"
         );
         processed
+    }
+
+    /// Fault-tolerant [`Stream::operate`]: apply `op` to every arriving
+    /// element (FCFS across producers) until every producer has either
+    /// terminated or been declared dead, and return a [`StreamOutcome`]
+    /// with per-producer delivered/claimed accounting instead of hanging
+    /// on a `Term` that will never come.
+    ///
+    /// Failure detection requires `config.failure_timeout = Some(t)`: a
+    /// producer that has not yet terminated and from which nothing has
+    /// arrived for `2t` of virtual time is declared [`ProducerState::Dead`]
+    /// and its claim on the stream is discarded. The patience is twice the
+    /// producer-side credit-wait timeout deliberately — a producer stalled
+    /// up to `t` while it convicts a dead consumer of its own must not be
+    /// convicted in turn by the surviving consumers. The verdict
+    /// self-heals — if a declared-dead producer's message does arrive
+    /// later (an extreme delay spike rather than a crash) while the drain
+    /// is still running, the message is processed and the producer is
+    /// live again.
+    ///
+    /// With `failure_timeout = None` this behaves exactly like `operate`,
+    /// plus reporting. Must be the endpoint's only draining call — mixing
+    /// with `operate`/`recv_one` would consume `Term`s this method can no
+    /// longer attribute.
+    pub fn operate_outcome(
+        &mut self,
+        rank: &mut Rank,
+        mut op: impl FnMut(&mut Rank, T),
+    ) -> StreamOutcome {
+        assert_eq!(self.channel.my_role, Role::Consumer, "operate on a non-consumer endpoint");
+        assert_eq!(
+            self.terms_seen, 0,
+            "operate_outcome must be the endpoint's only draining call"
+        );
+        let producers = self.channel.producers.clone();
+        let np = producers.len();
+        // Consumer patience is 2x the configured timeout (see rustdoc).
+        let timeout = self.channel.config.failure_timeout.map(|t| t + t);
+        let mut delivered = vec![0u64; np];
+        let mut claimed: Vec<Option<u64>> = vec![None; np];
+        let mut dead = vec![false; np];
+        let mut terminated = vec![false; np];
+        let mut last_heard = vec![rank.now(); np];
+        let mut processed = 0u64;
+        // Elements a prior `recv_one` pulled but never handed out can no
+        // longer be attributed to a producer; they only count in the total.
+        while let Some(elem) = self.pending.pop_front() {
+            op(rank, elem);
+            processed += 1;
+        }
+        let tag = self.channel.data_tag();
+        loop {
+            if terminated.iter().zip(&dead).all(|(&t, &d)| t || d) {
+                break;
+            }
+            let got = match timeout {
+                None => Some(rank.recv_t::<Wire<T>>(Src::Any, tag)),
+                Some(t) => {
+                    // The earliest instant any open producer's silence
+                    // exceeds the timeout.
+                    let deadline = (0..np)
+                        .filter(|&i| !terminated[i] && !dead[i])
+                        .map(|i| last_heard[i] + t)
+                        .min()
+                        .expect("at least one producer is open");
+                    rank.recv_t_deadline::<Wire<T>>(Src::Any, tag, deadline)
+                }
+            };
+            match got {
+                Some((wire, info)) => {
+                    let pi = producers
+                        .iter()
+                        .position(|&w| w == info.src)
+                        .expect("stream data from a channel producer");
+                    last_heard[pi] = rank.now();
+                    dead[pi] = false; // self-heal: it spoke after the verdict
+                    match wire {
+                        Wire::Data(batch) => {
+                            let n = batch.len() as u64;
+                            self.stats.elements += n;
+                            self.stats.batches += 1;
+                            self.stats.bytes += info.bytes;
+                            delivered[pi] += n;
+                            processed += n;
+                            for elem in batch {
+                                op(rank, elem);
+                            }
+                            if self.channel.config.credits.is_some() {
+                                rank.send_t(info.src, self.channel.credit_tag(), 8, n);
+                            }
+                        }
+                        Wire::Term { sent } => {
+                            self.terms_seen += 1;
+                            self.claimed += sent;
+                            terminated[pi] = true;
+                            claimed[pi] = Some(sent);
+                        }
+                    }
+                }
+                None => {
+                    // Deadline passed with nothing deliverable: declare
+                    // every producer silent past the timeout dead and
+                    // reclaim its claim on this endpoint.
+                    let t = timeout.expect("deadline implies a timeout");
+                    let now = rank.now();
+                    for i in 0..np {
+                        if !terminated[i] && !dead[i] && last_heard[i] + t <= now {
+                            dead[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.dead_producers =
+            (0..np).filter(|&i| dead[i]).map(|i| producers[i]).collect();
+        StreamOutcome {
+            processed,
+            producers: (0..np)
+                .map(|i| ProducerReport {
+                    rank: producers[i],
+                    delivered: delivered[i],
+                    claimed: claimed[i],
+                    state: if dead[i] {
+                        ProducerState::Dead
+                    } else {
+                        ProducerState::Terminated
+                    },
+                })
+                .collect(),
+        }
     }
 
     /// Process arriving elements while `running` stays true (for consumers
@@ -296,9 +574,10 @@ impl<T: Send + 'static> Stream<T> {
         }
     }
 
-    /// Whether every producer has signalled termination.
+    /// Whether every producer has signalled termination (or, after a
+    /// fault-tolerant drain, been declared dead).
     pub fn all_terminated(&self) -> bool {
-        self.terms_seen >= self.channel.producers.len()
+        self.terms_seen + self.dead_producers.len() >= self.channel.producers.len()
     }
 
     /// Release the endpoint (`MPIStream_FreeChannel`): consumes the
@@ -328,10 +607,14 @@ impl<T: Send + 'static> Stream<T> {
                     "free() with {} undelivered elements",
                     self.pending.len()
                 );
-                assert_eq!(
-                    self.stats.elements, self.claimed,
-                    "free() with unconsumed claimed elements"
-                );
+                // Conservation only holds when no producer died: a dead
+                // producer's claim is unknown and its data may be short.
+                if self.dead_producers.is_empty() {
+                    assert_eq!(
+                        self.stats.elements, self.claimed,
+                        "free() with unconsumed claimed elements"
+                    );
+                }
             }
             Role::Bystander => {}
         }

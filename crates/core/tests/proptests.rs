@@ -3,8 +3,10 @@
 
 use std::sync::Arc;
 
-use mpisim::{MachineConfig, World};
-use mpistream::{ChannelConfig, GroupSpec, Role, RoutePolicy, Stream, StreamChannel};
+use mpisim::{FaultPlan, MachineConfig, SimDuration, World};
+use mpistream::{
+    ChannelConfig, GroupSpec, Role, RoutePolicy, Stream, StreamChannel, StreamStats,
+};
 use parking_lot::Mutex;
 use proptest::prelude::*;
 
@@ -46,6 +48,7 @@ proptest! {
                     aggregation,
                     credits,
                     route,
+                    failure_timeout: None,
                 },
             );
             let mut stream: Stream<(usize, u32)> = Stream::attach(ch);
@@ -120,6 +123,71 @@ proptest! {
         for k in keys.iter() {
             prop_assert!(owner.contains_key(k));
         }
+    }
+
+    /// An *empty* fault plan is inert: attaching one (whatever its seed)
+    /// and arming a failure timeout must leave every endpoint's
+    /// `StreamStats` byte-identical to a run without the fault layer, over
+    /// random stream shapes. The fault machinery may only change behaviour
+    /// when a fault actually fires.
+    #[test]
+    fn fault_free_plan_leaves_stream_stats_identical(
+        every in 2usize..6,
+        blocks in 1usize..4,
+        per_producer in 0usize..60,
+        aggregation in 1usize..9,
+        plan_seed in any::<u64>(),
+        with_timeout in any::<bool>(),
+    ) {
+        let nprocs = every * blocks;
+        let run = |plan: Option<FaultPlan>, timeout: Option<SimDuration>| {
+            let stats: Arc<Mutex<Vec<(usize, StreamStats)>>> =
+                Arc::new(Mutex::new(Vec::new()));
+            let st = stats.clone();
+            let mut world = World::new(MachineConfig::default()).with_seed(99);
+            if let Some(p) = plan {
+                world = world.with_fault_plan(p);
+            }
+            world.run_expect(nprocs, move |rank| {
+                let comm = rank.comm_world();
+                let spec = GroupSpec { every };
+                let role = spec.role_of(rank.world_rank());
+                let ch = StreamChannel::create(
+                    rank,
+                    &comm,
+                    role,
+                    ChannelConfig {
+                        element_bytes: 1 << 10,
+                        aggregation,
+                        credits: Some(64),
+                        route: RoutePolicy::Static,
+                        failure_timeout: timeout,
+                    },
+                );
+                let mut stream: Stream<u64> = Stream::attach(ch);
+                match role {
+                    Role::Producer => {
+                        for i in 0..per_producer {
+                            rank.compute(1e-6);
+                            stream.isend(rank, i as u64);
+                        }
+                        stream.terminate(rank);
+                    }
+                    Role::Consumer => {
+                        stream.operate(rank, |_, _| {});
+                    }
+                    Role::Bystander => unreachable!(),
+                }
+                st.lock().push((rank.world_rank(), stream.stats()));
+            });
+            let mut v = stats.lock().clone();
+            v.sort_unstable_by_key(|&(r, _)| r);
+            v
+        };
+        let timeout = if with_timeout { Some(SimDuration::from_secs(1)) } else { None };
+        let bare = run(None, None);
+        let planned = run(Some(FaultPlan::new(plan_seed)), timeout);
+        prop_assert_eq!(bare, planned, "empty FaultPlan (seed {}) perturbed stats", plan_seed);
     }
 
     /// The group split is a partition consistent with `role_of`, for any

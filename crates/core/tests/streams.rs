@@ -574,3 +574,115 @@ fn free_rejects_unterminated_producer() {
         }
     });
 }
+
+// ---------------------------------------------------------------------
+// Termination edge cases
+// ---------------------------------------------------------------------
+
+/// Producers that never inject a single element still close the stream
+/// cleanly: the consumer's operate returns 0 without hanging, every Term
+/// claims zero, and free() accepts both ends.
+#[test]
+fn zero_element_producers_terminate_cleanly() {
+    ideal().run_expect(3, |rank| {
+        let comm = rank.comm_world();
+        let role = if rank.world_rank() < 2 { Role::Producer } else { Role::Consumer };
+        let ch = StreamChannel::create(rank, &comm, role, ChannelConfig::default());
+        let mut s: Stream<u64> = Stream::attach(ch);
+        match role {
+            Role::Producer => {
+                s.terminate(rank);
+                assert_eq!(s.stats().elements, 0);
+                assert_eq!(s.stats().batches, 0);
+                s.free(rank);
+            }
+            Role::Consumer => {
+                let n = s.operate(rank, |_, _| panic!("no elements were sent"));
+                assert_eq!(n, 0);
+                assert!(s.all_terminated());
+                s.free(rank);
+            }
+            Role::Bystander => unreachable!(),
+        }
+    });
+}
+
+/// One producer terminates immediately (before sending anything) while
+/// the other streams normally: the early Term must not confuse the
+/// consumer's accounting.
+#[test]
+fn producer_terminating_before_sending_is_clean() {
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let g = got.clone();
+    ideal().run_expect(3, move |rank| {
+        let comm = rank.comm_world();
+        let role = if rank.world_rank() < 2 { Role::Producer } else { Role::Consumer };
+        let ch = StreamChannel::create(rank, &comm, role, ChannelConfig::default());
+        let mut s: Stream<u32> = Stream::attach(ch);
+        match role {
+            Role::Producer => {
+                if rank.world_rank() == 0 {
+                    // Quit on the spot, before any isend.
+                    s.terminate(rank);
+                } else {
+                    for i in 0..30u32 {
+                        rank.compute_exact(1e-6);
+                        s.isend(rank, i);
+                    }
+                    s.terminate(rank);
+                }
+                s.free(rank);
+            }
+            Role::Consumer => {
+                let g = g.clone();
+                let n = s.operate(rank, move |_, v| g.lock().push(v));
+                assert_eq!(n, 30);
+                s.free(rank);
+            }
+            Role::Bystander => unreachable!(),
+        }
+    });
+    let mut v = got.lock().clone();
+    v.sort_unstable();
+    assert_eq!(v, (0..30).collect::<Vec<_>>());
+}
+
+/// terminate() is idempotent: a second call is a no-op — no duplicate
+/// Term on the wire, no stats movement — and the consumer's accounting
+/// stays exact.
+#[test]
+fn double_terminate_is_idempotent() {
+    ideal().run_expect(2, |rank| {
+        let comm = rank.comm_world();
+        let spec = GroupSpec { every: 2 };
+        let role = spec.role_of(rank.world_rank());
+        let ch = StreamChannel::create(rank, &comm, role, ChannelConfig::default());
+        let mut s: Stream<u8> = Stream::attach(ch);
+        match role {
+            Role::Producer => {
+                for i in 0..5u8 {
+                    s.isend(rank, i);
+                }
+                s.terminate(rank);
+                assert!(s.is_terminated());
+                let stats = s.stats();
+                let t = rank.now();
+                s.terminate(rank); // idempotent no-op
+                assert_eq!(s.stats(), stats, "second terminate must not move stats");
+                assert_eq!(rank.now(), t, "second terminate must not spend time");
+                s.free(rank);
+            }
+            Role::Consumer => {
+                let n = s.operate(rank, |_, _| {});
+                assert_eq!(n, 5);
+                // Exactly one Term was consumed; a duplicate would leave
+                // terms_seen past the producer count or traffic behind.
+                assert!(s.all_terminated());
+                let (extra, progressed) = s.try_step(rank, |_, _| {});
+                assert_eq!((extra, progressed), (0, false), "no duplicate Term on the wire");
+                s.free(rank);
+            }
+            Role::Bystander => unreachable!(),
+        }
+    });
+}

@@ -1,0 +1,389 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a *seeded, declarative schedule* of failures for one
+//! simulation run: process kills at a virtual time, pause/resume windows,
+//! and per-link message faults (delay spikes and probabilistic drops).
+//! Because the plan is data — and every probabilistic decision is a pure
+//! hash of `(plan seed, link, message sequence)` — a run with a given
+//! `(SimConfig, FaultPlan)` is exactly reproducible, which is what makes
+//! seeded chaos testing (à la deterministic simulation testing) possible.
+//!
+//! The pieces plug in at three levels:
+//!
+//! - **Kills and pauses** are executed by the kernel: `Simulation::run`
+//!   spawns a hidden `fault-injector` process that calls [`Kernel::kill`]
+//!   at each kill time, and the scheduler defers events that fall inside a
+//!   pause window. Killed processes unwind cleanly and are reported in
+//!   [`SimOutcome::killed`](crate::SimOutcome::killed).
+//! - **Link faults** are *queried* by messaging layers built on top (the
+//!   `mpisim` crate): at send time the sender asks
+//!   [`FaultPlan::link_disposition`] whether this particular message is
+//!   delivered late or dropped.
+//! - **Trace spans** tagged `"fault-kill"` / `"fault-pause"` are recorded
+//!   on the victim's timeline when tracing is enabled.
+//!
+//! An empty plan (the default) injects nothing and adds no overhead: no
+//! injector process is spawned and no per-message checks run.
+//!
+//! [`Kernel::kill`]: crate::Kernel::kill
+
+use crate::kernel::Pid;
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled message fault on the directed link `src -> dst`.
+///
+/// While virtual time is inside `[from, until)`, every message injected on
+/// the link has `extra_delay` added to its delivery time and is dropped
+/// with probability `drop_prob`. Drop decisions are a pure function of the
+/// plan seed and the message's per-link sequence number, so they do not
+/// depend on evaluation order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Sending process.
+    pub src: Pid,
+    /// Receiving process.
+    pub dst: Pid,
+    /// Start of the fault window (inclusive).
+    pub from: SimTime,
+    /// End of the fault window (exclusive). Defaults to "forever".
+    pub until: SimTime,
+    /// Added to the delivery time of every affected message.
+    pub extra_delay: SimDuration,
+    /// Probability in `[0, 1]` that an affected message is silently lost.
+    pub drop_prob: f64,
+}
+
+impl LinkFault {
+    /// A fault on `src -> dst` that covers the whole run and, until
+    /// configured further, has no effect.
+    pub fn new(src: Pid, dst: Pid) -> Self {
+        LinkFault {
+            src,
+            dst,
+            from: SimTime::ZERO,
+            until: SimTime(u64::MAX),
+            extra_delay: SimDuration::ZERO,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Restrict the fault to `[from, until)`.
+    pub fn window(mut self, from: SimTime, until: SimTime) -> Self {
+        assert!(from <= until, "LinkFault window ends before it starts");
+        self.from = from;
+        self.until = until;
+        self
+    }
+
+    /// Delay every affected message by an extra `d`.
+    pub fn delay(mut self, d: SimDuration) -> Self {
+        self.extra_delay = d;
+        self
+    }
+
+    /// Drop each affected message independently with probability `p`.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0, 1]");
+        self.drop_prob = p;
+        self
+    }
+}
+
+/// What the fault layer decided for one message on one link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkDisposition {
+    /// Deliver the message, `extra` later than the fault-free time.
+    Deliver {
+        /// Additional delay on top of the modelled delivery time.
+        extra: SimDuration,
+    },
+    /// Silently lose the message.
+    Drop,
+}
+
+/// One timed entry of a plan's process-fault schedule (kills and pause
+/// starts), in firing order. Produced by [`FaultPlan::timeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultAction {
+    /// Virtual time at which the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The kind of a [`FaultAction`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Kill process `pid`: it unwinds at its next scheduling point and is
+    /// reported in `SimOutcome::killed`.
+    Kill(Pid),
+    /// Pause process `pid` until `until`: events addressed to it inside
+    /// the window are deferred to the window's end.
+    Pause {
+        /// The paused process.
+        pid: Pid,
+        /// When it resumes.
+        until: SimTime,
+    },
+}
+
+/// A seeded, declarative failure schedule for one simulation run.
+///
+/// Build one with the fluent methods, hand it to
+/// [`SimConfig::fault_plan`](crate::SimConfig), and the kernel plus any
+/// fault-aware messaging layer on top do the rest. See the
+/// [module docs](self) for the execution model.
+///
+/// ```
+/// use desim::{FaultPlan, LinkFault, SimTime, SimDuration};
+///
+/// let plan = FaultPlan::new(42)
+///     .kill(3, SimTime(5_000_000))
+///     .pause(1, SimTime(1_000), SimDuration::from_micros(50))
+///     .link(LinkFault::new(0, 2).drop_prob(0.1));
+/// assert!(plan.has_process_faults() && plan.has_link_faults());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    kills: Vec<(Pid, SimTime)>,
+    pauses: Vec<(Pid, SimTime, SimDuration)>,
+    links: Vec<LinkFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose probabilistic decisions (message drops) will be
+    /// derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, kills: Vec::new(), pauses: Vec::new(), links: Vec::new() }
+    }
+
+    /// The seed all probabilistic fault decisions derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Kill process `pid` at virtual time `at`.
+    pub fn kill(mut self, pid: Pid, at: SimTime) -> Self {
+        self.kills.push((pid, at));
+        self
+    }
+
+    /// Pause process `pid` for `dur` starting at `at`: events addressed to
+    /// it in `[at, at + dur)` are deferred to the window's end.
+    pub fn pause(mut self, pid: Pid, at: SimTime, dur: SimDuration) -> Self {
+        self.pauses.push((pid, at, dur));
+        self
+    }
+
+    /// Add a message fault on one directed link.
+    pub fn link(mut self, fault: LinkFault) -> Self {
+        self.links.push(fault);
+        self
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.pauses.is_empty() && self.links.is_empty()
+    }
+
+    /// True when the plan kills or pauses processes (requires the injector
+    /// process).
+    pub fn has_process_faults(&self) -> bool {
+        !self.kills.is_empty() || !self.pauses.is_empty()
+    }
+
+    /// True when the plan has link faults (messaging layers must consult
+    /// [`FaultPlan::link_disposition`] per message).
+    pub fn has_link_faults(&self) -> bool {
+        !self.links.is_empty()
+    }
+
+    /// The earliest scheduled kill time for `pid`, if any.
+    pub fn kill_time(&self, pid: Pid) -> Option<SimTime> {
+        self.kills.iter().filter(|(p, _)| *p == pid).map(|&(_, at)| at).min()
+    }
+
+    /// Pause windows as `(pid, from_ns, until_ns)` for the scheduler.
+    pub(crate) fn pause_windows(&self) -> Vec<(Pid, u64, u64)> {
+        self.pauses
+            .iter()
+            .map(|&(pid, at, dur)| (pid, at.0, at.0.saturating_add(dur.0)))
+            .collect()
+    }
+
+    /// The process-fault schedule in firing order (stable on ties), as
+    /// executed by the hidden injector process.
+    pub fn timeline(&self) -> Vec<FaultAction> {
+        let mut out: Vec<FaultAction> = self
+            .pauses
+            .iter()
+            .map(|&(pid, at, dur)| FaultAction {
+                at,
+                kind: FaultKind::Pause { pid, until: at + dur },
+            })
+            .chain(
+                self.kills
+                    .iter()
+                    .map(|&(pid, at)| FaultAction { at, kind: FaultKind::Kill(pid) }),
+            )
+            .collect();
+        out.sort_by_key(|a| a.at);
+        out
+    }
+
+    /// Decide the fate of the `msg_seq`-th message ever injected on the
+    /// link `src -> dst`, at injection time `at`.
+    ///
+    /// The decision is a pure function of `(plan, src, dst, msg_seq)`:
+    /// callers may evaluate it in any order (or repeatedly) and get the
+    /// same answer, which keeps fault-injected runs deterministic. Extra
+    /// delays from overlapping windows accumulate; any window whose drop
+    /// test fires loses the message.
+    pub fn link_disposition(
+        &self,
+        src: Pid,
+        dst: Pid,
+        at: SimTime,
+        msg_seq: u64,
+    ) -> LinkDisposition {
+        let mut extra = SimDuration::ZERO;
+        for (idx, f) in self.links.iter().enumerate() {
+            if f.src != src || f.dst != dst || at < f.from || at >= f.until {
+                continue;
+            }
+            if f.drop_prob > 0.0 {
+                let u = unit_hash(self.seed, idx as u64, src as u64, dst as u64, msg_seq);
+                if u < f.drop_prob {
+                    return LinkDisposition::Drop;
+                }
+            }
+            extra += f.extra_delay;
+        }
+        LinkDisposition::Deliver { extra }
+    }
+}
+
+/// Uniform value in `[0, 1)` from a stateless SplitMix64-style hash of the
+/// inputs; the basis of order-independent drop decisions.
+fn unit_hash(seed: u64, idx: u64, src: u64, dst: u64, seq: u64) -> f64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for v in [idx, src, dst, seq] {
+        z ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(23);
+        z = splitmix_step(z);
+    }
+    ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+fn splitmix_step(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(!plan.has_process_faults());
+        assert!(!plan.has_link_faults());
+        assert_eq!(
+            plan.link_disposition(0, 1, SimTime(5), 7),
+            LinkDisposition::Deliver { extra: SimDuration::ZERO }
+        );
+    }
+
+    #[test]
+    fn timeline_is_sorted_and_complete() {
+        let plan = FaultPlan::new(1)
+            .kill(2, SimTime(300))
+            .pause(0, SimTime(100), SimDuration(50))
+            .kill(1, SimTime(100));
+        let tl = plan.timeline();
+        assert_eq!(tl.len(), 3);
+        assert!(tl.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(tl[2].kind, FaultKind::Kill(2));
+        assert_eq!(plan.kill_time(1), Some(SimTime(100)));
+        assert_eq!(plan.kill_time(0), None);
+    }
+
+    #[test]
+    fn link_disposition_is_deterministic_and_windowed() {
+        let plan = FaultPlan::new(99).link(
+            LinkFault::new(0, 1)
+                .window(SimTime(10), SimTime(20))
+                .delay(SimDuration(5))
+                .drop_prob(0.5),
+        );
+        // Outside the window: untouched.
+        assert_eq!(
+            plan.link_disposition(0, 1, SimTime(9), 0),
+            LinkDisposition::Deliver { extra: SimDuration::ZERO }
+        );
+        assert_eq!(
+            plan.link_disposition(0, 1, SimTime(20), 0),
+            LinkDisposition::Deliver { extra: SimDuration::ZERO }
+        );
+        // Other links: untouched.
+        assert_eq!(
+            plan.link_disposition(1, 0, SimTime(15), 0),
+            LinkDisposition::Deliver { extra: SimDuration::ZERO }
+        );
+        // Inside the window: the same (seq) always gets the same fate.
+        for seq in 0..64 {
+            let a = plan.link_disposition(0, 1, SimTime(15), seq);
+            let b = plan.link_disposition(0, 1, SimTime(15), seq);
+            assert_eq!(a, b);
+            if let LinkDisposition::Deliver { extra } = a {
+                assert_eq!(extra, SimDuration(5));
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(7).link(LinkFault::new(3, 4).drop_prob(0.3));
+        let n = 20_000u64;
+        let dropped = (0..n)
+            .filter(|&seq| {
+                plan.link_disposition(3, 4, SimTime(0), seq) == LinkDisposition::Drop
+            })
+            .count() as f64;
+        let rate = dropped / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "drop rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn different_seeds_give_different_drop_patterns() {
+        let a = FaultPlan::new(1).link(LinkFault::new(0, 1).drop_prob(0.5));
+        let b = FaultPlan::new(2).link(LinkFault::new(0, 1).drop_prob(0.5));
+        let pattern = |p: &FaultPlan| -> Vec<bool> {
+            (0..128)
+                .map(|seq| p.link_disposition(0, 1, SimTime(0), seq) == LinkDisposition::Drop)
+                .collect()
+        };
+        assert_ne!(pattern(&a), pattern(&b));
+    }
+
+    #[test]
+    fn overlapping_delay_windows_accumulate() {
+        let plan = FaultPlan::new(0)
+            .link(LinkFault::new(0, 1).delay(SimDuration(3)))
+            .link(LinkFault::new(0, 1).delay(SimDuration(4)));
+        assert_eq!(
+            plan.link_disposition(0, 1, SimTime(0), 0),
+            LinkDisposition::Deliver { extra: SimDuration(7) }
+        );
+    }
+
+    #[test]
+    fn pause_windows_saturate() {
+        let plan = FaultPlan::new(0).pause(2, SimTime(10), SimDuration(u64::MAX));
+        assert_eq!(plan.pause_windows(), vec![(2, 10, u64::MAX)]);
+    }
+}

@@ -70,6 +70,9 @@ struct ProcMeta {
     name: String,
     token: Arc<Token>,
     done: bool,
+    /// Set by [`Kernel::kill`]; the process unwinds with [`ProcKill`] at
+    /// its next scheduling point.
+    killed: bool,
     /// Human-readable description of what the process is blocked on,
     /// reported on deadlock.
     blocked_on: &'static str,
@@ -81,6 +84,46 @@ struct Sched {
     heap: BinaryHeap<Reverse<Event>>,
     procs: Vec<ProcMeta>,
     live: usize,
+    /// Fault-plan pause windows as `(pid, from_ns, until_ns)`: events for
+    /// `pid` inside the window are deferred to `until_ns`.
+    pauses: Vec<(Pid, u64, u64)>,
+}
+
+impl Sched {
+    /// Pop the next deliverable event, advance the clock to it and return
+    /// its owner. Skips events of exited processes and defers events that
+    /// fall in a pause window (kill wake-ups are exempt so a paused process
+    /// can still be killed promptly).
+    fn pop_runnable(&mut self) -> Option<Pid> {
+        loop {
+            let Reverse(ev) = self.heap.pop()?;
+            if self.procs[ev.pid].done {
+                continue; // stale event for an exited process
+            }
+            if !self.procs[ev.pid].killed {
+                if let Some(resume) = self.pause_resume(ev.pid, ev.time) {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.heap.push(Reverse(Event { time: resume, seq, pid: ev.pid }));
+                    continue;
+                }
+            }
+            debug_assert!(ev.time >= self.now, "event heap went backwards");
+            self.now = ev.time;
+            return Some(ev.pid);
+        }
+    }
+
+    /// If `t` falls inside a pause window of `pid`, the time it resumes.
+    fn pause_resume(&self, pid: Pid, t: u64) -> Option<u64> {
+        let mut resume: Option<u64> = None;
+        for &(p, from, until) in &self.pauses {
+            if p == pid && from <= t && t < until {
+                resume = Some(resume.map_or(until, |u| u.max(until)));
+            }
+        }
+        resume
+    }
 }
 
 /// Shared simulation kernel. One per [`crate::Simulation`]; handed to every
@@ -97,6 +140,11 @@ pub struct Kernel {
 /// recognises it and converts it into a single, readable error.
 pub(crate) struct SimAbort;
 
+/// Panic payload used to unwind a single process killed by fault injection
+/// (see [`Kernel::kill`]). `Simulation::run` recognises it and treats the
+/// unwind as a clean (but killed) exit rather than a failure.
+pub(crate) struct ProcKill;
+
 impl Kernel {
     pub(crate) fn new() -> Arc<Kernel> {
         Arc::new(Kernel {
@@ -106,6 +154,7 @@ impl Kernel {
                 heap: BinaryHeap::new(),
                 procs: Vec::new(),
                 live: 0,
+                pauses: Vec::new(),
             }),
             main_token: Token::new(),
             aborted: AtomicBool::new(false),
@@ -117,7 +166,7 @@ impl Kernel {
         let mut s = self.state.lock();
         let pid = s.procs.len();
         let token = Arc::new(Token::new());
-        s.procs.push(ProcMeta { name, token, done: false, blocked_on: "start" });
+        s.procs.push(ProcMeta { name, token, done: false, killed: false, blocked_on: "start" });
         s.live += 1;
         pid
     }
@@ -164,19 +213,7 @@ impl Kernel {
         let next = {
             let mut s = self.state.lock();
             s.procs[me].blocked_on = why;
-            loop {
-                match s.heap.pop() {
-                    Some(Reverse(ev)) => {
-                        if s.procs[ev.pid].done {
-                            continue; // stale event for an exited process
-                        }
-                        debug_assert!(ev.time >= s.now, "event heap went backwards");
-                        s.now = ev.time;
-                        break Some(ev.pid);
-                    }
-                    None => break None,
-                }
-            }
+            s.pop_runnable()
         };
         match next {
             Some(p) if p == me => {
@@ -237,18 +274,7 @@ impl Kernel {
         // Hand the token to the next event's owner, if any.
         let next = {
             let mut s = self.state.lock();
-            loop {
-                match s.heap.pop() {
-                    Some(Reverse(ev)) => {
-                        if s.procs[ev.pid].done {
-                            continue;
-                        }
-                        s.now = ev.time;
-                        break Some(ev.pid);
-                    }
-                    None => break None,
-                }
-            }
+            s.pop_runnable()
         };
         match next {
             Some(p) => {
@@ -276,13 +302,7 @@ impl Kernel {
             if s.live == 0 {
                 return;
             }
-            match s.heap.pop() {
-                Some(Reverse(ev)) => {
-                    s.now = ev.time;
-                    Some(ev.pid)
-                }
-                None => None,
-            }
+            s.pop_runnable()
         };
         match first {
             Some(p) => {
@@ -319,6 +339,39 @@ impl Kernel {
         };
         token.wait();
         self.check_abort();
+        self.check_killed(me);
+    }
+
+    /// Mark `victim` for death. It unwinds with [`ProcKill`] the next time
+    /// it is scheduled (a wake-up at the current virtual time is queued so
+    /// a parked victim dies "now" in virtual time); `Simulation::run`
+    /// records it as killed rather than failed. Killing an already-exited
+    /// process is a no-op. This is the primitive behind
+    /// [`FaultPlan::kill`](crate::FaultPlan::kill), exposed for custom
+    /// harnesses that inject failures from a supervising process.
+    pub fn kill(&self, victim: Pid) {
+        let mut s = self.state.lock();
+        assert!(victim < s.procs.len(), "kill of unknown pid {victim}");
+        if s.procs[victim].done || s.procs[victim].killed {
+            return;
+        }
+        s.procs[victim].killed = true;
+        let seq = s.seq;
+        s.seq += 1;
+        let now = s.now;
+        s.heap.push(Reverse(Event { time: now, seq, pid: victim }));
+    }
+
+    /// Install the fault plan's pause windows; called once before the run.
+    pub(crate) fn set_pauses(&self, pauses: Vec<(Pid, u64, u64)>) {
+        self.state.lock().pauses = pauses;
+    }
+
+    /// Unwind the calling process if it has been killed.
+    fn check_killed(&self, me: Pid) {
+        if self.state.lock().procs[me].killed {
+            std::panic::panic_any(ProcKill);
+        }
     }
 
     /// Mark the simulation aborted, wake every thread so it can unwind, and

@@ -46,6 +46,7 @@
 //! assert_eq!(out.end_time.as_nanos(), 15_000);
 //! ```
 
+pub mod fault;
 pub mod kernel;
 pub mod resource;
 pub mod sim;
@@ -53,6 +54,7 @@ pub mod sync;
 pub mod time;
 pub mod trace;
 
+pub use fault::{FaultAction, FaultKind, FaultPlan, LinkDisposition, LinkFault};
 pub use kernel::{Kernel, Pid};
 pub use resource::{FifoServer, LinkClock};
 pub use sim::{Ctx, ProcStats, SimConfig, SimError, SimOutcome, Simulation};

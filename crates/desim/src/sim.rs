@@ -7,7 +7,8 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::kernel::{Kernel, Pid, SimAbort};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::kernel::{Kernel, Pid, ProcKill, SimAbort};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Span, Trace, TraceSink};
 
@@ -21,11 +22,19 @@ pub struct SimConfig {
     /// Stack size for process threads. Simulated ranks mostly keep data on
     /// the heap, so the default is small to allow thousands of processes.
     pub stack_size: usize,
+    /// Seeded failure schedule (see [`FaultPlan`]). The default empty plan
+    /// injects nothing and costs nothing.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0x5eed_1234, trace: false, stack_size: 512 * 1024 }
+        SimConfig {
+            seed: 0x5eed_1234,
+            trace: false,
+            stack_size: 512 * 1024,
+            fault_plan: FaultPlan::default(),
+        }
     }
 }
 
@@ -37,6 +46,9 @@ pub struct ProcStats {
     pub busy: SimDuration,
     /// Virtual time at which the process body returned.
     pub finished_at: SimTime,
+    /// True when the process was removed by fault injection rather than
+    /// returning from its body.
+    pub killed: bool,
 }
 
 /// The result of a completed simulation.
@@ -46,6 +58,8 @@ pub struct SimOutcome {
     pub end_time: SimTime,
     /// Per-process stats, indexed by pid.
     pub proc_stats: Vec<ProcStats>,
+    /// Pids removed by fault injection, in pid order.
+    pub killed: Vec<Pid>,
     /// Recorded spans (empty unless `SimConfig::trace`).
     pub trace: Trace,
 }
@@ -97,10 +111,48 @@ impl Simulation {
         pid
     }
 
+    /// Spawn the hidden process that executes the fault plan's kills (and
+    /// records fault trace spans). Pause windows are handled inside the
+    /// scheduler; kills need an actor that is *at* the kill time, which is
+    /// exactly what a simulated process is. The injector gets the highest
+    /// pid, so application pids are unaffected.
+    fn install_fault_injector(&mut self) {
+        let plan = self.config.fault_plan.clone();
+        if !plan.has_process_faults() {
+            return;
+        }
+        let trace = self.trace.clone();
+        self.spawn("fault-injector", move |ctx| {
+            for action in plan.timeline() {
+                while ctx.now() < action.at {
+                    ctx.wake_self_at(action.at);
+                    ctx.suspend("fault-injector: waiting for next fault time");
+                }
+                match action.kind {
+                    FaultKind::Kill(pid) => {
+                        ctx.kernel().kill(pid);
+                        let now = ctx.now();
+                        trace.record(Span { pid, tag: "fault-kill", start: now, end: now });
+                    }
+                    FaultKind::Pause { pid, until } => {
+                        trace.record(Span {
+                            pid,
+                            tag: "fault-pause",
+                            start: ctx.now(),
+                            end: until,
+                        });
+                    }
+                }
+            }
+        });
+    }
+
     /// Execute the simulation to completion.
-    pub fn run(self) -> Result<SimOutcome, SimError> {
+    pub fn run(mut self) -> Result<SimOutcome, SimError> {
         install_quiet_abort_hook();
+        self.install_fault_injector();
         let Simulation { kernel, config, trace, pending } = self;
+        kernel.set_pauses(config.fault_plan.pause_windows());
         let nprocs = pending.len();
         if nprocs == 0 {
             return Ok(SimOutcome::default());
@@ -126,8 +178,21 @@ impl Simulation {
                     let entry = catch_unwind(AssertUnwindSafe(|| {
                         kernel.entry_wait(pid);
                     }));
-                    if entry.is_err() {
-                        return; // aborted before start
+                    if let Err(payload) = entry {
+                        if payload.downcast_ref::<ProcKill>().is_some() {
+                            // Killed before the body ever ran.
+                            {
+                                let mut st = stats.lock();
+                                st[pid] = ProcStats {
+                                    name,
+                                    busy: SimDuration::ZERO,
+                                    finished_at: kernel.now(),
+                                    killed: true,
+                                };
+                            }
+                            kernel.proc_exit(pid);
+                        }
+                        return; // aborted (or killed) before start
                     }
                     let mut ctx = Ctx {
                         kernel: kernel.clone(),
@@ -147,6 +212,7 @@ impl Simulation {
                                     name,
                                     busy: ctx.busy,
                                     finished_at: kernel.now(),
+                                    killed: false,
                                 };
                             }
                             // May unwind with SimAbort on deadlock; the
@@ -154,6 +220,21 @@ impl Simulation {
                             kernel.proc_exit(pid);
                         }
                         Err(payload) => {
+                            if payload.downcast_ref::<ProcKill>().is_some() {
+                                // Removed by fault injection: a clean (if
+                                // abrupt) exit, not a failure.
+                                {
+                                    let mut st = stats.lock();
+                                    st[pid] = ProcStats {
+                                        name,
+                                        busy: ctx.busy,
+                                        finished_at: kernel.now(),
+                                        killed: true,
+                                    };
+                                }
+                                kernel.proc_exit(pid);
+                                return;
+                            }
                             if payload.downcast_ref::<SimAbort>().is_some() {
                                 // Simulation-wide abort already in progress.
                                 return;
@@ -180,7 +261,13 @@ impl Simulation {
         let proc_stats = Arc::try_unwrap(stats)
             .map(|m| m.into_inner())
             .unwrap_or_else(|arc| arc.lock().clone());
-        Ok(SimOutcome { end_time: kernel.now(), proc_stats, trace: trace.take() })
+        let killed = proc_stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.killed)
+            .map(|(pid, _)| pid)
+            .collect();
+        Ok(SimOutcome { end_time: kernel.now(), proc_stats, killed, trace: trace.take() })
     }
 
     /// [`Simulation::run`], panicking on failure. Convenient in tests.
@@ -210,16 +297,18 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Install (once) a panic hook that silences the internal [`SimAbort`]
-/// unwinds used to tear simulations down, while delegating every other
-/// panic to the previous hook.
+/// Install (once) a panic hook that silences the internal [`SimAbort`] and
+/// [`ProcKill`] unwinds used to tear simulations (and killed processes)
+/// down, while delegating every other panic to the previous hook.
 fn install_quiet_abort_hook() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<SimAbort>().is_none() {
+            if info.payload().downcast_ref::<SimAbort>().is_none()
+                && info.payload().downcast_ref::<ProcKill>().is_none()
+            {
                 prev(info);
             }
         }));

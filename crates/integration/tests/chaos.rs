@@ -1,0 +1,348 @@
+//! Deterministic chaos testing (DST) of the decoupled stream pipeline.
+//!
+//! Every test here derives a random fault schedule — producer kills, link
+//! drops on the victims' links, bounded delay spikes — from a seed, runs a
+//! producer/consumer streaming pipeline under it, and checks three
+//! invariants:
+//!
+//! 1. **No deadlock**: the run completes; every rank either finishes its
+//!    body or is killed by the plan.
+//! 2. **Conservation for survivors**: every element a surviving producer
+//!    injected is delivered exactly once — per consumer, `delivered`
+//!    equals the producer's `Term` claim, and the claims across consumers
+//!    sum to the producer's element count. Killed producers end as `Dead`
+//!    verdicts with partial delivery and no claim.
+//! 3. **Replay determinism**: the same seed reproduces the identical
+//!    fingerprint — end time, kill list, drop count, per-producer
+//!    accounting and an order-insensitive payload checksum.
+//!
+//! The sweep size is tunable for CI smoke runs: `CHAOS_SEEDS` (count) and
+//! `CHAOS_SEED_START` (first seed) — see `ci.sh`.
+
+use std::sync::Arc;
+
+use mpisim::{
+    FaultPlan, LinkFault, MachineConfig, NoiseModel, SimDuration, SimTime, World,
+};
+use mpistream::{ChannelConfig, ProducerState, Role, RoutePolicy, Stream, StreamChannel};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Elements stream for at least `PER_ELEM_SECS * MIN_ELEMS` = 1.5ms of
+/// virtual time; kills land strictly inside [100us, 1ms], so a victim is
+/// always killed mid-stream (before it can send its `Term`).
+const PER_ELEM_SECS: f64 = 10e-6;
+const MIN_ELEMS: u64 = 150;
+const MAX_ELEMS: u64 = 400;
+
+/// No link fault opens before this: channel creation (an untimed
+/// collective at t=0) completes within a few microseconds on the quiet
+/// machine, and faulting its handshake would model a mid-bootstrap crash
+/// this harness does not target.
+const CREATE_GRACE_NS: u64 = 50_000;
+
+/// Failure-detection timeout. Consumer patience is twice this, and it must
+/// exceed the longest *legitimate* silence: under Static routing a
+/// producer pinned to the other consumer sends a given consumer nothing
+/// until its final `Term` at ~4ms (`MAX_ELEMS * PER_ELEM_SECS` plus delay
+/// spikes), which must not read as death. 2 * 3ms = 6ms clears that with
+/// margin, while victims (killed by 1ms) are still detected.
+const FAILURE_TIMEOUT_MS: u64 = 3;
+
+/// One seed's randomized world + fault schedule.
+#[derive(Clone, Debug)]
+struct Schedule {
+    n_producers: usize,
+    n_consumers: usize,
+    per_producer: u64,
+    aggregation: usize,
+    credits: Option<usize>,
+    route: RoutePolicy,
+    plan: FaultPlan,
+    /// Producer ranks the plan kills (sorted).
+    kills: Vec<usize>,
+}
+
+fn schedule(seed: u64) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD57_C0DE);
+    let n_producers = rng.gen_range(2usize..=5);
+    let n_consumers = rng.gen_range(1usize..=2);
+    let per_producer = rng.gen_range(MIN_ELEMS..=MAX_ELEMS);
+    let aggregation = rng.gen_range(1usize..=4);
+    let credits = if rng.gen_bool(0.5) { None } else { Some(rng.gen_range(8usize..=64)) };
+    let route =
+        if rng.gen_bool(0.5) { RoutePolicy::RoundRobin } else { RoutePolicy::Static };
+
+    let mut plan = FaultPlan::new(seed);
+    let n_kills = rng.gen_range(0usize..=2).min(n_producers - 1); // >= 1 survivor
+    let mut victims: Vec<usize> = (0..n_producers).collect();
+    let mut kills = Vec::new();
+    for _ in 0..n_kills {
+        let v = victims.swap_remove(rng.gen_range(0..victims.len()));
+        let at = SimTime(rng.gen_range(100_000u64..=1_000_000));
+        plan = plan.kill(v, at);
+        // Half the victims also die "messily": part of their stream data
+        // is randomly dropped. The drop window opens only after
+        // `CREATE_GRACE` — channel creation is an untimed collective, so
+        // losing its handshake traffic would hang the world, which is a
+        // test-harness artifact rather than a protocol defect. Only
+        // victims' links lose data, so surviving producers keep an exact
+        // conservation obligation.
+        if rng.gen_bool(0.5) {
+            let from = SimTime(rng.gen_range(CREATE_GRACE_NS..at.0));
+            for c in 0..n_consumers {
+                plan = plan.link(
+                    LinkFault::new(v, n_producers + c)
+                        .window(from, SimTime(u64::MAX))
+                        .drop_prob(rng.gen_range(0.05f64..0.5)),
+                );
+            }
+        }
+        kills.push(v);
+    }
+    // Bounded delay spikes on arbitrary data links: far below the
+    // consumer patience (see `FAILURE_TIMEOUT_MS`), so they slow the
+    // stream without ever causing a false death verdict. Again windowed
+    // past channel creation: a spike there could stall the collective
+    // beyond a kill time and hang it.
+    for _ in 0..rng.gen_range(0usize..=2) {
+        let p = rng.gen_range(0..n_producers);
+        let c = n_producers + rng.gen_range(0..n_consumers);
+        let from = rng.gen_range(CREATE_GRACE_NS..1_500_000);
+        let until = from + rng.gen_range(50_000u64..=300_000);
+        plan = plan.link(
+            LinkFault::new(p, c)
+                .window(SimTime(from), SimTime(until))
+                .delay(SimDuration::from_micros(rng.gen_range(10u64..=150))),
+        );
+    }
+    kills.sort_unstable();
+    Schedule { n_producers, n_consumers, per_producer, aggregation, credits, route, plan, kills }
+}
+
+/// Everything observable about one run, totally ordered for replay
+/// comparison.
+#[derive(Clone, Debug, PartialEq)]
+struct Fingerprint {
+    end_ns: u64,
+    killed: Vec<usize>,
+    msgs_dropped: u64,
+    /// (consumer rank, producer rank, delivered, claim, died) — sorted.
+    reports: Vec<(usize, usize, u64, Option<u64>, bool)>,
+    /// (consumer rank, processed, order-insensitive checksum) — sorted.
+    consumed: Vec<(usize, u64, u64)>,
+    /// Producer ranks whose `terminate()` returned (survivors) — sorted.
+    clean: Vec<usize>,
+}
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x
+}
+
+fn run_chaos(seed: u64) -> (Schedule, Fingerprint) {
+    let s = schedule(seed);
+    let world = World::new(MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() })
+        .with_seed(seed)
+        .with_fault_plan(s.plan.clone());
+    let nprocs = s.n_producers + s.n_consumers;
+    let (n_producers, per_producer) = (s.n_producers, s.per_producer);
+    let config = ChannelConfig {
+        element_bytes: 512,
+        aggregation: s.aggregation,
+        credits: s.credits,
+        route: s.route,
+        failure_timeout: Some(SimDuration::from_millis(FAILURE_TIMEOUT_MS)),
+    };
+    let clean: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let consumer_log: Arc<Mutex<Vec<(usize, u64, u64, Vec<(usize, u64, Option<u64>, bool)>)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let (cl, co) = (clean.clone(), consumer_log.clone());
+    let out = world.run_expect(nprocs, move |rank| {
+        let comm = rank.comm_world();
+        let me = rank.world_rank();
+        let role = if me < n_producers { Role::Producer } else { Role::Consumer };
+        let ch = StreamChannel::create(rank, &comm, role, config.clone());
+        let mut stream: Stream<u64> = Stream::attach(ch);
+        match role {
+            Role::Producer => {
+                for i in 0..per_producer {
+                    rank.compute_exact(PER_ELEM_SECS);
+                    stream.isend(rank, (me as u64) << 32 | i);
+                }
+                stream.terminate(rank);
+                // Only survivors reach this line; a killed producer
+                // unwinds out of the loop above.
+                cl.lock().push(me);
+            }
+            Role::Consumer => {
+                let mut processed = 0u64;
+                let mut checksum = 0u64;
+                let outcome = stream.operate_outcome(rank, |_, v| {
+                    processed += 1;
+                    checksum = checksum.wrapping_add(mix64(v));
+                });
+                assert_eq!(outcome.processed, processed);
+                let reports = outcome
+                    .producers
+                    .iter()
+                    .map(|r| (r.rank, r.delivered, r.claimed, r.state == ProducerState::Dead))
+                    .collect();
+                co.lock().push((me, processed, checksum, reports));
+            }
+            Role::Bystander => unreachable!(),
+        }
+    });
+    let mut clean = clean.lock().clone();
+    clean.sort_unstable();
+    let mut reports = Vec::new();
+    let mut consumed = Vec::new();
+    for (c, processed, checksum, rs) in consumer_log.lock().iter() {
+        consumed.push((*c, *processed, *checksum));
+        for &(p, delivered, claim, died) in rs {
+            reports.push((*c, p, delivered, claim, died));
+        }
+    }
+    reports.sort_unstable();
+    consumed.sort_unstable();
+    let mut killed = out.sim.killed.clone();
+    killed.sort_unstable();
+    (
+        s,
+        Fingerprint {
+            end_ns: out.sim.end_time.as_nanos(),
+            killed,
+            msgs_dropped: out.msgs_dropped,
+            reports,
+            consumed,
+            clean,
+        },
+    )
+}
+
+/// Check invariants 1 and 2 for one seed's run.
+fn check_invariants(seed: u64, s: &Schedule, fp: &Fingerprint) {
+    // 1. Completion: every rank accounted for — killed exactly per plan,
+    //    every survivor's terminate() returned, every consumer reported.
+    assert_eq!(fp.killed, s.kills, "seed {seed}: kill list mismatch");
+    let survivors: Vec<usize> =
+        (0..s.n_producers).filter(|p| !s.kills.contains(p)).collect();
+    assert_eq!(fp.clean, survivors, "seed {seed}: survivors must terminate cleanly");
+    assert_eq!(fp.consumed.len(), s.n_consumers, "seed {seed}: every consumer completes");
+
+    // 2. Conservation. Per consumer: survivors are Terminated with
+    //    delivered == claimed; victims are Dead with no claim and at most
+    //    their pre-kill output delivered.
+    let mut delivered_from_survivor = vec![0u64; s.n_producers];
+    for &(c, p, delivered, claim, died) in &fp.reports {
+        if survivors.contains(&p) {
+            assert!(!died, "seed {seed}: consumer {c} declared live producer {p} dead");
+            let claim = claim.unwrap_or_else(|| {
+                panic!("seed {seed}: consumer {c} missing Term claim of survivor {p}")
+            });
+            assert_eq!(
+                delivered, claim,
+                "seed {seed}: consumer {c} lost elements of surviving producer {p}"
+            );
+            delivered_from_survivor[p] += delivered;
+        } else {
+            assert!(died, "seed {seed}: consumer {c} never detected killed producer {p}");
+            assert_eq!(claim, None, "seed {seed}: a victim cannot have claimed a total");
+            assert!(
+                delivered < s.per_producer,
+                "seed {seed}: victim {p} was killed mid-stream yet delivered everything"
+            );
+        }
+    }
+    for &p in &survivors {
+        assert_eq!(
+            delivered_from_survivor[p], s.per_producer,
+            "seed {seed}: surviving producer {p}'s elements not conserved"
+        );
+    }
+    // Per consumer, the processed total is exactly the sum of attributed
+    // deliveries (nothing double-counted, nothing unattributed).
+    for &(c, processed, _) in &fp.consumed {
+        let attributed: u64 = fp
+            .reports
+            .iter()
+            .filter(|&&(rc, ..)| rc == c)
+            .map(|&(_, _, d, _, _)| d)
+            .sum();
+        assert_eq!(processed, attributed, "seed {seed}: consumer {c} attribution gap");
+    }
+}
+
+fn sweep_range() -> (u64, u64) {
+    let start = std::env::var("CHAOS_SEED_START")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let count = std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250);
+    (start, count)
+}
+
+/// The main sweep: hundreds of seeded fault schedules, each checked for
+/// completion and conservation.
+#[test]
+fn chaos_sweep_holds_invariants_across_seeds() {
+    let (start, count) = sweep_range();
+    let mut runs_with_kills = 0u64;
+    let mut runs_with_drops = 0u64;
+    for seed in start..start + count {
+        let (s, fp) = run_chaos(seed);
+        check_invariants(seed, &s, &fp);
+        runs_with_kills += u64::from(!fp.killed.is_empty());
+        runs_with_drops += u64::from(fp.msgs_dropped > 0);
+    }
+    // Meta-check on full sweeps: the harness must actually exercise
+    // faults, or the invariants above pass vacuously.
+    if count >= 100 {
+        assert!(runs_with_kills > count / 4, "suspiciously few kill schedules");
+        assert!(runs_with_drops > count / 20, "suspiciously few lossy schedules");
+    }
+}
+
+/// Invariant 3: identical seeds replay to identical fingerprints —
+/// including virtual end time, kill/drop accounting and payload checksums.
+#[test]
+fn chaos_runs_replay_identically() {
+    let (start, count) = sweep_range();
+    // A slice of the sweep, re-run and compared bit-for-bit.
+    for seed in (start..start + count).step_by((count as usize / 10).max(1)) {
+        let (_, a) = run_chaos(seed);
+        let (_, b) = run_chaos(seed);
+        assert_eq!(a, b, "seed {seed}: fingerprint diverged between replays");
+    }
+}
+
+/// Fault-free seeds (no kill, no link fault) must conserve *everything*:
+/// all producers terminate, nothing is dropped, and both consumers'
+/// accounting matches the injected totals exactly.
+#[test]
+fn chaos_fault_free_schedules_conserve_everything() {
+    let (start, count) = sweep_range();
+    let mut seen = 0;
+    for seed in start..start + count {
+        let (s, fp) = run_chaos(seed);
+        if !s.plan.is_empty() {
+            continue;
+        }
+        seen += 1;
+        assert_eq!(fp.msgs_dropped, 0, "seed {seed}");
+        assert_eq!(fp.killed, Vec::<usize>::new(), "seed {seed}");
+        let total: u64 = fp.consumed.iter().map(|&(_, p, _)| p).sum();
+        assert_eq!(total, s.per_producer * s.n_producers as u64, "seed {seed}");
+    }
+    // With the default range a healthy share of schedules is fault-free.
+    if count >= 100 {
+        assert!(seen > 0, "no fault-free schedule in the sweep range");
+    }
+}

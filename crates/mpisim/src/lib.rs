@@ -47,4 +47,4 @@ pub use msg::{MsgInfo, Src, Tag};
 pub use rank::{Rank, RecvReq, SendReq};
 pub use world::{World, WorldOutcome};
 
-pub use desim::{SimDuration, SimTime};
+pub use desim::{FaultPlan, LinkDisposition, LinkFault, SimDuration, SimTime};

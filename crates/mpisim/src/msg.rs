@@ -161,6 +161,55 @@ impl Mailbox {
         }
     }
 
+    /// Blocking receive with an absolute deadline: waits until a matching
+    /// envelope is available or virtual time reaches `deadline`, whichever
+    /// comes first. A message that is available exactly at the deadline is
+    /// still delivered; `None` means the deadline passed with no match.
+    /// This is the failure-detection primitive: a consumer that stops
+    /// hearing from a producer can bound its wait instead of hanging.
+    pub fn take_deadline(
+        &self,
+        ctx: &mut Ctx,
+        src: Src,
+        tag: Tag,
+        deadline: SimTime,
+    ) -> Option<Envelope> {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                let now = ctx.now();
+                match self.find(&inner, now, src, tag) {
+                    Some((i, at)) if at <= now => {
+                        return Some(inner.queue.remove(i).expect("index valid under lock"));
+                    }
+                    Some((_, at)) => {
+                        if now >= deadline {
+                            return None;
+                        }
+                        let me = ctx.pid();
+                        if !inner.waiters.contains(&me) {
+                            inner.waiters.push(me);
+                        }
+                        drop(inner);
+                        ctx.wake_self_at(at.min(deadline));
+                    }
+                    None => {
+                        if now >= deadline {
+                            return None;
+                        }
+                        let me = ctx.pid();
+                        if !inner.waiters.contains(&me) {
+                            inner.waiters.push(me);
+                        }
+                        drop(inner);
+                        ctx.wake_self_at(deadline);
+                    }
+                }
+            }
+            ctx.suspend("mpi-recv-deadline");
+        }
+    }
+
     /// Register the calling process for a wake-up on the next mailbox
     /// change (new arrival, or an in-flight message becoming available),
     /// then suspend once. Spurious wake-ups possible; callers rescan.

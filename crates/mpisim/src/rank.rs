@@ -169,6 +169,32 @@ impl<'c> Rank<'c> {
         self.recv_tagged(req.src, req.tag)
     }
 
+    /// Blocking receive bounded by an absolute virtual-time `deadline`.
+    ///
+    /// Returns `None` if no matching message became available by the
+    /// deadline (a message available exactly at the deadline is still
+    /// delivered). This is the failure-detection primitive: instead of
+    /// hanging forever on a peer that died, bound the wait and decide.
+    pub fn recv_deadline<T: Send + 'static>(
+        &mut self,
+        src: Src,
+        tag: u32,
+        deadline: SimTime,
+    ) -> Option<(T, MsgInfo)> {
+        self.recv_tagged_deadline(src, Tag::user(tag), deadline)
+    }
+
+    /// [`Rank::recv_deadline`] with a relative timeout from now.
+    pub fn recv_timeout<T: Send + 'static>(
+        &mut self,
+        src: Src,
+        tag: u32,
+        timeout: SimDuration,
+    ) -> Option<(T, MsgInfo)> {
+        let deadline = self.ctx.now() + timeout;
+        self.recv_tagged_deadline(src, Tag::user(tag), deadline)
+    }
+
     /// Whether a matching message could be received right now without
     /// blocking.
     pub fn iprobe(&mut self, src: Src, tag: u32) -> Option<MsgInfo> {
@@ -211,6 +237,17 @@ impl<'c> Rank<'c> {
     /// Non-blocking matched receive with an explicit [`Tag`].
     pub fn try_recv_t<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
         self.try_recv_tagged(src, tag)
+    }
+
+    /// Deadline-bounded receive with an explicit [`Tag`]
+    /// (see [`Rank::recv_deadline`]).
+    pub fn recv_t_deadline<T: Send + 'static>(
+        &mut self,
+        src: Src,
+        tag: Tag,
+        deadline: SimTime,
+    ) -> Option<(T, MsgInfo)> {
+        self.recv_tagged_deadline(src, tag, deadline)
     }
 
     /// Probe with an explicit [`Tag`].
@@ -256,7 +293,7 @@ impl<'c> Rank<'c> {
             nic.tx.occupy(now, SimDuration::from_bytes_at(bytes, tx_bw))
         };
         let arrival = inject_done + latency;
-        let available_at = {
+        let mut available_at = {
             let mut nic = self.shared.nics[dst].lock();
             nic.rx.occupy(arrival, SimDuration::from_bytes_at(bytes, rx_bw))
         };
@@ -264,6 +301,32 @@ impl<'c> Rank<'c> {
         self.shared.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.shared.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
         self.shared.per_rank_msgs[self.rank].fetch_add(1, Ordering::Relaxed);
+
+        // Link-fault layer. Only engaged when the plan has link faults, so
+        // the fault-free hot path is untouched. The drop decision is a pure
+        // hash of (plan seed, link, per-link msg seq), evaluation-order
+        // independent; the availability floor keeps per-link delivery
+        // monotone (non-overtaking) even when an extra-delay window ends
+        // between two consecutive messages.
+        if self.shared.fault.has_link_faults() {
+            use desim::LinkDisposition;
+            let mut links = self.shared.link_state.lock();
+            let entry = links.entry((self.rank, dst)).or_insert((0, SimTime::ZERO));
+            let seq = entry.0;
+            entry.0 += 1;
+            match self.shared.fault.link_disposition(self.rank, dst, arrival, seq) {
+                LinkDisposition::Drop => {
+                    self.shared.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+                    // The sender still spent its NIC time; the message just
+                    // never lands.
+                    return SendReq { inject_done };
+                }
+                LinkDisposition::Deliver { extra } => {
+                    available_at = (available_at + extra).max(entry.1);
+                    entry.1 = available_at;
+                }
+            }
+        }
 
         self.shared.mailboxes[dst].push(
             self.ctx,
@@ -275,6 +338,17 @@ impl<'c> Rank<'c> {
     pub(crate) fn recv_tagged<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
         let env = self.shared.mailboxes[self.rank].take(self.ctx, src, tag);
         self.unpack(env)
+    }
+
+    pub(crate) fn recv_tagged_deadline<T: Send + 'static>(
+        &mut self,
+        src: Src,
+        tag: Tag,
+        deadline: SimTime,
+    ) -> Option<(T, MsgInfo)> {
+        let shared = self.shared.clone();
+        let env = shared.mailboxes[self.rank].take_deadline(self.ctx, src, tag, deadline)?;
+        Some(self.unpack(env))
     }
 
     pub(crate) fn try_recv_tagged<T: Send + 'static>(

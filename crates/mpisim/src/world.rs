@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use desim::{Ctx, LinkClock, SimConfig, SimError, SimOutcome, Simulation};
+use desim::{Ctx, FaultPlan, LinkClock, SimConfig, SimError, SimOutcome, SimTime, Simulation};
 use parking_lot::Mutex;
 
 use crate::comm::Comm;
@@ -33,6 +33,16 @@ pub(crate) struct Shared {
     /// World-unique id source for stream channels (and other layered
     /// libraries needing a tag namespace of their own).
     pub channel_ids: AtomicU64,
+    /// The run's failure schedule; ranks consult it per message when it has
+    /// link faults. Kills/pauses are executed by the desim kernel.
+    pub fault: FaultPlan,
+    /// Per-link `(next msg seq, availability floor)`, touched only when the
+    /// plan has link faults. The floor keeps per-link delivery availability
+    /// monotone even when a fault window's extra delay ends mid-stream, so
+    /// the surviving messages still obey non-overtaking.
+    pub link_state: Mutex<HashMap<(usize, usize), (u64, SimTime)>>,
+    /// Messages lost to link faults.
+    pub msgs_dropped: AtomicU64,
 }
 
 pub(crate) struct SplitState {
@@ -73,6 +83,8 @@ pub struct WorldOutcome {
     pub bytes_sent: u64,
     /// Messages sent per world rank.
     pub per_rank_msgs: Vec<u64>,
+    /// Messages lost to injected link faults (0 on fault-free runs).
+    pub msgs_dropped: u64,
 }
 
 impl WorldOutcome {
@@ -88,11 +100,19 @@ pub struct World {
     pub config: MachineConfig,
     pub seed: u64,
     pub trace: bool,
+    /// Seeded failure schedule applied to this run (see [`FaultPlan`]).
+    /// Fault pids are world ranks. Empty (the default) injects nothing.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for World {
     fn default() -> Self {
-        World { config: MachineConfig::default(), seed: 0xC0FFEE, trace: false }
+        World {
+            config: MachineConfig::default(),
+            seed: 0xC0FFEE,
+            trace: false,
+            fault_plan: FaultPlan::default(),
+        }
     }
 }
 
@@ -108,6 +128,12 @@ impl World {
 
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attach a failure schedule; rank `r` in the plan is world rank `r`.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -132,6 +158,9 @@ impl World {
             bytes_sent: AtomicU64::new(0),
             per_rank_msgs: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
             channel_ids: AtomicU64::new(0),
+            fault: self.fault_plan.clone(),
+            link_state: Mutex::new(HashMap::new()),
+            msgs_dropped: AtomicU64::new(0),
         });
         // Communicator 0 is the world.
         shared.register_comm((0..nprocs).collect());
@@ -139,6 +168,7 @@ impl World {
         let mut sim = Simulation::new(SimConfig {
             seed: self.seed,
             trace: self.trace,
+            fault_plan: self.fault_plan.clone(),
             ..SimConfig::default()
         });
         let body = Arc::new(body);
@@ -160,6 +190,7 @@ impl World {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            msgs_dropped: shared.msgs_dropped.load(Ordering::Relaxed),
         })
     }
 
