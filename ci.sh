@@ -7,6 +7,12 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== format check =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release --offline
 

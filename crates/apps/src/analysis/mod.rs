@@ -31,7 +31,7 @@ pub struct WorkloadDigest {
 }
 
 /// Exact min/max/median over a set of samples (the analysis operator).
-pub fn min_max_median(samples: &mut Vec<u64>) -> WorkloadDigest {
+pub fn min_max_median(samples: &mut [u64]) -> WorkloadDigest {
     if samples.is_empty() {
         return WorkloadDigest::default();
     }
@@ -171,6 +171,26 @@ pub fn run_decoupled_analysis(nprocs: usize, cfg: &AnalysisConfig) -> AnalysisRe
     AnalysisResult { outcome, digest }
 }
 
+/// Communication topology of [`run_decoupled_analysis`] (Listing 1) for
+/// the `streamcheck` static pass: a single statically-routed update stream
+/// from the computation group to the analysis group.
+pub fn topology(nprocs: usize, cfg: &AnalysisConfig) -> streamcheck::Topology {
+    use mpistream::Role;
+    use streamcheck::{ChannelDecl, GroupDecl, Topology};
+    let spec = GroupSpec { every: cfg.alpha_every };
+    let g0: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
+    let g1: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
+    Topology::new(nprocs)
+        .group(GroupDecl::new("computation", g0.clone()))
+        .group(GroupDecl::new("analysis", g1.clone()))
+        .channel(ChannelDecl::new(
+            "updates",
+            g0,
+            g1,
+            ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
+        ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,7 +207,7 @@ mod tests {
 
     #[test]
     fn min_max_median_handles_edges() {
-        assert_eq!(min_max_median(&mut Vec::new()), WorkloadDigest::default());
+        assert_eq!(min_max_median(&mut []), WorkloadDigest::default());
         let mut one = vec![7];
         assert_eq!(
             min_max_median(&mut one),

@@ -29,11 +29,7 @@ impl Field {
 
     /// Evaluate `f(gx, gy, gz)` on every owned cell, where the global
     /// index of local cell `(i,j,k)` (1-based owned) is `offset + (i,j,k)`.
-    pub fn fill_from(
-        &mut self,
-        offset: [usize; 3],
-        mut f: impl FnMut(usize, usize, usize) -> f64,
-    ) {
+    pub fn fill_from(&mut self, offset: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> f64) {
         for i in 1..=self.n[0] {
             for j in 1..=self.n[1] {
                 for k in 1..=self.n[2] {

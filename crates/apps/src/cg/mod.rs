@@ -137,9 +137,7 @@ fn setup_state(cart: &CartComm, crank: usize, n_local: usize) -> CgState {
 
     // b = f = 3π² u (RHS of -∇²u = f for the manufactured solution).
     let mut b = Field::zeros(n);
-    b.fill_from(offset, |gx, gy, gz| {
-        3.0 * PI * PI * manufactured_u([gx, gy, gz], n_global)
-    });
+    b.fill_from(offset, |gx, gy, gz| 3.0 * PI * PI * manufactured_u([gx, gy, gz], n_global));
     let b_norm2_local = b.dot(&b);
     let r = b.clone();
     let p = r.clone();
@@ -164,11 +162,8 @@ impl CgState {
         for i in 1..=n[0] {
             for j in 1..=n[1] {
                 for k in 1..=n[2] {
-                    let g = [
-                        self.offset[0] + i - 1,
-                        self.offset[1] + j - 1,
-                        self.offset[2] + k - 1,
-                    ];
+                    let g =
+                        [self.offset[0] + i - 1, self.offset[1] + j - 1, self.offset[2] + k - 1];
                     let u = manufactured_u(g, self.n_global);
                     err = err.max((self.x.data[self.x.idx(i, j, k)] - u).abs());
                 }
@@ -222,8 +217,7 @@ fn cg_loop(
         st.x.axpy(alpha, &st.p);
         st.r.axpy(-alpha, &st.q);
         let rr_local = st.r.dot(&st.r);
-        let rr_new =
-            rank.traced("comm", |rank| rank.allreduce(comm, 8, rr_local, |a, b| *a += b));
+        let rr_new = rank.traced("comm", |rank| rank.allreduce(comm, 8, rr_local, |a, b| *a += b));
         let beta = rr_new / rr;
         rr = rr_new;
         st.p.xpby(&st.r, beta);
@@ -435,17 +429,13 @@ pub fn run_decoupled(nprocs: usize, cfg: &CgConfig) -> CgResult {
                         st.p.laplacian_into(&mut st.q, st.inv_h2, Shell::Inner);
                         // One combined packet per iteration comes back.
                         rank.trace_begin("comm");
-                        let packet = hi
-                            .recv_one(rank)
-                            .expect("halo packet for every iteration");
+                        let packet = hi.recv_one(rank).expect("halo packet for every iteration");
                         assert_eq!(packet.iter, it, "iteration-ordered replies");
                         for (dim, dir, values) in packet.faces {
                             st.p.set_halo(dim, dir, &values);
                         }
                         rank.trace_end("comm");
-                        rank.traced("comp", |rank| {
-                            rank.compute(cfg3.stencil_secs(scale) * bf)
-                        });
+                        rank.traced("comp", |rank| rank.compute(cfg3.stencil_secs(scale) * bf));
                         st.p.laplacian_into(&mut st.q, st.inv_h2, Shell::Boundary);
                     }
                 });
@@ -461,7 +451,9 @@ pub fn run_decoupled(nprocs: usize, cfg: &CgConfig) -> CgResult {
                 let mut halo_out: Stream<HaloPacket> = Stream::attach(rev_ch);
                 let expected: Vec<usize> =
                     (0..g0.size()).map(|r| cart.neighbors(r).len()).collect();
-                let mut pending: std::collections::HashMap<(usize, usize), Vec<(usize, isize, Vec<f64>)>> =
+                // Faces collected so far for one (destination, iteration).
+                type FaceSet = Vec<(usize, isize, Vec<f64>)>;
+                let mut pending: std::collections::HashMap<(usize, usize), FaceSet> =
                     std::collections::HashMap::new();
                 while let Some(msg) = faces_in.recv_one(rank) {
                     let key = (msg.dest, msg.iter);
@@ -471,11 +463,7 @@ pub fn run_decoupled(nprocs: usize, cfg: &CgConfig) -> CgResult {
                         let faces = pending.remove(&key).expect("just inserted");
                         // Small aggregation cost per combined packet.
                         rank.compute(1e-6);
-                        halo_out.isend_to(
-                            rank,
-                            key.0,
-                            HaloPacket { iter: key.1, faces },
-                        );
+                        halo_out.isend_to(rank, key.0, HaloPacket { iter: key.1, faces });
                     }
                 }
                 assert!(pending.is_empty(), "all face sets must complete");
@@ -486,6 +474,45 @@ pub fn run_decoupled(nprocs: usize, cfg: &CgConfig) -> CgResult {
     });
     let (residual, solution_error) = *out.lock();
     CgResult { outcome, residual, solution_error }
+}
+
+/// The decoupled solver's communication topology for the `streamcheck`
+/// static pass: the compute group streams faces to the boundary group
+/// (keyed by the *destination* rank, `nb % nc`), which replies with one
+/// combined halo packet per destination (keyed identity). The two channels
+/// form a request/reply cycle — with unbounded credit windows, so the
+/// checker reports it as an informational cycle, not a credit deadlock.
+pub fn topology(nprocs: usize, cfg: &CgConfig) -> streamcheck::Topology {
+    use streamcheck::{ChannelDecl, GroupDecl, Topology};
+    let spec = GroupSpec { every: cfg.alpha_every };
+    let g0: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
+    let g1: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
+    let scale = nprocs as f64 / g0.len() as f64;
+    let face_bytes = cfg.face_bytes(scale);
+    let nc = g1.len();
+    Topology::new(nprocs)
+        .group(GroupDecl::new("compute", g0.clone()))
+        .group(GroupDecl::new("boundary", g1.clone()))
+        .channel(
+            ChannelDecl::new(
+                "faces",
+                g0.clone(),
+                g1.clone(),
+                ChannelConfig { element_bytes: face_bytes, ..ChannelConfig::default() },
+            )
+            // Face for destination rank `nb` goes to aggregator `nb % nc`.
+            .keyed((0..g0.len()).map(|b| Some(b % nc)).collect()),
+        )
+        .channel(
+            ChannelDecl::new(
+                "halos",
+                g1,
+                g0.clone(),
+                ChannelConfig { element_bytes: face_bytes * 6, ..ChannelConfig::default() },
+            )
+            // One combined packet back to each destination rank.
+            .keyed((0..g0.len()).map(Some).collect()),
+        )
 }
 
 #[cfg(test)]
@@ -517,8 +544,11 @@ mod tests {
         let cfg = test_cfg();
         let r = run_blocking(8, &cfg);
         let (res_ser, err_ser) = serial_solve(12, cfg.iterations);
-        assert!((r.residual - res_ser).abs() <= 1e-9 * (1.0 + res_ser.abs()),
-            "parallel {} vs serial {res_ser}", r.residual);
+        assert!(
+            (r.residual - res_ser).abs() <= 1e-9 * (1.0 + res_ser.abs()),
+            "parallel {} vs serial {res_ser}",
+            r.residual
+        );
         assert!((r.solution_error - err_ser).abs() < 1e-9);
     }
 
@@ -549,8 +579,7 @@ mod tests {
         let cfg = test_cfg();
         let reference = run_blocking(6, &cfg);
         let decoupled = run_decoupled(8, &cfg);
-        let rel = (reference.residual - decoupled.residual).abs()
-            / reference.residual.max(1e-300);
+        let rel = (reference.residual - decoupled.residual).abs() / reference.residual.max(1e-300);
         assert!(rel < 1e-6, "ref {} vs dec {}", reference.residual, decoupled.residual);
     }
 

@@ -107,8 +107,7 @@ fn map_file(
     let tokens = corpus.tokens_of(file);
     let n_chunks = tokens.len().div_ceil(cfg.chunk_tokens).max(1);
     let bytes_per_chunk = file.bytes / n_chunks as u64;
-    let secs_per_chunk =
-        cfg.map_secs_per_gb * bytes_per_chunk as f64 / (1u64 << 30) as f64;
+    let secs_per_chunk = cfg.map_secs_per_gb * bytes_per_chunk as f64 / (1u64 << 30) as f64;
     for chunk in tokens.chunks(cfg.chunk_tokens) {
         // Read this slice of the file, then hash its words (really).
         pfs.read_striped(rank.ctx(), bytes_per_chunk);
@@ -157,8 +156,7 @@ pub fn run_reference(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
         // --- dense reduce over the agreed key order ---
         let dense: Vec<u64> =
             global_keys.iter().map(|k| local.get(k).copied().unwrap_or(0)).collect();
-        let dense_bytes =
-            (dense.len() as f64 * cfg2.pair_bytes as f64 * cfg2.wire_scale) as u64;
+        let dense_bytes = (dense.len() as f64 * cfg2.pair_bytes as f64 * cfg2.wire_scale) as u64;
         // Materialising the union-sized dense vector and combining it
         // along the tree is real CPU work proportional to its size
         // (construction + the expected ~1.5 combines per rank).
@@ -293,8 +291,7 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                 // Local reducer: fold arriving chunks FCFS and forward the
                 // folded chunk to the master without aggregation.
                 let mut input: Stream<KvChunk> = Stream::attach(ch1);
-                let mut to_master: Option<Stream<KvChunk>> =
-                    ch2.map(|c| Stream::attach(c));
+                let mut to_master: Option<Stream<KvChunk>> = ch2.map(Stream::attach);
                 let mut local: HashMap<u32, u64> = HashMap::new();
                 input.operate(rank, |rank, chunk| {
                     // Sparse hash fold: cheap per pair.
@@ -340,6 +337,55 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
     MapReduceResult { outcome, histogram }
 }
 
+/// The decoupled run's communication topology (the paper's Fig. 5 shape),
+/// declared for the `streamcheck` static pass. Mirrors exactly what
+/// [`run_decoupled`] builds: mappers stream keyed word chunks to the local
+/// reducers (`word % nc` partitioning), which forward folded chunks to the
+/// master — the reduce group's highest rank — unless a solo reducer is
+/// its own master.
+pub fn topology(nprocs: usize, cfg: &MapReduceConfig) -> streamcheck::Topology {
+    use streamcheck::{ChannelDecl, GroupDecl, Topology};
+    let spec = GroupSpec { every: cfg.alpha_every };
+    let mappers: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
+    let reducers: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
+    let master = *reducers.last().expect("at least one reducer");
+    let solo = reducers.len() == 1;
+    let local: Vec<usize> = if solo {
+        reducers.clone()
+    } else {
+        reducers.iter().copied().filter(|&r| r != master).collect()
+    };
+    let nc = local.len();
+    let mut topo = Topology::new(nprocs)
+        .group(GroupDecl::new("map", mappers.clone()))
+        .group(GroupDecl::new("reduce", reducers))
+        .channel(
+            ChannelDecl::new(
+                "map-output",
+                mappers,
+                local.clone(),
+                ChannelConfig { element_bytes: cfg.element_bytes, ..ChannelConfig::default() },
+            )
+            // Word-space partitioning: bucket `w % nc` -> local reducer.
+            .keyed((0..nc).map(Some).collect()),
+        );
+    if !solo {
+        topo = topo.channel(
+            ChannelDecl::new(
+                "reduce-to-master",
+                local,
+                vec![master],
+                ChannelConfig {
+                    element_bytes: cfg.master_element_bytes,
+                    ..ChannelConfig::default()
+                },
+            )
+            .keyed(vec![Some(0)]),
+        );
+    }
+    topo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,10 +401,7 @@ mod tests {
                 max_file_bytes: 64 << 20,
                 ..CorpusConfig::default()
             },
-            machine: MachineConfig {
-                noise: NoiseModel::none(),
-                ..MachineConfig::default()
-            },
+            machine: MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() },
             chunk_tokens: 64,
             alpha_every: 4,
             ..MapReduceConfig::default()
@@ -428,19 +471,13 @@ mod tests {
                 max_file_bytes: 64 << 20,
                 ..CorpusConfig::default()
             },
-            machine: MachineConfig {
-                noise: NoiseModel::none(),
-                ..MachineConfig::default()
-            },
+            machine: MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() },
             chunk_tokens: 64,
             alpha_every: 8,
             ..MapReduceConfig::default()
         };
         let t_ref = run_reference(32, &cfg).outcome.elapsed_secs();
         let t_dec = run_decoupled(32, &cfg).outcome.elapsed_secs();
-        assert!(
-            t_dec < t_ref,
-            "decoupled ({t_dec}) should beat reference ({t_ref}) at P=32"
-        );
+        assert!(t_dec < t_ref, "decoupled ({t_dec}) should beat reference ({t_ref}) at P=32");
     }
 }

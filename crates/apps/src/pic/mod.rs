@@ -151,14 +151,7 @@ impl PicState {
         let frac = (hi[0] - lo[0]) * (hi[2] - lo[2]) * cfg.particle.mass_in(lo[1], hi[1]);
         let n_actual = (total_actual * frac).round() as usize;
         let particles = cfg.particle.generate(me, n_actual, lo, hi);
-        PicState {
-            cart: cart.clone(),
-            me,
-            lo,
-            hi,
-            particles,
-            scale: total_nominal / total_actual,
-        }
+        PicState { cart: cart.clone(), me, lo, hi, particles, scale: total_nominal / total_actual }
     }
 
     /// The compute rank owning position `pos`.
@@ -185,8 +178,7 @@ impl PicState {
     /// and split off the ones that left the subdomain.
     fn mover(&mut self, rank: &mut Rank, cfg: &PicConfig) -> Vec<Particle> {
         let swing = workloads::lognormal(1.0, cfg.mover_step_cv, rank.rng());
-        let secs =
-            self.nominal_count() * cfg.mover_flops_per_particle / cfg.flop_rate * swing;
+        let secs = self.nominal_count() * cfg.mover_flops_per_particle / cfg.flop_rate * swing;
         rank.traced("comp", |rank| rank.compute(secs));
         let dt = cfg.dt;
         let pcfg = cfg.particle.clone();
@@ -259,10 +251,7 @@ fn forward_hop(cart: &CartComm, me: usize, owner: usize) -> usize {
 /// particle hotspot the same way and stay comparable.
 pub(crate) fn pic_dims(n: usize) -> Vec<usize> {
     let mut d = dims_create(n, 3); // sorted non-increasing
-    let y_idx = d
-        .iter()
-        .position(|&v| v % 2 == 0)
-        .unwrap_or(0);
+    let y_idx = d.iter().position(|&v| v % 2 == 0).unwrap_or(0);
     let y = d.remove(y_idx);
     // Remaining two: larger to x, smaller to z.
     vec![d[0], y, d[1]]
@@ -392,8 +381,8 @@ fn run_comm_decoupled_inner(nprocs: usize, cfg: &PicConfig, trace: bool) -> PicR
             Role::Bystander => Role::Bystander,
         };
         // Wire size of one actual particle at nominal scale.
-        let pb = (cfg2.particle_bytes as f64 * cfg2.nominal_per_rank
-            / cfg2.actual_per_rank as f64) as u64;
+        let pb = (cfg2.particle_bytes as f64 * cfg2.nominal_per_rank / cfg2.actual_per_rank as f64)
+            as u64;
         let fwd_ch = StreamChannel::create(
             rank,
             &comm,
@@ -551,8 +540,8 @@ pub fn run_io_decoupled(nprocs: usize, cfg: &PicConfig) -> PicResult {
         let comm = rank.comm_world();
         let spec = GroupSpec { every: cfg2.alpha_every };
         let (g0, _g1, role) = spec.split(rank, &comm);
-        let pb = (cfg2.particle_bytes as f64 * cfg2.nominal_per_rank
-            / cfg2.actual_per_rank as f64) as u64;
+        let pb = (cfg2.particle_bytes as f64 * cfg2.nominal_per_rank / cfg2.actual_per_rank as f64)
+            as u64;
         let ch = StreamChannel::create(
             rank,
             &comm,
@@ -612,6 +601,60 @@ pub fn run_io_decoupled(nprocs: usize, cfg: &PicConfig) -> PicResult {
     }
 }
 
+/// Communication topology of [`run_comm_decoupled`] for the `streamcheck`
+/// static pass: exiting particles stream to relay rank `me % nc`, which
+/// forwards each bundle to its owner (keyed identity over the compute
+/// group). Like CG, the fwd/rev pair is an unbounded request/reply cycle.
+pub fn comm_topology(nprocs: usize, cfg: &PicConfig) -> streamcheck::Topology {
+    use streamcheck::{ChannelDecl, GroupDecl, Topology};
+    let spec = GroupSpec { every: cfg.alpha_every };
+    let g0: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
+    let g1: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
+    let pb = (cfg.particle_bytes as f64 * cfg.nominal_per_rank / cfg.actual_per_rank as f64) as u64;
+    let nc = g1.len();
+    Topology::new(nprocs)
+        .group(GroupDecl::new("compute", g0.clone()))
+        .group(GroupDecl::new("relay", g1.clone()))
+        .channel(
+            ChannelDecl::new(
+                "exits",
+                g0.clone(),
+                g1.clone(),
+                ChannelConfig { element_bytes: pb.max(1), ..ChannelConfig::default() },
+            )
+            .keyed((0..g0.len()).map(|b| Some(b % nc)).collect()),
+        )
+        .channel(
+            ChannelDecl::new(
+                "returns",
+                g1,
+                g0.clone(),
+                ChannelConfig { element_bytes: pb.max(1), ..ChannelConfig::default() },
+            )
+            .keyed((0..g0.len()).map(Some).collect()),
+        )
+}
+
+/// Communication topology of [`run_io_decoupled`]: one statically-routed,
+/// aggregated particle stream from the compute group to the I/O group —
+/// an acyclic pipeline the checker certifies deadlock-free.
+pub fn io_topology(nprocs: usize, cfg: &PicConfig) -> streamcheck::Topology {
+    use streamcheck::{ChannelDecl, GroupDecl, Topology};
+    let spec = GroupSpec { every: cfg.alpha_every };
+    let g0: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
+    let g1: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
+    let pb = (cfg.particle_bytes as f64 * cfg.nominal_per_rank / cfg.actual_per_rank as f64) as u64;
+    Topology::new(nprocs)
+        .group(GroupDecl::new("compute", g0.clone()))
+        .group(GroupDecl::new("io", g1.clone()))
+        .channel(ChannelDecl::new(
+            "particles",
+            g0,
+            g1,
+            ChannelConfig { element_bytes: pb.max(1), aggregation: 64, ..ChannelConfig::default() },
+        ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -633,9 +676,7 @@ mod tests {
         let dims = dims_create(compute_ranks, 3);
         let comm = Comm::new(0, (0..compute_ranks).collect());
         let cart = CartComm::new(comm, dims, vec![true; 3]);
-        (0..compute_ranks)
-            .map(|r| PicState::new(cfg, &cart, r, world).particles.len() as u64)
-            .sum()
+        (0..compute_ranks).map(|r| PicState::new(cfg, &cart, r, world).particles.len() as u64).sum()
     }
 
     #[test]
@@ -740,8 +781,8 @@ mod tests {
         let dec = run_io_decoupled(8, &cfg);
         assert!(dec.bytes_written > 0);
         // Volume ≈ iterations x total particles x per-particle bytes.
-        let pb = (cfg.particle_bytes as f64 * cfg.nominal_per_rank
-            / cfg.actual_per_rank as f64) as u64;
+        let pb =
+            (cfg.particle_bytes as f64 * cfg.nominal_per_rank / cfg.actual_per_rank as f64) as u64;
         let initial = total_initial_particles(&cfg, 6, 8);
         let expect = cfg.iterations as u64 * initial * pb;
         let rel = (dec.bytes_written as f64 - expect as f64).abs() / expect as f64;
@@ -753,11 +794,7 @@ mod tests {
         // Keep the mover light so the comparison isolates the I/O path
         // (at miniature scale the 24- vs 32-rank y-decompositions split
         // the particle sheet differently, which would otherwise dominate).
-        let cfg = PicConfig {
-            iterations: 3,
-            mover_flops_per_particle: 40.0,
-            ..test_cfg()
-        };
+        let cfg = PicConfig { iterations: 3, mover_flops_per_particle: 40.0, ..test_cfg() };
         let t_coll = run_io_reference(32, &cfg, IoMode::Collective).outcome.elapsed_secs();
         let t_shared = run_io_reference(32, &cfg, IoMode::Shared).outcome.elapsed_secs();
         let t_dec = run_io_decoupled(32, &cfg).outcome.elapsed_secs();

@@ -23,12 +23,8 @@ fn fig2_trace(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("fig2_trace");
     g.sample_size(10);
-    g.bench_function("reference_7ranks", |b| {
-        b.iter(|| pic::run_comm_reference_traced(7, &cfg))
-    });
-    g.bench_function("decoupled_7ranks", |b| {
-        b.iter(|| pic::run_comm_decoupled_traced(7, &cfg))
-    });
+    g.bench_function("reference_7ranks", |b| b.iter(|| pic::run_comm_reference_traced(7, &cfg)));
+    g.bench_function("decoupled_7ranks", |b| b.iter(|| pic::run_comm_decoupled_traced(7, &cfg)));
     g.finish();
 }
 
@@ -45,9 +41,7 @@ fn fig3_model(c: &mut Criterion) {
         op1_optimization: 8.0,
     };
     let mut g = c.benchmark_group("fig3_model");
-    g.bench_function("schedule_comparison", |b| {
-        b.iter(|| figure3(&scn, 1.0 / 8.0, 16e3))
-    });
+    g.bench_function("schedule_comparison", |b| b.iter(|| figure3(&scn, 1.0 / 8.0, 16e3)));
     g.bench_function("optimal_alpha_search", |b| b.iter(|| scn.optimal_alpha(16e3)));
     g.bench_function("optimal_granularity_search", |b| {
         b.iter(|| scn.optimal_granularity(1.0 / 8.0, 64.0, 1e8))
@@ -63,12 +57,8 @@ fn fig5_mapreduce(c: &mut Criterion) {
     small.corpus.max_file_bytes = 128 << 20;
     let mut g = c.benchmark_group("fig5_mapreduce");
     g.sample_size(10);
-    g.bench_function("reference_64ranks", |b| {
-        b.iter(|| mapreduce::run_reference(P, &small))
-    });
-    g.bench_function("decoupled_64ranks", |b| {
-        b.iter(|| mapreduce::run_decoupled(P, &small))
-    });
+    g.bench_function("reference_64ranks", |b| b.iter(|| mapreduce::run_reference(P, &small)));
+    g.bench_function("decoupled_64ranks", |b| b.iter(|| mapreduce::run_decoupled(P, &small)));
     g.finish();
 }
 
@@ -88,12 +78,8 @@ fn fig7_pic_comm(c: &mut Criterion) {
     cfg.actual_per_rank = 48;
     let mut g = c.benchmark_group("fig7_pic_comm");
     g.sample_size(10);
-    g.bench_function("reference_64ranks", |b| {
-        b.iter(|| pic::run_comm_reference(P, &cfg))
-    });
-    g.bench_function("decoupled_64ranks", |b| {
-        b.iter(|| pic::run_comm_decoupled(P, &cfg))
-    });
+    g.bench_function("reference_64ranks", |b| b.iter(|| pic::run_comm_reference(P, &cfg)));
+    g.bench_function("decoupled_64ranks", |b| b.iter(|| pic::run_comm_decoupled(P, &cfg)));
     g.finish();
 }
 
@@ -109,9 +95,7 @@ fn fig8_pic_io(c: &mut Criterion) {
     g.bench_function("write_shared_64ranks", |b| {
         b.iter(|| pic::run_io_reference(P, &cfg, pic::IoMode::Shared))
     });
-    g.bench_function("decoupled_64ranks", |b| {
-        b.iter(|| pic::run_io_decoupled(P, &cfg))
-    });
+    g.bench_function("decoupled_64ranks", |b| b.iter(|| pic::run_io_decoupled(P, &cfg)));
     g.finish();
 }
 

@@ -122,11 +122,8 @@ fn adaptive_vs_static() {
         "\nAblation 4 — adaptive granularity: fine {fixed_fine:.4}s, \
          coarse {fixed_coarse:.4}s, adaptive {adaptive:.4}s"
     );
-    let mut table = Table::new(
-        "Ablation 4 — adaptive granularity controller",
-        "variant",
-        &["secs"],
-    );
+    let mut table =
+        Table::new("Ablation 4 — adaptive granularity controller", "variant", &["secs"]);
     table.push(1, vec![fixed_fine]);
     table.push(128, vec![fixed_coarse]);
     table.push(999, vec![adaptive]);

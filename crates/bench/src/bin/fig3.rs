@@ -58,8 +58,7 @@ fn micro_sim(t_sigma: f64) -> (f64, f64) {
                 GroupSpec { every: 8 },
                 ChannelConfig { element_bytes: 4 << 10, ..ChannelConfig::default() },
                 move |rank, pc| {
-                    let straggle =
-                        if rank.world_rank() == 0 { t_sigma / 10e-3 } else { 0.0 };
+                    let straggle = if rank.world_rank() == 0 { t_sigma / 10e-3 } else { 0.0 };
                     for i in 0..elements {
                         rank.compute_exact(op0 * (1.0 + straggle));
                         pc.stream.isend(rank, i as u64);

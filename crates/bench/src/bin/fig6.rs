@@ -33,11 +33,7 @@ fn main() {
         );
         table.push(
             p,
-            vec![
-                b.outcome.elapsed_secs(),
-                n.outcome.elapsed_secs(),
-                d.outcome.elapsed_secs(),
-            ],
+            vec![b.outcome.elapsed_secs(), n.outcome.elapsed_secs(), d.outcome.elapsed_secs()],
         );
     }
     table.finish("fig6_cg");

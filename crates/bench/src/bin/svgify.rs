@@ -36,8 +36,7 @@ fn main() {
                 Some(x) => x,
                 None => continue,
             };
-            let vals: Vec<f64> =
-                parts.map(|v| v.parse().unwrap_or(f64::NAN)).collect();
+            let vals: Vec<f64> = parts.map(|v| v.parse().unwrap_or(f64::NAN)).collect();
             if vals.len() == cols.len() {
                 table.push(x, vals);
             }

@@ -30,10 +30,7 @@ pub fn max_procs(default: usize) -> usize {
     if full_scale() {
         return 8192;
     }
-    std::env::var("MAX_PROCS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("MAX_PROCS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Whether the full paper-scale run was requested.
@@ -148,10 +145,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_paper_points() {
-        assert_eq!(
-            proc_sweep(8192),
-            vec![32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
-        );
+        assert_eq!(proc_sweep(8192), vec![32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]);
         assert_eq!(proc_sweep(100), vec![32, 64]);
     }
 
@@ -214,8 +208,8 @@ pub mod configs {
     /// idle-wave effect — serialized halo waits harvest and propagate
     /// noise that overlap hides (Peng et al., HPCC'16, the paper's [5]).
     pub fn fig6(iters: usize) -> CgConfig {
-        use mpisim::{MachineConfig, NoiseModel};
         use desim::SimDuration;
+        use mpisim::{MachineConfig, NoiseModel};
         CgConfig {
             n_local: 6,
             iterations: iters,

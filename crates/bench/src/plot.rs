@@ -71,7 +71,11 @@ pub fn render_svg(table: &Table) -> String {
     for (x, _) in &table.rows {
         let px = x_of((*x as f64).log2());
         let py = MARGIN_T + plot_h;
-        let _ = write!(svg, r#"<line x1="{px}" y1="{py}" x2="{px}" y2="{}" stroke="black"/>"#, py + 5.0);
+        let _ = write!(
+            svg,
+            r#"<line x1="{px}" y1="{py}" x2="{px}" y2="{}" stroke="black"/>"#,
+            py + 5.0
+        );
         let _ = write!(
             svg,
             r#"<text x="{px}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{x}</text>"#,
@@ -124,15 +128,9 @@ pub fn render_svg(table: &Table) -> String {
             } else {
                 let _ = write!(path, " L{px:.1},{py:.1}");
             }
-            let _ = write!(
-                svg,
-                r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.2" fill="{color}"/>"#
-            );
+            let _ = write!(svg, r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.2" fill="{color}"/>"#);
         }
-        let _ = write!(
-            svg,
-            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
-        );
+        let _ = write!(svg, r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#);
         // Legend.
         let ly = MARGIN_T + 14.0 + ci as f64 * 20.0;
         let lx = MARGIN_L + plot_w + 14.0;

@@ -69,7 +69,7 @@ mod tests {
         let mut a = AdaptiveGranularity::new(1e-3, 1, 1024);
         let mut t = SimTime::ZERO;
         for _ in 0..20 {
-            t = t + SimDuration::from_micros(10); // far under target
+            t += SimDuration::from_micros(10); // far under target
             a.on_flush(t);
         }
         assert_eq!(a.batch(), 1024, "should saturate at max");
@@ -81,13 +81,13 @@ mod tests {
         // Force it up first.
         let mut t = SimTime::ZERO;
         for _ in 0..10 {
-            t = t + SimDuration::from_micros(10);
+            t += SimDuration::from_micros(10);
             a.on_flush(t);
         }
         let grown = a.batch();
         assert!(grown > 1);
         for _ in 0..20 {
-            t = t + SimDuration::from_millis(10); // far over target
+            t += SimDuration::from_millis(10); // far over target
             a.on_flush(t);
         }
         assert_eq!(a.batch(), 1, "should decay to min");
@@ -100,7 +100,7 @@ mod tests {
         a.on_flush(t);
         let before = a.batch();
         for _ in 0..50 {
-            t = t + SimDuration::from_millis(1);
+            t += SimDuration::from_millis(1);
             a.on_flush(t);
         }
         assert_eq!(a.batch(), before, "in-band intervals must not oscillate");

@@ -62,6 +62,83 @@ impl Default for ChannelConfig {
     }
 }
 
+/// Why a [`ChannelConfig`] was rejected at channel construction. Each
+/// variant is a configuration that would hang or misbehave at runtime —
+/// better refused up front with a typed error than discovered when an
+/// 8,192-rank simulation stalls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `element_bytes == 0`: the stream granularity `S` must be positive —
+    /// a zero-byte element makes every cost model term degenerate.
+    ZeroGranularity,
+    /// `aggregation == 0`: a message must carry at least one element, or
+    /// the producer's flush loop never makes progress.
+    ZeroAggregation,
+    /// `credits == Some(0)`: a zero-element window can never admit an
+    /// element, so the first send blocks forever.
+    ZeroCreditWindow,
+    /// `credits < aggregation`: the window can never admit one aggregated
+    /// batch, so the producer stalls permanently on its first full batch.
+    CreditWindowBelowBatch { credits: usize, aggregation: usize },
+    /// `failure_timeout == Some(0)`: every peer would be declared dead the
+    /// instant the endpoint first waits, partitioning a healthy stream.
+    ZeroFailureTimeout,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroGranularity => {
+                write!(f, "element_bytes is 0: stream granularity must be at least one byte")
+            }
+            ConfigError::ZeroAggregation => {
+                write!(f, "aggregation is 0: a message must carry at least one element")
+            }
+            ConfigError::ZeroCreditWindow => {
+                write!(f, "credits is Some(0): a zero credit window blocks the first send forever")
+            }
+            ConfigError::CreditWindowBelowBatch { credits, aggregation } => write!(
+                f,
+                "credit window ({credits}) is smaller than one aggregated batch \
+                 ({aggregation} elements): the producer can never send"
+            ),
+            ConfigError::ZeroFailureTimeout => {
+                write!(f, "failure_timeout is Some(0): every peer would be declared dead instantly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ChannelConfig {
+    /// Check the configuration for values that hang or misbehave at
+    /// runtime. Called by [`StreamChannel::create`]; also usable up front
+    /// (and by `streamcheck`'s static pass) without building a channel.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.element_bytes == 0 {
+            return Err(ConfigError::ZeroGranularity);
+        }
+        if self.aggregation == 0 {
+            return Err(ConfigError::ZeroAggregation);
+        }
+        match self.credits {
+            Some(0) => return Err(ConfigError::ZeroCreditWindow),
+            Some(c) if c < self.aggregation => {
+                return Err(ConfigError::CreditWindowBelowBatch {
+                    credits: c,
+                    aggregation: self.aggregation,
+                });
+            }
+            _ => {}
+        }
+        if self.failure_timeout == Some(SimDuration::ZERO) {
+            return Err(ConfigError::ZeroFailureTimeout);
+        }
+        Ok(())
+    }
+}
+
 /// A communication channel between a producer group and a consumer group
 /// (`MPIStream_CreateChannel` in the paper). Creation is collective over
 /// `comm`; every member declares its [`Role`].
@@ -84,16 +161,24 @@ impl StreamChannel {
         role: Role,
         config: ChannelConfig,
     ) -> StreamChannel {
-        assert!(config.aggregation >= 1, "aggregation factor must be >= 1");
-        assert!(config.element_bytes >= 1, "element size must be >= 1 byte");
-        if let Some(c) = config.credits {
-            assert!(
-                c >= config.aggregation,
-                "credit window ({c}) must admit at least one aggregated batch \
-                 ({} elements)",
-                config.aggregation
-            );
+        match StreamChannel::try_create(rank, comm, role, config) {
+            Ok(ch) => ch,
+            Err(e) => panic!("invalid ChannelConfig: {e}"),
         }
+    }
+
+    /// [`StreamChannel::create`] returning the typed [`ConfigError`] instead
+    /// of panicking on an invalid configuration. Validation happens before
+    /// any communication, so a rejected config leaves the communicator in a
+    /// usable state on every rank (all ranks see the same config and reject
+    /// identically).
+    pub fn try_create(
+        rank: &mut Rank,
+        comm: &Comm,
+        role: Role,
+        config: ChannelConfig,
+    ) -> Result<StreamChannel, ConfigError> {
+        config.validate()?;
         let code = match role {
             Role::Producer => 0u8,
             Role::Consumer => 1,
@@ -119,7 +204,13 @@ impl StreamChannel {
             None
         };
         let id = rank.bcast(comm, 0, 2, id);
-        StreamChannel { id, producers, consumers, my_role: role, config }
+        let ch = StreamChannel { id, producers, consumers, my_role: role, config };
+        // Sanitizer: every member registers the channel's flow-control
+        // parameters (idempotent) so credit audits and the orphan scan can
+        // classify this channel's traffic.
+        #[cfg(feature = "check")]
+        rank.check_register_channel(ch.id, ch.config.credits.map(|c| c as u64), ch.credit_tag());
+        Ok(ch)
     }
 
     /// World ranks of the producer group.

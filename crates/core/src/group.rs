@@ -40,7 +40,7 @@ impl GroupSpec {
 
     /// The α this spec realises.
     pub fn alpha(&self) -> f64 {
-        1.0 / self.every as usize as f64
+        1.0 / self.every as f64
     }
 
     /// Role of a world rank: the last rank of each block of `every` joins
@@ -72,15 +72,10 @@ impl GroupSpec {
             Role::Consumer => 1,
             Role::Bystander => unreachable!("GroupSpec assigns no bystanders"),
         };
-        let mine = rank
-            .split(comm, Some(color), me as i64)
-            .expect("split with Some color yields a comm");
-        let other_ranks: Vec<usize> = comm
-            .ranks()
-            .iter()
-            .copied()
-            .filter(|&w| self.role_of(w) != role)
-            .collect();
+        let mine =
+            rank.split(comm, Some(color), me as i64).expect("split with Some color yields a comm");
+        let other_ranks: Vec<usize> =
+            comm.ranks().iter().copied().filter(|&w| self.role_of(w) != role).collect();
         // Metadata-only view of the opposite group (id outside the
         // registered range; never used to address collectives).
         let other = Comm::new(u16::MAX, other_ranks);

@@ -53,7 +53,7 @@ pub mod select;
 pub mod stream;
 
 pub use adaptive::AdaptiveGranularity;
-pub use channel::{ChannelConfig, RoutePolicy, StreamChannel};
+pub use channel::{ChannelConfig, ConfigError, RoutePolicy, StreamChannel};
 pub use group::{GroupSpec, Role};
 pub use harness::{run_decoupled, ConsumerCtx, ProducerCtx};
 pub use select::operate2;

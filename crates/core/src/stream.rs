@@ -91,18 +91,12 @@ impl StreamOutcome {
     /// Whether every producer closed cleanly and every claimed element was
     /// delivered — i.e. the run was indistinguishable from fault-free.
     pub fn complete(&self) -> bool {
-        self.producers
-            .iter()
-            .all(|p| p.state == ProducerState::Terminated && p.lost() == 0)
+        self.producers.iter().all(|p| p.state == ProducerState::Terminated && p.lost() == 0)
     }
 
     /// World ranks of the producers declared dead.
     pub fn dead(&self) -> Vec<usize> {
-        self.producers
-            .iter()
-            .filter(|p| p.state == ProducerState::Dead)
-            .map(|p| p.rank)
-            .collect()
+        self.producers.iter().filter(|p| p.state == ProducerState::Dead).map(|p| p.rank).collect()
     }
 
     /// Total elements known lost (claimed by a `Term` but not delivered).
@@ -184,9 +178,7 @@ impl<T: Send + 'static> Stream<T> {
 
     fn default_consumer_index(&mut self, rank: &Rank) -> usize {
         match self.channel.config.route {
-            RoutePolicy::Static => {
-                self.my_producer_index(rank) % self.channel.consumers.len()
-            }
+            RoutePolicy::Static => self.my_producer_index(rank) % self.channel.consumers.len(),
             RoutePolicy::RoundRobin => {
                 let i = self.rr_next;
                 self.rr_next = (self.rr_next + 1) % self.channel.consumers.len();
@@ -280,6 +272,8 @@ impl<T: Send + 'static> Stream<T> {
             let req = rank.isend_t(dst, tag, bytes, Wire::Data(batch));
             rank.wait_send(req);
             self.outstanding[consumer] += n;
+            #[cfg(feature = "check")]
+            rank.check_data_sent(self.channel.id, dst, n);
             self.sent_per_consumer[consumer] += n;
             self.stats.elements += n;
             self.stats.batches += 1;
@@ -294,9 +288,7 @@ impl<T: Send + 'static> Stream<T> {
         match self.channel.config.route {
             RoutePolicy::RoundRobin => {
                 let nc = self.channel.consumers.len();
-                (1..nc)
-                    .map(|d| (consumer + d) % nc)
-                    .find(|&c| !self.dead_consumers[c])
+                (1..nc).map(|d| (consumer + d) % nc).find(|&c| !self.dead_consumers[c])
             }
             RoutePolicy::Static => None,
         }
@@ -429,10 +421,7 @@ impl<T: Send + 'static> Stream<T> {
         mut op: impl FnMut(&mut Rank, T),
     ) -> StreamOutcome {
         assert_eq!(self.channel.my_role, Role::Consumer, "operate on a non-consumer endpoint");
-        assert_eq!(
-            self.terms_seen, 0,
-            "operate_outcome must be the endpoint's only draining call"
-        );
+        assert_eq!(self.terms_seen, 0, "operate_outcome must be the endpoint's only draining call");
         let producers = self.channel.producers.clone();
         let np = producers.len();
         // Consumer patience is 2x the configured timeout (see rustdoc).
@@ -488,6 +477,8 @@ impl<T: Send + 'static> Stream<T> {
                             }
                             if self.channel.config.credits.is_some() {
                                 rank.send_t(info.src, self.channel.credit_tag(), 8, n);
+                                #[cfg(feature = "check")]
+                                rank.check_credit_issued(self.channel.id, info.src, n);
                             }
                         }
                         Wire::Term { sent } => {
@@ -512,8 +503,7 @@ impl<T: Send + 'static> Stream<T> {
                 }
             }
         }
-        self.dead_producers =
-            (0..np).filter(|&i| dead[i]).map(|i| producers[i]).collect();
+        self.dead_producers = (0..np).filter(|&i| dead[i]).map(|i| producers[i]).collect();
         StreamOutcome {
             processed,
             producers: (0..np)
@@ -521,11 +511,7 @@ impl<T: Send + 'static> Stream<T> {
                     rank: producers[i],
                     delivered: delivered[i],
                     claimed: claimed[i],
-                    state: if dead[i] {
-                        ProducerState::Dead
-                    } else {
-                        ProducerState::Terminated
-                    },
+                    state: if dead[i] { ProducerState::Dead } else { ProducerState::Terminated },
                 })
                 .collect(),
         }
@@ -561,11 +547,7 @@ impl<T: Send + 'static> Stream<T> {
     /// Like [`Stream::operate_some`] but also reports whether *any* wire
     /// message (data or termination marker) was consumed — the progress
     /// signal multiplexers need to avoid busy-waiting.
-    pub fn try_step(
-        &mut self,
-        rank: &mut Rank,
-        mut op: impl FnMut(&mut Rank, T),
-    ) -> (u64, bool) {
+    pub fn try_step(&mut self, rank: &mut Rank, mut op: impl FnMut(&mut Rank, T)) -> (u64, bool) {
         assert_eq!(self.channel.my_role, Role::Consumer);
         let tag = self.channel.data_tag();
         match rank.try_recv_t::<Wire<T>>(Src::Any, tag) {
@@ -588,14 +570,8 @@ impl<T: Send + 'static> Stream<T> {
     pub fn free(self, _rank: &mut Rank) {
         match self.channel.my_role {
             Role::Producer => {
-                assert!(
-                    self.terminated,
-                    "free() on a producer endpoint that never terminated"
-                );
-                assert!(
-                    self.agg.iter().all(|b| b.is_empty()),
-                    "free() with unflushed elements"
-                );
+                assert!(self.terminated, "free() on a producer endpoint that never terminated");
+                assert!(self.agg.iter().all(|b| b.is_empty()), "free() with unflushed elements");
             }
             Role::Consumer => {
                 assert!(
@@ -645,6 +621,8 @@ impl<T: Send + 'static> Stream<T> {
                     self.pending.extend(batch);
                     if self.channel.config.credits.is_some() {
                         rank.send_t(info.src, self.channel.credit_tag(), 8, n);
+                        #[cfg(feature = "check")]
+                        rank.check_credit_issued(self.channel.id, info.src, n);
                     }
                 }
                 Wire::Term { sent } => {
@@ -681,6 +659,8 @@ impl<T: Send + 'static> Stream<T> {
                 if self.channel.config.credits.is_some() {
                     // Acknowledge the whole batch in one small message.
                     rank.send_t(info.src, self.channel.credit_tag(), 8, n);
+                    #[cfg(feature = "check")]
+                    rank.check_credit_issued(self.channel.id, info.src, n);
                 }
                 n
             }

@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use mpisim::{FaultPlan, MachineConfig, SimDuration, SimTime, World};
-use mpistream::{
-    ChannelConfig, ProducerState, Role, RoutePolicy, Stream, StreamChannel,
-};
+use mpistream::{ChannelConfig, ProducerState, Role, RoutePolicy, Stream, StreamChannel};
 use parking_lot::Mutex;
 
 fn ideal() -> World {

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use mpisim::{FaultPlan, MachineConfig, SimDuration, World};
-use mpistream::{
-    ChannelConfig, GroupSpec, Role, RoutePolicy, Stream, StreamChannel, StreamStats,
-};
+use mpistream::{ChannelConfig, GroupSpec, Role, RoutePolicy, Stream, StreamChannel, StreamStats};
 use parking_lot::Mutex;
 use proptest::prelude::*;
 
@@ -195,8 +193,9 @@ proptest! {
     #[test]
     fn group_split_is_consistent(every in 2usize..9, blocks in 1usize..5) {
         let nprocs = every * blocks;
-        let seen: Arc<Mutex<Vec<(usize, bool, usize, usize)>>> =
-            Arc::new(Mutex::new(Vec::new()));
+        // (world rank, is-producer, producer-group size, consumer-group size).
+        type SplitObs = (usize, bool, usize, usize);
+        let seen: Arc<Mutex<Vec<SplitObs>>> = Arc::new(Mutex::new(Vec::new()));
         let s2 = seen.clone();
         let world = World::new(MachineConfig::ideal());
         world.run_expect(nprocs, move |rank| {

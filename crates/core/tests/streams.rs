@@ -284,10 +284,7 @@ fn credit_window_bounds_consumer_queue_memory() {
     }
     let unbounded = run(None);
     let bounded = run(Some(4));
-    assert!(
-        bounded <= 4 << 20,
-        "credit window of 4 x 1MB must bound queue, got {bounded}"
-    );
+    assert!(bounded <= 4 << 20, "credit window of 4 x 1MB must bound queue, got {bounded}");
     assert!(
         unbounded > bounded * 4,
         "unbounded queue ({unbounded}) should far exceed bounded ({bounded})"
@@ -322,8 +319,10 @@ fn stats_agree_between_endpoints() {
             p3.lock().push(stats);
         }
     });
-    let total_sent: u64 = prod_stats.lock().iter().map(|s: &mpistream::StreamStats| s.elements).sum();
-    let total_recv: u64 = cons_stats.lock().iter().map(|s: &mpistream::StreamStats| s.elements).sum();
+    let total_sent: u64 =
+        prod_stats.lock().iter().map(|s: &mpistream::StreamStats| s.elements).sum();
+    let total_recv: u64 =
+        cons_stats.lock().iter().map(|s: &mpistream::StreamStats| s.elements).sum();
     assert_eq!(total_sent, 60);
     assert_eq!(total_recv, 60);
     let batches_sent: u64 = prod_stats.lock().iter().map(|s| s.batches).sum();
@@ -475,10 +474,7 @@ fn adaptive_granularity_converges_in_simulation() {
         }
     });
     let b = final_batch.load(Ordering::SeqCst);
-    assert!(
-        (32..=512).contains(&b),
-        "controller should settle near 100 elems/batch, got {b}"
-    );
+    assert!((32..=512).contains(&b), "controller should settle near 100 elems/batch, got {b}");
 }
 
 #[test]
@@ -511,13 +507,8 @@ fn operate2_multiplexes_two_channels_fcfs() {
                 sb.terminate(rank);
             }
             Role::Consumer => {
-                let (na, nb) = operate2(
-                    rank,
-                    &mut sa,
-                    &mut sb,
-                    |_, _| {},
-                    |_, s| assert!(s.starts_with('m')),
-                );
+                let (na, nb) =
+                    operate2(rank, &mut sa, &mut sb, |_, _| {}, |_, s| assert!(s.starts_with('m')));
                 ga.store(na, Ordering::SeqCst);
                 gb.store(nb, Ordering::SeqCst);
                 sa.free(rank);

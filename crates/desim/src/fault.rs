@@ -206,10 +206,7 @@ impl FaultPlan {
 
     /// Pause windows as `(pid, from_ns, until_ns)` for the scheduler.
     pub(crate) fn pause_windows(&self) -> Vec<(Pid, u64, u64)> {
-        self.pauses
-            .iter()
-            .map(|&(pid, at, dur)| (pid, at.0, at.0.saturating_add(dur.0)))
-            .collect()
+        self.pauses.iter().map(|&(pid, at, dur)| (pid, at.0, at.0.saturating_add(dur.0))).collect()
     }
 
     /// The process-fault schedule in firing order (stable on ties), as
@@ -223,9 +220,7 @@ impl FaultPlan {
                 kind: FaultKind::Pause { pid, until: at + dur },
             })
             .chain(
-                self.kills
-                    .iter()
-                    .map(|&(pid, at)| FaultAction { at, kind: FaultKind::Kill(pid) }),
+                self.kills.iter().map(|&(pid, at)| FaultAction { at, kind: FaultKind::Kill(pid) }),
             )
             .collect();
         out.sort_by_key(|a| a.at);
@@ -350,9 +345,7 @@ mod tests {
         let plan = FaultPlan::new(7).link(LinkFault::new(3, 4).drop_prob(0.3));
         let n = 20_000u64;
         let dropped = (0..n)
-            .filter(|&seq| {
-                plan.link_disposition(3, 4, SimTime(0), seq) == LinkDisposition::Drop
-            })
+            .filter(|&seq| plan.link_disposition(3, 4, SimTime(0), seq) == LinkDisposition::Drop)
             .count() as f64;
         let rate = dropped / n as f64;
         assert!((rate - 0.3).abs() < 0.02, "drop rate {rate} far from 0.3");

@@ -66,6 +66,17 @@ impl Token {
     }
 }
 
+/// The most recent trace span a process opened (and possibly closed),
+/// remembered even when no trace sink is recording so deadlock reports can
+/// show where each process last was without re-running under trace.
+#[derive(Clone, Copy)]
+struct SpanNote {
+    tag: &'static str,
+    start: u64,
+    /// `None` while the span is still open.
+    end: Option<u64>,
+}
+
 struct ProcMeta {
     name: String,
     token: Arc<Token>,
@@ -76,6 +87,8 @@ struct ProcMeta {
     /// Human-readable description of what the process is blocked on,
     /// reported on deadlock.
     blocked_on: &'static str,
+    /// Most recent trace span, for deadlock diagnosis.
+    last_span: Option<SpanNote>,
 }
 
 struct Sched {
@@ -133,7 +146,15 @@ pub struct Kernel {
     main_token: Token,
     aborted: AtomicBool,
     abort_reason: Mutex<Option<String>>,
+    /// External diagnostic sources appended to deadlock reports (e.g. the
+    /// mpisim sanitizer's in-flight credit table). Each callback must not
+    /// touch kernel state: it runs while a deadlock is being reported.
+    diagnostics: Mutex<Vec<DiagnosticSource>>,
 }
+
+/// A callback contributing extra lines to deadlock reports; returns `None`
+/// when it has nothing to say.
+pub type DiagnosticSource = Arc<dyn Fn() -> Option<String> + Send + Sync>;
 
 /// Panic payload used to unwind parked process threads when the simulation
 /// aborts (deadlock or a sibling process panicked). `Simulation::run`
@@ -159,6 +180,7 @@ impl Kernel {
             main_token: Token::new(),
             aborted: AtomicBool::new(false),
             abort_reason: Mutex::new(None),
+            diagnostics: Mutex::new(Vec::new()),
         })
     }
 
@@ -166,7 +188,14 @@ impl Kernel {
         let mut s = self.state.lock();
         let pid = s.procs.len();
         let token = Arc::new(Token::new());
-        s.procs.push(ProcMeta { name, token, done: false, killed: false, blocked_on: "start" });
+        s.procs.push(ProcMeta {
+            name,
+            token,
+            done: false,
+            killed: false,
+            blocked_on: "start",
+            last_span: None,
+        });
         s.live += 1;
         pid
     }
@@ -423,19 +452,54 @@ impl Kernel {
         self.main_token.set();
     }
 
+    /// Remember `pid`'s most recent trace span. Called by
+    /// [`crate::Ctx::trace_begin`]/[`crate::Ctx::trace_end`] whether or not a
+    /// trace sink is recording, so deadlock reports can show where each
+    /// process last was without re-running under trace.
+    pub(crate) fn note_span(&self, pid: Pid, tag: &'static str, start: u64, end: Option<u64>) {
+        self.state.lock().procs[pid].last_span = Some(SpanNote { tag, start, end });
+    }
+
+    /// Register a diagnostic source whose output is appended to deadlock
+    /// reports. The callback runs while a deadlock is being reported and must
+    /// not call back into the kernel; returning `None` contributes nothing.
+    pub fn add_diagnostics(&self, source: Arc<dyn Fn() -> Option<String> + Send + Sync>) {
+        self.diagnostics.lock().push(source);
+    }
+
     fn proc_name(&self, pid: Pid) -> String {
         self.state.lock().procs[pid].name.clone()
     }
 
     fn blocked_report(&self) -> String {
-        let s = self.state.lock();
         let mut out = String::new();
-        for (pid, p) in s.procs.iter().enumerate() {
-            if !p.done {
-                out.push_str(&format!(
-                    "  pid {} `{}` blocked on: {}\n",
-                    pid, p.name, p.blocked_on
-                ));
+        {
+            let s = self.state.lock();
+            for (pid, p) in s.procs.iter().enumerate() {
+                if !p.done {
+                    let span = match p.last_span {
+                        None => String::from("none"),
+                        Some(SpanNote { tag, start, end: None }) => {
+                            format!("{tag} (open since {})", SimTime(start))
+                        }
+                        Some(SpanNote { tag, start, end: Some(end) }) => {
+                            format!("{tag} ({} .. {})", SimTime(start), SimTime(end))
+                        }
+                    };
+                    out.push_str(&format!(
+                        "  pid {} `{}` blocked on: {} [last span: {span}]\n",
+                        pid, p.name, p.blocked_on
+                    ));
+                }
+            }
+        }
+        for source in self.diagnostics.lock().iter() {
+            if let Some(text) = source() {
+                for line in text.lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
             }
         }
         out

@@ -52,7 +52,7 @@ impl FifoServer {
         FifoServer {
             inner: Arc::new(Mutex::new(ServerInner { free_at, bytes_served: 0, requests: 0 })),
             rate: bytes_per_sec,
-            per_request: per_request,
+            per_request,
         }
     }
 

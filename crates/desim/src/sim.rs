@@ -240,9 +240,7 @@ impl Simulation {
                                 return;
                             }
                             let msg = panic_message(payload.as_ref());
-                            kernel.mark_failed(format!(
-                                "process {pid} `{name}` panicked: {msg}"
-                            ));
+                            kernel.mark_failed(format!("process {pid} `{name}` panicked: {msg}"));
                         }
                     }
                 })
@@ -258,15 +256,10 @@ impl Simulation {
         if let Some(reason) = kernel.abort_reason() {
             return Err(SimError(reason));
         }
-        let proc_stats = Arc::try_unwrap(stats)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone());
-        let killed = proc_stats
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.killed)
-            .map(|(pid, _)| pid)
-            .collect();
+        let proc_stats =
+            Arc::try_unwrap(stats).map(|m| m.into_inner()).unwrap_or_else(|arc| arc.lock().clone());
+        let killed =
+            proc_stats.iter().enumerate().filter(|(_, s)| s.killed).map(|(pid, _)| pid).collect();
         Ok(SimOutcome { end_time: kernel.now(), proc_stats, killed, trace: trace.take() })
     }
 
@@ -393,24 +386,29 @@ impl Ctx {
 
     /// Open a trace span tagged `tag`. Nestable; close with
     /// [`Ctx::trace_end`] in LIFO order.
+    ///
+    /// Span begin/end times are always noted to the kernel (so deadlock
+    /// reports can show each process's most recent span); the span is
+    /// *recorded* only when the simulation runs with `SimConfig::trace`.
     pub fn trace_begin(&mut self, tag: &'static str) {
-        if self.trace.enabled() {
-            self.open_spans.push((tag, self.now()));
-        }
+        let now = self.now();
+        self.open_spans.push((tag, now));
+        self.kernel.note_span(self.pid, tag, now.0, None);
     }
 
     /// Close the innermost open span with tag `tag` and record it.
     pub fn trace_end(&mut self, tag: &'static str) {
-        if !self.trace.enabled() {
-            return;
-        }
         let idx = self
             .open_spans
             .iter()
             .rposition(|(t, _)| *t == tag)
             .unwrap_or_else(|| panic!("trace_end(\"{tag}\") without matching trace_begin"));
         let (_, start) = self.open_spans.remove(idx);
-        self.trace.record(Span { pid: self.pid, tag, start, end: self.now() });
+        let now = self.now();
+        self.kernel.note_span(self.pid, tag, start.0, Some(now.0));
+        if self.trace.enabled() {
+            self.trace.record(Span { pid: self.pid, tag, start, end: now });
+        }
     }
 
     /// Run `f` inside a span tagged `tag`.

@@ -480,14 +480,7 @@ mod tests {
         }
         sim.run_expect();
         let order = order.lock();
-        assert_eq!(
-            *order,
-            vec![
-                (0, SimTime(1_000)),
-                (1, SimTime(2_000)),
-                (2, SimTime(3_000)),
-            ]
-        );
+        assert_eq!(*order, vec![(0, SimTime(1_000)), (1, SimTime(2_000)), (2, SimTime(3_000)),]);
     }
 }
 

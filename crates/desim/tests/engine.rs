@@ -48,10 +48,7 @@ fn advance_interleaves_processes_by_virtual_time() {
     sim.run_expect();
     // At t=30 both processes have events; ties break FIFO by *schedule*
     // time, and p1 scheduled its t=30 wake-up at t=15, before p0's at t=20.
-    assert_eq!(
-        *log.lock(),
-        vec![(0, 10), (1, 15), (0, 20), (1, 30), (0, 30)]
-    );
+    assert_eq!(*log.lock(), vec![(0, 10), (1, 15), (0, 20), (1, 30), (0, 30)]);
 }
 
 #[test]
@@ -350,11 +347,7 @@ fn paused_process_defers_events_until_resume() {
         v
     };
     assert_eq!(run(FaultPlan::default()), vec![10_000, 20_000, 30_000]);
-    let paused = run(FaultPlan::new(1).pause(
-        0,
-        SimTime(15_000),
-        SimDuration::from_micros(50),
-    ));
+    let paused = run(FaultPlan::new(1).pause(0, SimTime(15_000), SimDuration::from_micros(50)));
     assert_eq!(paused, vec![10_000, 65_000, 75_000]);
 }
 
@@ -362,9 +355,11 @@ fn paused_process_defers_events_until_resume() {
 fn fault_spans_appear_in_trace() {
     let mut sim = Simulation::new(SimConfig {
         trace: true,
-        fault_plan: FaultPlan::new(1)
-            .kill(0, SimTime(2_000))
-            .pause(1, SimTime(1_000), SimDuration::from_micros(3)),
+        fault_plan: FaultPlan::new(1).kill(0, SimTime(2_000)).pause(
+            1,
+            SimTime(1_000),
+            SimDuration::from_micros(3),
+        ),
         ..SimConfig::default()
     });
     for i in 0..2 {
@@ -391,9 +386,11 @@ fn fault_injected_runs_replay_identically() {
     let run = || {
         let mut sim = Simulation::new(SimConfig {
             seed: 77,
-            fault_plan: FaultPlan::new(9)
-                .kill(2, SimTime(40_000))
-                .pause(0, SimTime(10_000), SimDuration::from_micros(25)),
+            fault_plan: FaultPlan::new(9).kill(2, SimTime(40_000)).pause(
+                0,
+                SimTime(10_000),
+                SimDuration::from_micros(25),
+            ),
             ..SimConfig::default()
         });
         let log = Arc::new(Mutex::new(Vec::new()));

@@ -21,9 +21,7 @@
 
 use std::sync::Arc;
 
-use mpisim::{
-    FaultPlan, LinkFault, MachineConfig, NoiseModel, SimDuration, SimTime, World,
-};
+use mpisim::{FaultPlan, LinkFault, MachineConfig, NoiseModel, SimDuration, SimTime, World};
 use mpistream::{ChannelConfig, ProducerState, Role, RoutePolicy, Stream, StreamChannel};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -71,8 +69,7 @@ fn schedule(seed: u64) -> Schedule {
     let per_producer = rng.gen_range(MIN_ELEMS..=MAX_ELEMS);
     let aggregation = rng.gen_range(1usize..=4);
     let credits = if rng.gen_bool(0.5) { None } else { Some(rng.gen_range(8usize..=64)) };
-    let route =
-        if rng.gen_bool(0.5) { RoutePolicy::RoundRobin } else { RoutePolicy::Static };
+    let route = if rng.gen_bool(0.5) { RoutePolicy::RoundRobin } else { RoutePolicy::Static };
 
     let mut plan = FaultPlan::new(seed);
     let n_kills = rng.gen_range(0usize..=2).min(n_producers - 1); // >= 1 survivor
@@ -134,6 +131,8 @@ struct Fingerprint {
     consumed: Vec<(usize, u64, u64)>,
     /// Producer ranks whose `terminate()` returned (survivors) — sorted.
     clean: Vec<usize>,
+    /// Sanitizer finding codes (SC101/SC102/SC103) — sorted.
+    san_codes: Vec<&'static str>,
 }
 
 #[inline]
@@ -146,9 +145,14 @@ fn mix64(mut x: u64) -> u64 {
 
 fn run_chaos(seed: u64) -> (Schedule, Fingerprint) {
     let s = schedule(seed);
+    // The happens-before sanitizer rides along on every chaos run: the
+    // stream protocol must produce zero reports on fault-free schedules,
+    // and never a race or credit overrun even under kills and link drops
+    // (orphans from a victim's in-flight messages are legitimate).
     let world = World::new(MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() })
         .with_seed(seed)
-        .with_fault_plan(s.plan.clone());
+        .with_fault_plan(s.plan.clone())
+        .with_check();
     let nprocs = s.n_producers + s.n_consumers;
     let (n_producers, per_producer) = (s.n_producers, s.per_producer);
     let config = ChannelConfig {
@@ -159,8 +163,9 @@ fn run_chaos(seed: u64) -> (Schedule, Fingerprint) {
         failure_timeout: Some(SimDuration::from_millis(FAILURE_TIMEOUT_MS)),
     };
     let clean: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
-    let consumer_log: Arc<Mutex<Vec<(usize, u64, u64, Vec<(usize, u64, Option<u64>, bool)>)>>> =
-        Arc::new(Mutex::new(Vec::new()));
+    // Per consumer: (rank, processed, checksum, per-producer reports).
+    type ConsumerLog = Vec<(usize, u64, u64, Vec<(usize, u64, Option<u64>, bool)>)>;
+    let consumer_log: Arc<Mutex<ConsumerLog>> = Arc::new(Mutex::new(Vec::new()));
     let (cl, co) = (clean.clone(), consumer_log.clone());
     let out = world.run_expect(nprocs, move |rank| {
         let comm = rank.comm_world();
@@ -211,6 +216,8 @@ fn run_chaos(seed: u64) -> (Schedule, Fingerprint) {
     consumed.sort_unstable();
     let mut killed = out.sim.killed.clone();
     killed.sort_unstable();
+    let mut san_codes: Vec<&'static str> = out.san_reports.iter().map(|r| r.code()).collect();
+    san_codes.sort_unstable();
     (
         s,
         Fingerprint {
@@ -220,6 +227,7 @@ fn run_chaos(seed: u64) -> (Schedule, Fingerprint) {
             reports,
             consumed,
             clean,
+            san_codes,
         },
     )
 }
@@ -229,8 +237,7 @@ fn check_invariants(seed: u64, s: &Schedule, fp: &Fingerprint) {
     // 1. Completion: every rank accounted for — killed exactly per plan,
     //    every survivor's terminate() returned, every consumer reported.
     assert_eq!(fp.killed, s.kills, "seed {seed}: kill list mismatch");
-    let survivors: Vec<usize> =
-        (0..s.n_producers).filter(|p| !s.kills.contains(p)).collect();
+    let survivors: Vec<usize> = (0..s.n_producers).filter(|p| !s.kills.contains(p)).collect();
     assert_eq!(fp.clean, survivors, "seed {seed}: survivors must terminate cleanly");
     assert_eq!(fp.consumed.len(), s.n_consumers, "seed {seed}: every consumer completes");
 
@@ -267,25 +274,33 @@ fn check_invariants(seed: u64, s: &Schedule, fp: &Fingerprint) {
     // Per consumer, the processed total is exactly the sum of attributed
     // deliveries (nothing double-counted, nothing unattributed).
     for &(c, processed, _) in &fp.consumed {
-        let attributed: u64 = fp
-            .reports
-            .iter()
-            .filter(|&&(rc, ..)| rc == c)
-            .map(|&(_, _, d, _, _)| d)
-            .sum();
+        let attributed: u64 =
+            fp.reports.iter().filter(|&&(rc, ..)| rc == c).map(|&(_, _, d, _, _)| d).sum();
         assert_eq!(processed, attributed, "seed {seed}: consumer {c} attribution gap");
+    }
+
+    // 3. Sanitizer: the stream protocol must never trip the happens-before
+    //    checker — no wildcard races (internal receives are protocol-
+    //    ordered) and no credit overruns, under any fault schedule. On a
+    //    fault-free schedule there are no findings at all; with faults,
+    //    only orphans (a victim's undrained in-flight traffic) may remain.
+    assert!(
+        !fp.san_codes.iter().any(|&c| c == "SC101" || c == "SC103"),
+        "seed {seed}: sanitizer flagged the protocol: {:?}",
+        fp.san_codes
+    );
+    if s.plan.is_empty() {
+        assert!(
+            fp.san_codes.is_empty(),
+            "seed {seed}: fault-free run has sanitizer findings: {:?}",
+            fp.san_codes
+        );
     }
 }
 
 fn sweep_range() -> (u64, u64) {
-    let start = std::env::var("CHAOS_SEED_START")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let count = std::env::var("CHAOS_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(250);
+    let start = std::env::var("CHAOS_SEED_START").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let count = std::env::var("CHAOS_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(250);
     (start, count)
 }
 
@@ -338,6 +353,7 @@ fn chaos_fault_free_schedules_conserve_everything() {
         seen += 1;
         assert_eq!(fp.msgs_dropped, 0, "seed {seed}");
         assert_eq!(fp.killed, Vec::<usize>::new(), "seed {seed}");
+        assert_eq!(fp.san_codes, Vec::<&str>::new(), "seed {seed}: sanitizer findings");
         let total: u64 = fp.consumed.iter().map(|&(_, p, _)| p).sum();
         assert_eq!(total, s.per_producer * s.n_producers as u64, "seed {seed}");
     }

@@ -56,9 +56,9 @@ impl CartComm {
     pub fn rank_at(&self, coords: &[usize]) -> usize {
         assert_eq!(coords.len(), self.dims.len());
         let mut r = 0;
-        for d in 0..self.dims.len() {
-            assert!(coords[d] < self.dims[d], "coordinate out of range");
-            r = r * self.dims[d] + coords[d];
+        for (&dim, &c) in self.dims.iter().zip(coords) {
+            assert!(c < dim, "coordinate out of range");
+            r = r * dim + c;
         }
         r
     }
@@ -118,7 +118,7 @@ fn prime_factors(mut n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut p = 2;
     while p * p <= n {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             out.push(p);
             n /= p;
         }

@@ -277,8 +277,8 @@ impl Rank<'_> {
         let me = self.crank(comm);
         let vr = to_vrank(me, 0, n);
         let tree = binomial(vr, n);
-        if tree.children.is_empty() && tree.parent.is_some() {
-            let parent = comm.world_rank(from_vrank(tree.parent.unwrap(), 0, n));
+        if let (true, Some(parent_vr)) = (tree.children.is_empty(), tree.parent) {
+            let parent = comm.world_rank(from_vrank(parent_vr, 0, n));
             let req = self.isend_tagged(parent, tag, bytes, Box::new(value));
             IReduceReq {
                 comm: comm.clone(),
@@ -370,8 +370,7 @@ impl Rank<'_> {
                 let cr = comm.rank_of(info.src).expect("sender is a member");
                 slots[cr] = Some(v);
             }
-            let all: Vec<T> =
-                slots.into_iter().map(|s| s.expect("all blocks arrived")).collect();
+            let all: Vec<T> = slots.into_iter().map(|s| s.expect("all blocks arrived")).collect();
             self.bcast_with_tag(&comm, 0, total, Some(all), tag_b)
         } else {
             if let Some(s) = send {

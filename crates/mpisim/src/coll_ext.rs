@@ -58,12 +58,7 @@ impl Rank<'_> {
                 if r == root {
                     mine = Some(item);
                 } else {
-                    reqs.push(self.isend_tagged(
-                        comm.world_rank(r),
-                        tag,
-                        bytes,
-                        Box::new(item),
-                    ));
+                    reqs.push(self.isend_tagged(comm.world_rank(r), tag, bytes, Box::new(item)));
                 }
             }
             self.wait_send_all(reqs);
@@ -227,11 +222,7 @@ mod tests {
     fn gather_is_the_inverse_of_scatter() {
         ideal().run_expect(4, |rank| {
             let comm = rank.comm_world();
-            let items = if rank.world_rank() == 1 {
-                Some(vec!["a", "b", "c", "d"])
-            } else {
-                None
-            };
+            let items = if rank.world_rank() == 1 { Some(vec!["a", "b", "c", "d"]) } else { None };
             let mine = rank.scatter(&comm, 1, 1, items);
             let back = rank.gather(&comm, 1, 1, mine);
             if rank.world_rank() == 1 {
@@ -323,8 +314,7 @@ mod tests {
                     rank.send(2, 11, 8, 1u32);
                 }
                 _ => {
-                    let reqs =
-                        vec![rank.irecv(Src::Rank(0), 10), rank.irecv(Src::Rank(1), 11)];
+                    let reqs = vec![rank.irecv(Src::Rank(0), 10), rank.irecv(Src::Rank(1), 11)];
                     let (idx, v, info) = rank.waitany::<u32>(&reqs);
                     assert_eq!(idx, 1, "rank 1's message lands first");
                     assert_eq!(v, 1);

@@ -223,9 +223,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let n = NoiseModel { jitter_cv: 0.05, spike_rate_hz: 0.0, spike_mean: SimDuration::ZERO };
         let d = SimDuration::from_millis(1);
-        let total: f64 = (0..20_000)
-            .map(|_| n.perturb(d, &mut rng).as_secs_f64())
-            .sum();
+        let total: f64 = (0..20_000).map(|_| n.perturb(d, &mut rng).as_secs_f64()).sum();
         let mean = total / 20_000.0;
         assert!((mean / d.as_secs_f64() - 1.0).abs() < 0.01, "mean ratio {mean}");
     }

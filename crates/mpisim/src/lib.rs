@@ -31,6 +31,7 @@
 //! ```
 
 pub mod cart;
+pub mod check;
 pub mod coll;
 pub mod coll_ext;
 pub mod comm;
@@ -40,6 +41,7 @@ pub mod rank;
 pub mod world;
 
 pub use cart::{dims_create, CartComm};
+pub use check::SanReport;
 pub use coll::{IAllgathervReq, IReduceReq};
 pub use comm::Comm;
 pub use config::{MachineConfig, NoiseModel};

@@ -56,6 +56,10 @@ pub(crate) struct Envelope {
     /// When the last byte has been drained by the receiver NIC.
     pub available_at: SimTime,
     pub payload: Box<dyn Any + Send>,
+    /// Sender's vector clock at send time, stamped by the happens-before
+    /// sanitizer (`None` when the run does not check).
+    #[cfg(feature = "check")]
+    pub clock: Option<std::sync::Arc<Vec<u64>>>,
 }
 
 #[derive(Default)]
@@ -99,7 +103,13 @@ impl Mailbox {
     /// otherwise rescan the whole backlog per receive, turning an N-message
     /// drain into O(N²)); queue order is NIC drain order, so the FCFS
     /// semantics are preserved.
-    fn find(&self, inner: &MailboxInner, now: SimTime, src: Src, tag: Tag) -> Option<(usize, SimTime)> {
+    fn find(
+        &self,
+        inner: &MailboxInner,
+        now: SimTime,
+        src: Src,
+        tag: Tag,
+    ) -> Option<(usize, SimTime)> {
         let mut best: Option<(usize, SimTime)> = None;
         for (i, env) in inner.queue.iter().enumerate() {
             if env.tag != tag {
@@ -223,12 +233,7 @@ impl Mailbox {
             // If something is already in flight, make sure we wake when it
             // lands even if no new send occurs.
             let now = ctx.now();
-            if let Some(at) = inner
-                .queue
-                .iter()
-                .map(|e| e.available_at)
-                .filter(|&a| a > now)
-                .min()
+            if let Some(at) = inner.queue.iter().map(|e| e.available_at).filter(|&a| a > now).min()
             {
                 drop(inner);
                 ctx.wake_self_at(at);
@@ -247,6 +252,34 @@ impl Mailbox {
             }
             _ => None,
         }
+    }
+
+    /// Sources (and send clocks) of every *other* available envelope
+    /// matching `tag` — the rival candidates a wildcard receive could
+    /// equally have matched. Used by the happens-before sanitizer right
+    /// after an `Src::Any` match.
+    #[cfg(feature = "check")]
+    pub fn available_rivals(
+        &self,
+        now: SimTime,
+        tag: Tag,
+        exclude_src: usize,
+    ) -> Vec<(usize, Option<std::sync::Arc<Vec<u64>>>)> {
+        let inner = self.inner.lock();
+        inner
+            .queue
+            .iter()
+            .filter(|e| e.tag == tag && e.src != exclude_src && e.available_at <= now)
+            .map(|e| (e.src, e.clock.clone()))
+            .collect()
+    }
+
+    /// Drain the queue, returning `(src, tag, bytes, available_at)` of
+    /// every parked envelope — the sanitizer's orphan scan at finalize.
+    #[cfg(feature = "check")]
+    pub fn drain_meta(&self) -> Vec<(usize, Tag, u64, SimTime)> {
+        let mut inner = self.inner.lock();
+        inner.queue.drain(..).map(|e| (e.src, e.tag, e.bytes, e.available_at)).collect()
     }
 
     /// Queue depth (diagnostics / memory accounting).
@@ -285,6 +318,8 @@ mod tests {
             bytes: 8,
             available_at: SimTime(at),
             payload: Box::new(src),
+            #[cfg(feature = "check")]
+            clock: None,
         };
         {
             let mut inner = mb.inner.lock();
@@ -293,10 +328,7 @@ mod tests {
             inner.queue.push_back(mk(2, 300));
         }
         let env = mb.try_take(SimTime(1_000), Src::Any, Tag::user(1)).unwrap();
-        assert_eq!(
-            env.src, 3,
-            "first available in queue (arrival) order wins FCFS"
-        );
+        assert_eq!(env.src, 3, "first available in queue (arrival) order wins FCFS");
         let env = mb.try_take(SimTime(1_000), Src::Rank(2), Tag::user(1)).unwrap();
         assert_eq!(env.src, 2);
         // src 1's message is not yet available at t=0.
@@ -315,6 +347,8 @@ mod tests {
                 bytes: 128,
                 available_at: SimTime(10),
                 payload: Box::new(()),
+                #[cfg(feature = "check")]
+                clock: None,
             });
         }
         assert!(mb.probe(SimTime(5), Src::Any, Tag::user(9)).is_none());

@@ -203,8 +203,7 @@ impl<'c> Rank<'c> {
 
     /// Non-blocking matched receive: take a message only if available now.
     pub fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: u32) -> Option<(T, MsgInfo)> {
-        let env = self.shared.mailboxes[self.rank].try_take(self.ctx.now(), src, Tag::user(tag))?;
-        Some(self.unpack(env))
+        self.try_recv_tagged(src, Tag::user(tag))
     }
 
     // ------------------------------------------------------------------
@@ -302,6 +301,12 @@ impl<'c> Rank<'c> {
         self.shared.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
         self.shared.per_rank_msgs[self.rank].fetch_add(1, Ordering::Relaxed);
 
+        // Happens-before sanitizer: tick this rank's clock and stamp the
+        // message. Ticked even if a link fault later drops the message —
+        // the send event happened.
+        #[cfg(feature = "check")]
+        let clock = self.shared.sanitizer.as_ref().map(|s| s.on_send(self.rank));
+
         // Link-fault layer. Only engaged when the plan has link faults, so
         // the fault-free hot path is untouched. The drop decision is a pure
         // hash of (plan seed, link, per-link msg seq), evaluation-order
@@ -330,13 +335,23 @@ impl<'c> Rank<'c> {
 
         self.shared.mailboxes[dst].push(
             self.ctx,
-            Envelope { src: self.rank, tag, bytes, available_at, payload },
+            Envelope {
+                src: self.rank,
+                tag,
+                bytes,
+                available_at,
+                payload,
+                #[cfg(feature = "check")]
+                clock,
+            },
         );
         SendReq { inject_done }
     }
 
     pub(crate) fn recv_tagged<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
         let env = self.shared.mailboxes[self.rank].take(self.ctx, src, tag);
+        #[cfg(feature = "check")]
+        self.check_wildcard(src, &env);
         self.unpack(env)
     }
 
@@ -348,6 +363,8 @@ impl<'c> Rank<'c> {
     ) -> Option<(T, MsgInfo)> {
         let shared = self.shared.clone();
         let env = shared.mailboxes[self.rank].take_deadline(self.ctx, src, tag, deadline)?;
+        #[cfg(feature = "check")]
+        self.check_wildcard(src, &env);
         Some(self.unpack(env))
     }
 
@@ -357,13 +374,64 @@ impl<'c> Rank<'c> {
         tag: Tag,
     ) -> Option<(T, MsgInfo)> {
         let env = self.shared.mailboxes[self.rank].try_take(self.ctx.now(), src, tag)?;
+        #[cfg(feature = "check")]
+        self.check_wildcard(src, &env);
         Some(self.unpack(env))
+    }
+
+    /// Sanitizer: after a wildcard match on a *user* tag, look for causally
+    /// concurrent rival candidates still in the mailbox. Internal traffic
+    /// (collectives, streams) multiplexes over `Src::Any` by design and is
+    /// excluded — FCFS nondeterminism there is the mechanism, not a bug.
+    #[cfg(feature = "check")]
+    fn check_wildcard(&mut self, src: Src, env: &Envelope) {
+        if !matches!(src, Src::Any) || env.tag.0 >> 63 != 0 {
+            return;
+        }
+        let Some(san) = self.shared.sanitizer.as_ref() else { return };
+        let now = self.ctx.now();
+        let rivals = self.shared.mailboxes[self.rank].available_rivals(now, env.tag, env.src);
+        if !rivals.is_empty() {
+            san.on_wildcard_match(self.rank, env.tag, env.src, env.clock.as_ref(), &rivals, now.0);
+        }
+    }
+
+    /// Sanitizer hook: register a stream channel's flow-control parameters
+    /// (window in elements, credit tag). Called by the stream library at
+    /// channel creation; no-op when the run does not check.
+    #[cfg(feature = "check")]
+    pub fn check_register_channel(&mut self, id: u16, window: Option<u64>, credit_tag: Tag) {
+        if let Some(san) = self.shared.sanitizer.as_ref() {
+            san.register_channel(id, window, credit_tag);
+        }
+    }
+
+    /// Sanitizer hook: this rank put `elems` stream elements in flight to
+    /// world rank `consumer` on channel `id`.
+    #[cfg(feature = "check")]
+    pub fn check_data_sent(&mut self, id: u16, consumer: usize, elems: u64) {
+        if let Some(san) = self.shared.sanitizer.as_ref() {
+            san.data_sent(id, self.rank, consumer, elems, self.ctx.now().0);
+        }
+    }
+
+    /// Sanitizer hook: this rank granted `elems` credits back to world rank
+    /// `producer` on channel `id`.
+    #[cfg(feature = "check")]
+    pub fn check_credit_issued(&mut self, id: u16, producer: usize, elems: u64) {
+        if let Some(san) = self.shared.sanitizer.as_ref() {
+            san.credit_issued(id, self.rank, producer, elems);
+        }
     }
 
     fn unpack<T: Send + 'static>(&mut self, env: Envelope) -> (T, MsgInfo) {
         // Receiver-side CPU overhead per matched message.
         let o = self.shared.config.recv_overhead;
         self.ctx.advance(o);
+        #[cfg(feature = "check")]
+        if let Some(san) = self.shared.sanitizer.as_ref() {
+            san.on_recv(self.rank, env.clock.as_ref());
+        }
         let info = MsgInfo { src: env.src, tag: env.tag, bytes: env.bytes };
         match env.payload.downcast::<T>() {
             Ok(v) => (*v, info),

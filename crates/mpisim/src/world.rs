@@ -43,6 +43,10 @@ pub(crate) struct Shared {
     pub link_state: Mutex<HashMap<(usize, usize), (u64, SimTime)>>,
     /// Messages lost to link faults.
     pub msgs_dropped: AtomicU64,
+    /// The happens-before sanitizer, when this run checks (see
+    /// [`World::with_check`] and the [`crate::check`] module).
+    #[cfg(feature = "check")]
+    pub sanitizer: Option<Arc<crate::check::Sanitizer>>,
 }
 
 pub(crate) struct SplitState {
@@ -85,6 +89,10 @@ pub struct WorldOutcome {
     pub per_rank_msgs: Vec<u64>,
     /// Messages lost to injected link faults (0 on fault-free runs).
     pub msgs_dropped: u64,
+    /// Findings of the happens-before sanitizer. Always present; empty
+    /// unless the run opted in with [`World::with_check`] (which needs the
+    /// `check` feature) and something was actually wrong.
+    pub san_reports: Vec<crate::check::SanReport>,
 }
 
 impl WorldOutcome {
@@ -103,6 +111,8 @@ pub struct World {
     /// Seeded failure schedule applied to this run (see [`FaultPlan`]).
     /// Fault pids are world ranks. Empty (the default) injects nothing.
     pub fault_plan: FaultPlan,
+    /// Run the happens-before sanitizer (see [`World::with_check`]).
+    pub check: bool,
 }
 
 impl Default for World {
@@ -112,6 +122,7 @@ impl Default for World {
             seed: 0xC0FFEE,
             trace: false,
             fault_plan: FaultPlan::default(),
+            check: false,
         }
     }
 }
@@ -137,6 +148,20 @@ impl World {
         self
     }
 
+    /// Enable the happens-before sanitizer for this run: wildcard-receive
+    /// race detection, an orphan-message scan at finalize, and stream
+    /// credit-window auditing. Findings land in
+    /// [`WorldOutcome::san_reports`] and enrich deadlock reports. Requires
+    /// mpisim's `check` feature; without it this panics rather than
+    /// silently not checking.
+    pub fn with_check(mut self) -> Self {
+        if cfg!(not(feature = "check")) {
+            panic!("World::with_check requires mpisim to be built with the `check` feature");
+        }
+        self.check = true;
+        self
+    }
+
     /// Run `body` as an SPMD program on `nprocs` ranks and return the
     /// outcome. The body receives a [`Rank`] handle; world rank and sizes
     /// are available on it.
@@ -145,6 +170,9 @@ impl World {
         F: Fn(&mut Rank) + Send + Sync + 'static,
     {
         assert!(nprocs > 0, "world needs at least one rank");
+        #[cfg(feature = "check")]
+        let sanitizer =
+            if self.check { Some(Arc::new(crate::check::Sanitizer::new(nprocs))) } else { None };
         let shared = Arc::new(Shared {
             config: self.config.clone(),
             nprocs,
@@ -161,6 +189,8 @@ impl World {
             fault: self.fault_plan.clone(),
             link_state: Mutex::new(HashMap::new()),
             msgs_dropped: AtomicU64::new(0),
+            #[cfg(feature = "check")]
+            sanitizer,
         });
         // Communicator 0 is the world.
         shared.register_comm((0..nprocs).collect());
@@ -171,6 +201,12 @@ impl World {
             fault_plan: self.fault_plan.clone(),
             ..SimConfig::default()
         });
+        // Deadlock reports include the sanitizer's credit-state table, so a
+        // credit-exhaustion hang is diagnosable from the error alone.
+        #[cfg(feature = "check")]
+        if let Some(san) = shared.sanitizer.clone() {
+            sim.kernel().add_diagnostics(Arc::new(move || san.deadlock_diag()));
+        }
         let body = Arc::new(body);
         for r in 0..nprocs {
             let shared = shared.clone();
@@ -181,16 +217,28 @@ impl World {
             });
         }
         let sim_outcome = sim.run()?;
+        // Orphan scan: anything still parked in a mailbox was never matched
+        // by a receive. On faulty runs orphans addressed to (or sent by)
+        // killed ranks are expected; callers filter by their fault plan.
+        #[cfg(feature = "check")]
+        if let Some(san) = shared.sanitizer.as_ref() {
+            for (dst, mb) in shared.mailboxes.iter().enumerate() {
+                for (src, tag, bytes, at) in mb.drain_meta() {
+                    san.orphan(dst, src, tag, bytes, at.0);
+                }
+            }
+        }
+        #[cfg(feature = "check")]
+        let san_reports = shared.sanitizer.as_ref().map(|s| s.reports()).unwrap_or_default();
+        #[cfg(not(feature = "check"))]
+        let san_reports = Vec::new();
         Ok(WorldOutcome {
             sim: sim_outcome,
             msgs_sent: shared.msgs_sent.load(Ordering::Relaxed),
             bytes_sent: shared.bytes_sent.load(Ordering::Relaxed),
-            per_rank_msgs: shared
-                .per_rank_msgs
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
+            per_rank_msgs: shared.per_rank_msgs.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             msgs_dropped: shared.msgs_dropped.load(Ordering::Relaxed),
+            san_reports,
         })
     }
 

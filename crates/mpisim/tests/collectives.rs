@@ -64,11 +64,7 @@ fn bcast_from_every_root() {
         let world = ideal_world();
         world.run_expect(5, move |rank| {
             let comm = rank.comm_world();
-            let val = if rank.world_rank() == root {
-                Some(format!("from {root}"))
-            } else {
-                None
-            };
+            let val = if rank.world_rank() == root { Some(format!("from {root}")) } else { None };
             let got = rank.bcast(&comm, root, 32, val);
             assert_eq!(got, format!("from {root}"));
         });

@@ -4,9 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mpisim::{
-    FaultPlan, LinkFault, MachineConfig, NoiseModel, SimDuration, SimTime, Src, World,
-};
+use mpisim::{FaultPlan, LinkFault, MachineConfig, NoiseModel, SimDuration, SimTime, Src, World};
 use parking_lot::Mutex;
 
 fn quiet_world() -> World {
@@ -59,9 +57,8 @@ fn recv_deadline_in_the_past_only_drains_available_messages() {
 #[test]
 fn dropped_messages_never_arrive_and_are_counted() {
     // Certain drop on the 0 -> 1 link: the receive must time out.
-    let world = quiet_world().with_fault_plan(
-        FaultPlan::new(3).link(LinkFault::new(0, 1).drop_prob(1.0)),
-    );
+    let world =
+        quiet_world().with_fault_plan(FaultPlan::new(3).link(LinkFault::new(0, 1).drop_prob(1.0)));
     let out = world.run_expect(2, |rank| {
         if rank.world_rank() == 0 {
             rank.send(1, 5, 64, 1u64);
@@ -79,9 +76,8 @@ fn dropped_messages_never_arrive_and_are_counted() {
 #[test]
 fn partial_drops_preserve_surviving_payloads_in_order() {
     // 50% drops on 0 -> 1; whatever survives must arrive in send order.
-    let world = quiet_world().with_fault_plan(
-        FaultPlan::new(11).link(LinkFault::new(0, 1).drop_prob(0.5)),
-    );
+    let world =
+        quiet_world().with_fault_plan(FaultPlan::new(11).link(LinkFault::new(0, 1).drop_prob(0.5)));
     let received = Arc::new(Mutex::new(Vec::new()));
     let rx = received.clone();
     let out = world.run_expect(2, move |rank| {
@@ -129,11 +125,13 @@ fn delay_spike_window_slows_messages_without_reordering() {
     };
     let spiked = {
         // +1ms on messages whose arrival falls in [50us, 150us).
-        let world = quiet_world().with_fault_plan(FaultPlan::new(5).link(
-            LinkFault::new(0, 1)
-                .window(SimTime(50_000), SimTime(150_000))
-                .delay(SimDuration::from_millis(1)),
-        ));
+        let world = quiet_world().with_fault_plan(
+            FaultPlan::new(5).link(
+                LinkFault::new(0, 1)
+                    .window(SimTime(50_000), SimTime(150_000))
+                    .delay(SimDuration::from_millis(1)),
+            ),
+        );
         let times = Arc::new(Mutex::new(Vec::new()));
         let t = times.clone();
         world.run_expect(2, move |rank| {
@@ -157,10 +155,7 @@ fn delay_spike_window_slows_messages_without_reordering() {
     let order: Vec<u64> = spiked.iter().map(|&(v, _)| v).collect();
     assert_eq!(order, (0..20).collect::<Vec<_>>());
     // And the spike made the affected tail strictly later than fault-free.
-    assert!(
-        spiked.last().unwrap().1 > base.last().unwrap().1,
-        "delay spike had no effect"
-    );
+    assert!(spiked.last().unwrap().1 > base.last().unwrap().1, "delay spike had no effect");
 }
 
 #[test]

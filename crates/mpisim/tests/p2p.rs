@@ -125,10 +125,7 @@ fn intra_node_is_faster_than_inter_node() {
     }
     let same_node = transfer_time(2);
     let cross_node = transfer_time(1);
-    assert!(
-        same_node < cross_node,
-        "intra-node {same_node} should beat inter-node {cross_node}"
-    );
+    assert!(same_node < cross_node, "intra-node {same_node} should beat inter-node {cross_node}");
 }
 
 #[test]

@@ -158,9 +158,7 @@ impl Scenario {
     /// runtime is the binding bound. `predict` combines Eq. 4 with the two
     /// trivial lower bounds (either group alone).
     pub fn predict(&self, alpha: f64, s: f64) -> f64 {
-        self.decoupled(alpha, s)
-            .max(self.t_w0_inflated(alpha))
-            .max(self.t_w1_decoupled(alpha))
+        self.decoupled(alpha, s).max(self.t_w0_inflated(alpha)).max(self.t_w1_decoupled(alpha))
     }
 
     /// Predicted speedup of decoupling at `(α, S)` over conventional.
@@ -361,7 +359,7 @@ mod tests {
     fn optimal_alpha_is_interior_for_balanced_costs() {
         let s = scenario();
         let (alpha, t) = s.optimal_alpha(64e3);
-        assert!(alpha >= 1.0 / 128.0 && alpha <= 0.5, "got {alpha}");
+        assert!((1.0 / 128.0..=0.5).contains(&alpha), "got {alpha}");
         assert!(t < s.conventional(), "optimum must beat conventional");
     }
 

@@ -29,15 +29,14 @@ impl Imbalance {
         match *self {
             Imbalance::None => 1.0,
             Imbalance::LogNormal { cv } => {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+                let mut rng = StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
                 lognormal(1.0, cv, &mut rng)
             }
             Imbalance::Hotspot { fraction, factor } => {
                 let hot = ((nranks as f64) * fraction).ceil() as usize;
                 // Spread hot ranks evenly.
                 let stride = (nranks / hot.max(1)).max(1);
-                if rank % stride == 0 && rank / stride < hot {
+                if rank.is_multiple_of(stride) && rank / stride < hot {
                     factor
                 } else {
                     1.0
@@ -49,9 +48,7 @@ impl Imbalance {
     /// Monte-Carlo estimate of `Tσ` for `nranks` ranks with unit mean
     /// work: `E[max_i w_i] − 1`.
     pub fn t_sigma(&self, seed: u64, nranks: usize) -> f64 {
-        let max = (0..nranks)
-            .map(|r| self.factor(seed, r, nranks))
-            .fold(0.0f64, f64::max);
+        let max = (0..nranks).map(|r| self.factor(seed, r, nranks)).fold(0.0f64, f64::max);
         (max - 1.0).max(0.0)
     }
 }
@@ -75,8 +72,7 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         // Mean over many ranks ~ 1.
-        let mean: f64 =
-            (0..10_000).map(|r| im.factor(7, r, 10_000)).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000).map(|r| im.factor(7, r, 10_000)).sum::<f64>() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.02, "{mean}");
     }
 
@@ -85,10 +81,7 @@ mod tests {
         let im = Imbalance::LogNormal { cv: 0.2 };
         let small = im.t_sigma(3, 16);
         let large = im.t_sigma(3, 4096);
-        assert!(
-            large > small,
-            "expected max of more draws to be larger: {small} vs {large}"
-        );
+        assert!(large > small, "expected max of more draws to be larger: {small} vs {large}");
     }
 
     #[test]

@@ -86,13 +86,7 @@ impl ParticleConfig {
     /// Generate the actual particles of the subdomain
     /// `[x0,x1)×[y0,y1)×[z0,z1)` (unit cube coordinates), `n` of them,
     /// deterministically for `(seed, rank)`.
-    pub fn generate(
-        &self,
-        rank: usize,
-        n: usize,
-        lo: [f64; 3],
-        hi: [f64; 3],
-    ) -> Vec<Particle> {
+    pub fn generate(&self, rank: usize, n: usize, lo: [f64; 3], hi: [f64; 3]) -> Vec<Particle> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ (rank as u64).wrapping_mul(0x2545_F491));
         let (u0, u1) = (self.density_cdf(lo[1]), self.density_cdf(hi[1]));
         (0..n)
@@ -164,10 +158,7 @@ mod tests {
         let cfg = ParticleConfig::default();
         let centre = cfg.count_in(1_000_000, 0.45, 0.55);
         let edge = cfg.count_in(1_000_000, 0.0, 0.1);
-        assert!(
-            centre > edge * 5,
-            "sheet skew missing: centre {centre} vs edge {edge}"
-        );
+        assert!(centre > edge * 5, "sheet skew missing: centre {centre} vs edge {edge}");
     }
 
     #[test]
@@ -208,9 +199,7 @@ mod tests {
         let total = 10_000_000u64;
         let slabs = 16;
         let sum: u64 = (0..slabs)
-            .map(|i| {
-                cfg.count_in(total, i as f64 / slabs as f64, (i + 1) as f64 / slabs as f64)
-            })
+            .map(|i| cfg.count_in(total, i as f64 / slabs as f64, (i + 1) as f64 / slabs as f64))
             .sum();
         let err = (sum as i64 - total as i64).unsigned_abs();
         assert!(err <= slabs, "rounding error {err} too large");

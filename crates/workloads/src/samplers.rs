@@ -134,13 +134,10 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut r)] += 1;
         }
-        for k in 0..5 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate().take(5) {
+            let emp = count as f64 / n as f64;
             let theo = z.pmf(k);
-            assert!(
-                (emp - theo).abs() / theo < 0.06,
-                "rank {k}: emp {emp} theo {theo}"
-            );
+            assert!((emp - theo).abs() / theo < 0.06, "rank {k}: emp {emp} theo {theo}");
         }
     }
 
@@ -224,10 +221,7 @@ mod ext_tests {
         let logs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
         let lmean = logs.iter().sum::<f64>() / n as f64;
         let var: f64 = logs.iter().map(|l| (l - lmean) * (l - lmean)).sum::<f64>();
-        let cov: f64 = logs
-            .windows(2)
-            .map(|w| (w[0] - lmean) * (w[1] - lmean))
-            .sum::<f64>();
+        let cov: f64 = logs.windows(2).map(|w| (w[0] - lmean) * (w[1] - lmean)).sum::<f64>();
         let rho_hat = cov / var;
         assert!((rho_hat - 0.9).abs() < 0.02, "rho {rho_hat}");
     }

@@ -51,8 +51,7 @@ fn main() {
     assert_eq!(reference.histogram, oracle, "and it must match the serial oracle");
 
     let top: Vec<(usize, u64)> = {
-        let mut h: Vec<(usize, u64)> =
-            reference.histogram.iter().copied().enumerate().collect();
+        let mut h: Vec<(usize, u64)> = reference.histogram.iter().copied().enumerate().collect();
         h.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         h.truncate(5);
         h

@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example particle_pipeline`
 
 use apps::pic::{
-    run_comm_decoupled, run_comm_decoupled_traced, run_comm_reference,
-    run_comm_reference_traced, run_io_decoupled, run_io_reference, IoMode, PicConfig,
+    run_comm_decoupled, run_comm_decoupled_traced, run_comm_reference, run_comm_reference_traced,
+    run_io_decoupled, run_io_reference, IoMode, PicConfig,
 };
 
 fn main() {

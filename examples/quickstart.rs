@@ -12,8 +12,10 @@
 use mpisim::{MachineConfig, World};
 use mpistream::{run_decoupled, ChannelConfig, GroupSpec};
 
-/// One workload report streamed to the analysis group.
+/// One workload report streamed to the analysis group. `rank` and `step`
+/// model the real wire payload; this demo's analysis reads only the work.
 #[derive(Clone, Copy, Debug)]
+#[allow(dead_code)]
 struct WorkloadUpdate {
     rank: usize,
     step: usize,
@@ -39,8 +41,7 @@ fn main() {
                 for step in 0..STEPS {
                     // Calculation(): imbalanced work, perturbed each step.
                     rank.compute(work as f64 * 1e-7);
-                    work = work.wrapping_mul(6364136223846793005).wrapping_add(step as u64)
-                        % 2_000
+                    work = work.wrapping_mul(6364136223846793005).wrapping_add(step as u64) % 2_000
                         + 500;
                     // if (hasWorkloadChanges) MPIStream_Isend(...)
                     p.stream.isend(rank, WorkloadUpdate { rank: me, step, work_units: work });

@@ -1,0 +1,54 @@
+//! streamcheck demo — lint a deliberately broken Fig. 5 topology.
+//!
+//! Takes the MapReduce word-histogram pipeline (mappers ⇒ keyed stream ⇒
+//! reducers ⇒ master), extracts its channel topology, then breaks it four
+//! ways a refactoring plausibly would: a reducer that stops terminating
+//! its master flow, a keyed routing hole, a credit window smaller than one
+//! aggregated batch, and a credit-bounded feedback channel that closes a
+//! dataflow cycle. The static pass catches each before a single simulated
+//! (or real) rank runs.
+//!
+//! Run with: `cargo run --release --example streamcheck_fig5`
+
+use apps::mapreduce::{topology, MapReduceConfig};
+use streamcheck::{check, ChannelDecl, Routing};
+
+fn main() {
+    let nprocs = 32;
+    let cfg = MapReduceConfig { alpha_every: 8, ..MapReduceConfig::default() };
+
+    // The shipped topology: clean, certified deadlock-free.
+    let good = topology(nprocs, &cfg);
+    println!("--- Fig. 5 topology, as shipped ---");
+    print!("{}", check(&good).to_text());
+
+    // The same topology after a careless refactor.
+    let mut broken = topology(nprocs, &cfg);
+    // 1. One local reducer no longer calls terminate() on its master flow.
+    let to_master = broken.channels.remove(1).drop_term(7);
+    broken.channels.push(to_master);
+    // 2. The word partitioning loses a bucket: words hashing there vanish.
+    if let Routing::Keyed { buckets } = &mut broken.channels[0].routing {
+        buckets[1] = None;
+    }
+    // 3. Aggregation is raised past the credit window: producers stall.
+    broken.channels[0].config.aggregation = 64;
+    broken.channels[0].config.credits = Some(32);
+    // 4. Flow control is switched on everywhere and a "feedback" channel
+    //    from the master back to the mappers closes the loop: every edge
+    //    of the cycle is now credit-bounded, so the windows can fill all
+    //    the way around and deadlock.
+    broken.channels[1].config.credits = Some(64);
+    let feedback_cfg =
+        mpistream::ChannelConfig { credits: Some(16), ..mpistream::ChannelConfig::default() };
+    let mappers = broken.channels[0].producers.clone();
+    broken = broken.channel(ChannelDecl::new("feedback", vec![31], mappers, feedback_cfg));
+
+    let report = check(&broken);
+    println!();
+    println!("--- after the refactor ---");
+    print!("{}", report.to_text());
+    println!();
+    println!("machine-readable: {}", report.to_json());
+    assert!(!report.is_clean());
+}

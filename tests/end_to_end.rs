@@ -2,8 +2,12 @@
 //! applications) produces correct results and clean resource accounting.
 
 use apps::cg::{run_blocking, run_decoupled as cg_decoupled, serial_solve, CgConfig};
-use apps::mapreduce::{run_decoupled as mr_decoupled, run_reference as mr_reference, MapReduceConfig};
-use apps::pic::{run_comm_decoupled, run_comm_reference, run_io_decoupled, run_io_reference, IoMode, PicConfig};
+use apps::mapreduce::{
+    run_decoupled as mr_decoupled, run_reference as mr_reference, MapReduceConfig,
+};
+use apps::pic::{
+    run_comm_decoupled, run_comm_reference, run_io_decoupled, run_io_reference, IoMode, PicConfig,
+};
 use mpisim::{MachineConfig, NoiseModel};
 use workloads::{Corpus, CorpusConfig};
 
@@ -36,9 +40,9 @@ fn cg_full_stack_converges_with_noise_and_imbalance() {
     let cfg = CgConfig { n_local: 6, iterations: 40, alpha_every: 4, ..CgConfig::default() };
     let (serial_res, serial_err) = serial_solve(12, cfg.iterations);
     let par = run_blocking(8, &cfg); // 2x2x2 of 6^3 = 12^3 global
-    // Near the convergence plateau the residual norm is dominated by
-    // floating-point reduction order, so compare convergence level and the
-    // (stable) solution error rather than exact residuals.
+                                     // Near the convergence plateau the residual norm is dominated by
+                                     // floating-point reduction order, so compare convergence level and the
+                                     // (stable) solution error rather than exact residuals.
     assert!(par.residual < serial_res * 10.0 + 1e-9, "{} vs {serial_res}", par.residual);
     assert!(
         (par.solution_error - serial_err).abs() < 1e-6,
@@ -86,12 +90,8 @@ fn pic_io_bytes_are_conserved_across_all_variants() {
 
 #[test]
 fn identical_seeds_reproduce_full_application_runs() {
-    let cfg = PicConfig {
-        actual_per_rank: 32,
-        iterations: 3,
-        alpha_every: 4,
-        ..PicConfig::default()
-    };
+    let cfg =
+        PicConfig { actual_per_rank: 32, iterations: 3, alpha_every: 4, ..PicConfig::default() };
     let a = run_comm_decoupled(8, &cfg);
     let b = run_comm_decoupled(8, &cfg);
     assert_eq!(a.outcome.elapsed_secs(), b.outcome.elapsed_secs());

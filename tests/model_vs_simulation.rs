@@ -32,11 +32,7 @@ fn simulate_decoupled(
             rank,
             &comm,
             GroupSpec { every },
-            ChannelConfig {
-                element_bytes: 4 << 10,
-                aggregation: agg,
-                ..ChannelConfig::default()
-            },
+            ChannelConfig { element_bytes: 4 << 10, aggregation: agg, ..ChannelConfig::default() },
             move |rank, pc| {
                 for i in 0..mine {
                     rank.compute_exact(op0_cost);
@@ -99,10 +95,7 @@ fn decoupling_beats_conventional_when_the_model_says_so() {
     );
     let t_conv = simulate_conventional(p, total, op0, op1);
     let t_dec = simulate_decoupled(p, 8, total, op0, op1, opt, 1);
-    assert!(
-        t_dec < t_conv,
-        "simulation must agree with the model: dec {t_dec} vs conv {t_conv}"
-    );
+    assert!(t_dec < t_conv, "simulation must agree with the model: dec {t_dec} vs conv {t_conv}");
 }
 
 #[test]
@@ -187,8 +180,5 @@ fn imbalance_absorption_matches_the_model_qualitatively() {
     // Conventional: 10ms straggler + 4ms Op1 ≈ 14ms. Decoupled: the
     // consumers chew through Op1 (3 producers x 100 x 40us = 12ms each)
     // while producers compute; the straggler's tail overlaps too.
-    assert!(
-        t_dec < t_conv,
-        "imbalance absorption failed: dec {t_dec} vs conv {t_conv}"
-    );
+    assert!(t_dec < t_conv, "imbalance absorption failed: dec {t_dec} vs conv {t_conv}");
 }

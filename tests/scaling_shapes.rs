@@ -5,7 +5,9 @@
 
 use apps::cg::{run_blocking, run_nonblocking, CgConfig};
 use apps::mapreduce::{run_decoupled as mr_dec, run_reference as mr_ref, MapReduceConfig};
-use apps::pic::{run_comm_decoupled, run_comm_reference, run_io_decoupled, run_io_reference, IoMode, PicConfig};
+use apps::pic::{
+    run_comm_decoupled, run_comm_reference, run_io_decoupled, run_io_reference, IoMode, PicConfig,
+};
 use workloads::CorpusConfig;
 
 /// Fig. 5 shape: the reference's reduce phase grows with P, so the
@@ -34,10 +36,7 @@ fn mapreduce_gap_widens_with_scale() {
     };
     let small = ratio_at(16);
     let large = ratio_at(64);
-    assert!(
-        large > small,
-        "speedup should widen with P: {small:.2}x at 16 vs {large:.2}x at 64"
-    );
+    assert!(large > small, "speedup should widen with P: {small:.2}x at 16 vs {large:.2}x at 64");
     assert!(large > 1.0, "decoupling must win at P=64, got {large:.2}x");
 }
 
@@ -93,10 +92,7 @@ fn pic_io_ordering_matches_figure8() {
     let coll = run_io_reference(128, &cfg, IoMode::Collective).outcome.elapsed_secs();
     let shared = run_io_reference(128, &cfg, IoMode::Shared).outcome.elapsed_secs();
     let dec = run_io_decoupled(128, &cfg).outcome.elapsed_secs();
-    assert!(
-        shared > 2.0 * coll,
-        "shared writes should be far slower: {shared} vs {coll}"
-    );
+    assert!(shared > 2.0 * coll, "shared writes should be far slower: {shared} vs {coll}");
     assert!(dec < coll, "decoupled {dec} should beat collective {coll}");
 }
 

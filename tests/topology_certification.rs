@@ -1,0 +1,115 @@
+//! Certification sweep: the extracted topology of every shipped
+//! configuration — the Fig. 2–8 bench setups, the scaling-shape test
+//! configs and the example/quickstart shapes — passes the streamcheck
+//! static analysis with zero errors, and every acyclic pipeline is
+//! certified deadlock-free.
+
+use apps::analysis::AnalysisConfig;
+use apps::pic::PicConfig;
+use bench_harness::configs;
+use streamcheck::{check, Report, Severity};
+
+fn assert_clean(name: &str, report: &Report) {
+    assert!(report.is_clean(), "{name} has errors:\n{}", report.to_text());
+}
+
+fn assert_certified(name: &str, report: &Report) {
+    assert_clean(name, report);
+    assert!(
+        report.certified_deadlock_free,
+        "{name} should be certified deadlock-free:\n{}",
+        report.to_text()
+    );
+}
+
+/// A request/reply pair is cyclic by design; it must be clean, carry the
+/// informational SC002 cycle note, and *not* be certified.
+fn assert_benign_cycle(name: &str, report: &Report) {
+    assert_clean(name, report);
+    assert!(!report.certified_deadlock_free, "{name} has a cycle, certification is wrong");
+    assert!(
+        report.findings.iter().any(|f| f.code == "SC002" && f.severity == Severity::Info),
+        "{name} should carry the informational cycle finding:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn fig5_mapreduce_topologies_certify() {
+    for p in [16usize, 64, 256] {
+        for every in [8usize, 16, 32] {
+            if p < every * 2 {
+                continue; // needs at least two reducers for the master split
+            }
+            let topo = apps::mapreduce::topology(p, &configs::fig5(p, every));
+            assert_certified(&format!("fig5 P={p} 1/{every}"), &check(&topo));
+        }
+    }
+}
+
+#[test]
+fn fig6_cg_topology_is_clean_benign_cycle() {
+    for p in [16usize, 64] {
+        let topo = apps::cg::topology(p, &configs::fig6(15));
+        assert_benign_cycle(&format!("fig6 P={p}"), &check(&topo));
+    }
+}
+
+#[test]
+fn fig2_and_fig7_pic_comm_topologies_are_clean_benign_cycles() {
+    let fig2 =
+        PicConfig { actual_per_rank: 48, iterations: 4, alpha_every: 7, ..PicConfig::default() };
+    for p in [14usize, 28] {
+        let topo = apps::pic::comm_topology(p, &fig2);
+        assert_benign_cycle(&format!("fig2 P={p}"), &check(&topo));
+    }
+    for p in [16usize, 128] {
+        let topo = apps::pic::comm_topology(p, &configs::fig7());
+        assert_benign_cycle(&format!("fig7 P={p}"), &check(&topo));
+    }
+}
+
+#[test]
+fn fig8_pic_io_topology_certifies() {
+    for p in [16usize, 128] {
+        let topo = apps::pic::io_topology(p, &configs::fig8());
+        assert_certified(&format!("fig8 P={p}"), &check(&topo));
+    }
+}
+
+#[test]
+fn quickstart_and_alpha_sweep_analysis_topologies_certify() {
+    // The quickstart example: 32 ranks, one analysis rank per 16.
+    let topo = apps::analysis::topology(32, &AnalysisConfig::default());
+    assert_certified("quickstart", &check(&topo));
+    // The alpha_tuning sweep's group shapes.
+    for every in [2usize, 4, 8, 16, 32] {
+        let cfg = AnalysisConfig { alpha_every: every, ..AnalysisConfig::default() };
+        let topo = apps::analysis::topology(64, &cfg);
+        assert_certified(&format!("alpha 1/{every}"), &check(&topo));
+    }
+}
+
+/// The default configurations of all three applications, across a few
+/// world sizes: no extracted topology may regress to an error.
+#[test]
+fn default_configs_have_error_free_topologies() {
+    for p in [16usize, 32, 64] {
+        assert_certified(
+            &format!("mapreduce default P={p}"),
+            &check(&apps::mapreduce::topology(p, &apps::mapreduce::MapReduceConfig::default())),
+        );
+        assert_benign_cycle(
+            &format!("cg default P={p}"),
+            &check(&apps::cg::topology(p, &apps::cg::CgConfig::default())),
+        );
+        assert_benign_cycle(
+            &format!("pic comm default P={p}"),
+            &check(&apps::pic::comm_topology(p, &PicConfig::default())),
+        );
+        assert_certified(
+            &format!("pic io default P={p}"),
+            &check(&apps::pic::io_topology(p, &PicConfig::default())),
+        );
+    }
+}

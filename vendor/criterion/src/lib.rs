@@ -81,16 +81,8 @@ fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, mut 
     for _ in 0..samples {
         f(&mut b);
     }
-    let per_iter = if b.iters == 0 {
-        Duration::ZERO
-    } else {
-        b.elapsed / b.iters as u32
-    };
-    let label = if group.is_empty() {
-        name.to_string()
-    } else {
-        format!("{group}/{name}")
-    };
+    let per_iter = if b.iters == 0 { Duration::ZERO } else { b.elapsed / b.iters as u32 };
+    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
     println!("  {label}: {per_iter:?}/iter over {} iters", b.iters);
 }
 

@@ -188,10 +188,7 @@ pub mod rngs {
 
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
-            let result = self.s[0]
-                .wrapping_add(self.s[3])
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
@@ -229,7 +226,7 @@ mod tests {
             let w = r.gen_range(-5i64..=5);
             assert!((-5..=5).contains(&w));
             let f = r.gen_range(f64::EPSILON..1.0);
-            assert!(f >= f64::EPSILON && f < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
         }
     }
 
