@@ -19,11 +19,21 @@ cargo build --release --offline
 echo "== test suite =="
 cargo test -q --offline
 
-echo "== chaos smoke (25 seeds, fixed range) =="
+echo "== chaos smoke (25 seeds, fixed range, parallel sweep) =="
 # A deterministic subset of the default 250-seed sweep; the fixed range
-# keeps the smoke run reproducible and fast. See crates/integration/
-# tests/chaos.rs and DESIGN.md §8.
-CHAOS_SEED_START=0 CHAOS_SEEDS=25 \
+# keeps the smoke run reproducible and fast, and SWEEP_JOBS exercises the
+# parallel sweep dispatcher (fingerprints are byte-identical at any job
+# count). See crates/integration/tests/chaos.rs and DESIGN.md §8, §10.
+CHAOS_SEED_START=0 CHAOS_SEEDS=25 SWEEP_JOBS="${SWEEP_JOBS:-4}" \
     cargo test -q --offline -p integration --test chaos
+
+echo "== engine perf smoke (quick gate vs committed baseline) =="
+# Virtual times and message counts must match the committed quick-mode
+# capture exactly (the timing model is deterministic — drift means a
+# behaviour change); wall time may not exceed ENGINE_BENCH_MAX_RATIO
+# (default 3x) of the baseline's. See DESIGN.md §10.
+cargo run --release --offline -q -p bench-harness --bin engine_bench -- \
+    --quick --check --baseline results/engine_quick_baseline.json \
+    --out target/BENCH_engine_quick.json
 
 echo "== ci.sh: all green =="

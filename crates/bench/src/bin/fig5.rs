@@ -14,7 +14,9 @@ fn main() {
         "procs",
         &["reference", "dec_a12.5%", "dec_a6.25%", "dec_a3.125%"],
     );
-    for p in proc_sweep(max) {
+    // Scale points are independent simulations; sweep them on SWEEP_JOBS
+    // threads and report in order once all rows are in.
+    let rows = desim::sweep::par_map(proc_sweep(max), |p| {
         let t_ref = run_reference(p, &configs::fig5(p, 16)).outcome.elapsed_secs();
         let d8 = run_decoupled(p, &configs::fig5(p, 8)).outcome.elapsed_secs();
         let d16 = run_decoupled(p, &configs::fig5(p, 16)).outcome.elapsed_secs();
@@ -23,6 +25,9 @@ fn main() {
         } else {
             f64::NAN
         };
+        (p, t_ref, d8, d16, d32)
+    });
+    for (p, t_ref, d8, d16, d32) in rows {
         println!("P={p}: ref {t_ref:.3}  a=1/8 {d8:.3}  a=1/16 {d16:.3}  a=1/32 {d32:.3}");
         table.push(p, vec![t_ref, d8, d16, d32]);
     }

@@ -17,10 +17,10 @@ fn main() {
         "procs",
         &["blocking", "nonblocking", "decoupling"],
     );
-    for p in proc_sweep(max) {
-        let b = run_blocking(p, &cfg);
-        let n = run_nonblocking(p, &cfg);
-        let d = run_decoupled(p, &cfg);
+    let rows = desim::sweep::par_map(proc_sweep(max), |p| {
+        (p, run_blocking(p, &cfg), run_nonblocking(p, &cfg), run_decoupled(p, &cfg))
+    });
+    for (p, b, n, d) in rows {
         println!(
             "P={p}: blocking {:.3}  nonblocking {:.3}  decoupled {:.3}  \
              (residuals {:.2e}/{:.2e}/{:.2e})",

@@ -14,9 +14,10 @@ fn main() {
         "procs",
         &["reference", "decoupling"],
     );
-    for p in proc_sweep(max) {
-        let r = run_comm_reference(p, &cfg);
-        let d = run_comm_decoupled(p, &cfg);
+    let rows = desim::sweep::par_map(proc_sweep(max), |p| {
+        (p, run_comm_reference(p, &cfg), run_comm_decoupled(p, &cfg))
+    });
+    for (p, r, d) in rows {
         println!(
             "P={p}: reference {:.3}  decoupled {:.3}  (particles {} / {})",
             r.op_secs, d.op_secs, r.final_particles, d.final_particles

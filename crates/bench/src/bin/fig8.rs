@@ -15,10 +15,15 @@ fn main() {
         "procs",
         &["RefColl", "RefShared", "Decoupling"],
     );
-    for p in proc_sweep(max) {
-        let c = run_io_reference(p, &cfg, IoMode::Collective);
-        let s = run_io_reference(p, &cfg, IoMode::Shared);
-        let d = run_io_decoupled(p, &cfg);
+    let rows = desim::sweep::par_map(proc_sweep(max), |p| {
+        (
+            p,
+            run_io_reference(p, &cfg, IoMode::Collective),
+            run_io_reference(p, &cfg, IoMode::Shared),
+            run_io_decoupled(p, &cfg),
+        )
+    });
+    for (p, c, s, d) in rows {
         println!(
             "P={p}: RefColl {:.3}  RefShared {:.3}  Decoupling {:.3}  \
              ({:.1} GB written each)",

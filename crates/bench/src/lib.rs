@@ -118,14 +118,19 @@ impl Table {
     }
 }
 
-/// `results/` next to the workspace root (falls back to CWD).
-pub fn results_dir() -> PathBuf {
+/// The workspace root (falls back to CWD).
+pub fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
         .parent()
         .and_then(|p| p.parent())
-        .map(|ws| ws.join("results"))
-        .unwrap_or_else(|| PathBuf::from("results"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// `results/` next to the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    workspace_root().join("results")
 }
 
 /// Write a raw text artifact under `results/`.

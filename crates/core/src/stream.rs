@@ -424,6 +424,11 @@ impl<T: Send + 'static> Stream<T> {
         assert_eq!(self.terms_seen, 0, "operate_outcome must be the endpoint's only draining call");
         let producers = self.channel.producers.clone();
         let np = producers.len();
+        // World rank -> channel index, so the per-message attribution is a
+        // hash lookup instead of an O(np) scan (wide fan-in channels drain
+        // one message per producer per scan otherwise — O(np²) total).
+        let idx_of: std::collections::HashMap<usize, usize> =
+            producers.iter().enumerate().map(|(i, &w)| (w, i)).collect();
         // Consumer patience is 2x the configured timeout (see rustdoc).
         let timeout = self.channel.config.failure_timeout.map(|t| t + t);
         let mut delivered = vec![0u64; np];
@@ -431,6 +436,17 @@ impl<T: Send + 'static> Stream<T> {
         let mut dead = vec![false; np];
         let mut terminated = vec![false; np];
         let mut last_heard = vec![rank.now(); np];
+        // Silence deadlines of *open* (neither terminated nor dead)
+        // producers, ordered: `first()` is the earliest instant any of them
+        // exceeds the timeout. Maintained incrementally on each arrival in
+        // place of a full O(np) min-scan per message.
+        let mut deadlines: std::collections::BTreeSet<(mpisim::SimTime, usize)> =
+            std::collections::BTreeSet::new();
+        if let Some(t) = timeout {
+            for (i, &heard) in last_heard.iter().enumerate() {
+                deadlines.insert((heard + t, i));
+            }
+        }
         let mut processed = 0u64;
         // Elements a prior `recv_one` pulled but never handed out can no
         // longer be attributed to a producer; they only count in the total.
@@ -445,23 +461,21 @@ impl<T: Send + 'static> Stream<T> {
             }
             let got = match timeout {
                 None => Some(rank.recv_t::<Wire<T>>(Src::Any, tag)),
-                Some(t) => {
+                Some(_) => {
                     // The earliest instant any open producer's silence
                     // exceeds the timeout.
-                    let deadline = (0..np)
-                        .filter(|&i| !terminated[i] && !dead[i])
-                        .map(|i| last_heard[i] + t)
-                        .min()
-                        .expect("at least one producer is open");
+                    let &(deadline, _) = deadlines.first().expect("at least one producer is open");
                     rank.recv_t_deadline::<Wire<T>>(Src::Any, tag, deadline)
                 }
             };
             match got {
                 Some((wire, info)) => {
-                    let pi = producers
-                        .iter()
-                        .position(|&w| w == info.src)
-                        .expect("stream data from a channel producer");
+                    let pi = *idx_of.get(&info.src).expect("stream data from a channel producer");
+                    if let Some(t) = timeout {
+                        // Absent when `pi` was closed (dead producer
+                        // speaking again) — remove is a no-op then.
+                        deadlines.remove(&(last_heard[pi] + t, pi));
+                    }
                     last_heard[pi] = rank.now();
                     dead[pi] = false; // self-heal: it spoke after the verdict
                     match wire {
@@ -474,6 +488,11 @@ impl<T: Send + 'static> Stream<T> {
                             processed += n;
                             for elem in batch {
                                 op(rank, elem);
+                            }
+                            if let Some(t) = timeout {
+                                if !terminated[pi] {
+                                    deadlines.insert((last_heard[pi] + t, pi));
+                                }
                             }
                             if self.channel.config.credits.is_some() {
                                 rank.send_t(info.src, self.channel.credit_tag(), 8, n);
@@ -493,12 +512,13 @@ impl<T: Send + 'static> Stream<T> {
                     // Deadline passed with nothing deliverable: declare
                     // every producer silent past the timeout dead and
                     // reclaim its claim on this endpoint.
-                    let t = timeout.expect("deadline implies a timeout");
                     let now = rank.now();
-                    for i in 0..np {
-                        if !terminated[i] && !dead[i] && last_heard[i] + t <= now {
-                            dead[i] = true;
+                    while let Some(&(d, i)) = deadlines.first() {
+                        if d > now {
+                            break;
                         }
+                        deadlines.pop_first();
+                        dead[i] = true;
                     }
                 }
             }

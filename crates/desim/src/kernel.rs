@@ -20,8 +20,8 @@
 //! This is the same discipline as condition variables.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -37,6 +37,19 @@ struct Event {
     time: u64,
     seq: u64,
     pid: Pid,
+}
+
+/// Event-traffic counters of one run — the denominator of the engine's
+/// efficiency metric (events per delivered message, see `engine_bench`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Wake-ups accepted into the heap.
+    pub scheduled: u64,
+    /// Wake-ups coalesced away because an identical `(time, pid)` event
+    /// was already pending (lazy-deduplicated heap).
+    pub coalesced: u64,
+    /// Events actually popped and delivered to a process.
+    pub fired: u64,
 }
 
 /// One-slot token used to park/unpark a process thread without the
@@ -95,11 +108,17 @@ struct Sched {
     now: u64,
     seq: u64,
     heap: BinaryHeap<Reverse<Event>>,
+    /// `(time, pid)` pairs currently in the heap. A second wake-up for an
+    /// identical pair is coalesced away (wake-ups are spurious-tolerant,
+    /// so one delivery is as good as two). Membership checks only — never
+    /// iterated, so its ordering cannot leak into simulation behavior.
+    pending: HashSet<(u64, Pid)>,
     procs: Vec<ProcMeta>,
     live: usize,
     /// Fault-plan pause windows as `(pid, from_ns, until_ns)`: events for
     /// `pid` inside the window are deferred to `until_ns`.
     pauses: Vec<(Pid, u64, u64)>,
+    stats: EventStats,
 }
 
 impl Sched {
@@ -110,21 +129,36 @@ impl Sched {
     fn pop_runnable(&mut self) -> Option<Pid> {
         loop {
             let Reverse(ev) = self.heap.pop()?;
+            self.pending.remove(&(ev.time, ev.pid));
             if self.procs[ev.pid].done {
                 continue; // stale event for an exited process
             }
-            if !self.procs[ev.pid].killed {
+            if !self.pauses.is_empty() && !self.procs[ev.pid].killed {
                 if let Some(resume) = self.pause_resume(ev.pid, ev.time) {
-                    let seq = self.seq;
-                    self.seq += 1;
-                    self.heap.push(Reverse(Event { time: resume, seq, pid: ev.pid }));
+                    self.push_event(resume, ev.pid);
                     continue;
                 }
             }
             debug_assert!(ev.time >= self.now, "event heap went backwards");
             self.now = ev.time;
+            self.stats.fired += 1;
             return Some(ev.pid);
         }
+    }
+
+    /// Append a wake-up event for `pid` at `time` (callers clamp `time` to
+    /// `now` themselves where needed). A `(time, pid)` pair already in the
+    /// heap is coalesced: one wake-up at that instant is indistinguishable
+    /// from two under the spurious-wake-up discipline.
+    fn push_event(&mut self, time: u64, pid: Pid) {
+        if !self.pending.insert((time, pid)) {
+            self.stats.coalesced += 1;
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.scheduled += 1;
+        self.heap.push(Reverse(Event { time, seq, pid }));
     }
 
     /// If `t` falls inside a pause window of `pid`, the time it resumes.
@@ -143,6 +177,17 @@ impl Sched {
 /// process through its [`crate::Ctx`].
 pub struct Kernel {
     state: Mutex<Sched>,
+    /// Mirror of `Sched::now`, published (Release) at every clock advance
+    /// while the state lock is held and read (Acquire) by [`Kernel::now`].
+    /// Only the token-holding process observes it between hand-offs, and the
+    /// token transfer orders the store before the next holder's loads, so
+    /// readers always see the clock of the event that woke them.
+    now_cache: AtomicU64,
+    /// High-water mark of decoupled local clocks (see `Ctx::advance` in lazy
+    /// mode): each process raises it to its final local time on exit, so the
+    /// outcome's end time covers work that never became heap events. Plain
+    /// `fetch_max`; no other state depends on it.
+    horizon: AtomicU64,
     main_token: Token,
     aborted: AtomicBool,
     abort_reason: Mutex<Option<String>>,
@@ -173,10 +218,14 @@ impl Kernel {
                 now: 0,
                 seq: 0,
                 heap: BinaryHeap::new(),
+                pending: HashSet::new(),
                 procs: Vec::new(),
                 live: 0,
                 pauses: Vec::new(),
+                stats: EventStats::default(),
             }),
+            now_cache: AtomicU64::new(0),
+            horizon: AtomicU64::new(0),
             main_token: Token::new(),
             aborted: AtomicBool::new(false),
             abort_reason: Mutex::new(None),
@@ -200,9 +249,10 @@ impl Kernel {
         pid
     }
 
-    /// Current virtual time.
+    /// Current virtual time. Lock-free: reads the published clock mirror
+    /// (see `now_cache`), which is exact for the token-holding process.
     pub fn now(&self) -> SimTime {
-        SimTime(self.state.lock().now)
+        SimTime(self.now_cache.load(Ordering::Acquire))
     }
 
     /// Number of registered processes.
@@ -216,19 +266,30 @@ impl Kernel {
         let mut s = self.state.lock();
         // Floating-point cost models can round a hair into the past; clamp
         // to `now` so the heap never goes backwards.
-        let seq = s.seq;
-        s.seq += 1;
         let time = at.0.max(s.now);
-        s.heap.push(Reverse(Event { time, seq, pid }));
+        s.push_event(time, pid);
     }
 
     /// Schedule a wake-up for `pid` after `delay`.
     pub fn schedule_after(&self, delay: SimDuration, pid: Pid) {
         let mut s = self.state.lock();
-        let seq = s.seq;
-        s.seq += 1;
         let time = s.now + delay.0;
-        s.heap.push(Reverse(Event { time, seq, pid }));
+        s.push_event(time, pid);
+    }
+
+    /// Event-traffic counters so far (see [`EventStats`]).
+    pub fn event_stats(&self) -> EventStats {
+        self.state.lock().stats
+    }
+
+    /// Raise the lazy-clock high-water mark to at least `t` (monotone).
+    pub(crate) fn raise_horizon(&self, t: u64) {
+        self.horizon.fetch_max(t, Ordering::Relaxed);
+    }
+
+    /// The lazy-clock high-water mark (0 unless lazy local clocks ran).
+    pub(crate) fn horizon(&self) -> u64 {
+        self.horizon.load(Ordering::Relaxed)
     }
 
     /// Suspend the calling process `me` until some event wakes it.
@@ -239,31 +300,38 @@ impl Kernel {
     /// is detected while `me` is suspended here.
     pub fn suspend(&self, me: Pid, why: &'static str) {
         self.check_abort();
-        let next = {
+        // One lock section: record why we block, pop the next event, publish
+        // the clock, and clone both tokens for the hand-off. When our own
+        // wake-up is next we return without ever touching a condvar.
+        let hand = {
             let mut s = self.state.lock();
             s.procs[me].blocked_on = why;
-            s.pop_runnable()
+            match s.pop_runnable() {
+                Some(p) => {
+                    self.now_cache.store(s.now, Ordering::Release);
+                    if p == me {
+                        None // our own wake-up is the next event: keep running
+                    } else {
+                        Some((s.procs[p].token.clone(), s.procs[me].token.clone()))
+                    }
+                }
+                None => {
+                    // No event can ever fire again and `me` is about to
+                    // block: every live process is now parked with nothing
+                    // to wake it.
+                    drop(s);
+                    self.abort(format!(
+                        "deadlock: no scheduled events and all processes blocked\n{}",
+                        self.blocked_report()
+                    ));
+                }
+            }
         };
-        match next {
-            Some(p) if p == me => {
-                // Our own wake-up is the next event: keep running.
-            }
-            Some(p) => {
-                let token = {
-                    let s = self.state.lock();
-                    s.procs[p].token.clone()
-                };
-                token.set();
-                self.park(me);
-            }
-            None => {
-                // No event can ever fire again and `me` is about to block:
-                // every live process is now parked with nothing to wake it.
-                self.abort(format!(
-                    "deadlock: no scheduled events and all processes blocked\n{}",
-                    self.blocked_report()
-                ));
-            }
+        if let Some((next_token, my_token)) = hand {
+            next_token.set();
+            my_token.wait();
+            self.check_abort();
+            self.check_killed(me);
         }
         self.check_abort();
     }
@@ -274,15 +342,61 @@ impl Kernel {
         if dt == SimDuration::ZERO {
             return;
         }
-        let target = {
-            let s = self.state.lock();
-            s.now + dt.0
-        };
-        self.schedule_at(SimTime(target), me);
+        enum Step {
+            Done,
+            Again,
+            Hand(Arc<Token>, Arc<Token>),
+            Dead,
+        }
+        self.check_abort();
+        let mut target: Option<u64> = None;
         loop {
-            self.suspend(me, "advance");
-            if self.state.lock().now >= target {
-                return;
+            let step = {
+                let mut s = self.state.lock();
+                let t = match target {
+                    Some(t) => t,
+                    None => {
+                        // First iteration: schedule the wake-up under the
+                        // same lock that pops the next event, so the common
+                        // case (our own wake-up is next) is one lock round
+                        // trip with zero condvar traffic.
+                        let t = s.now + dt.0;
+                        s.push_event(t, me);
+                        s.procs[me].blocked_on = "advance";
+                        target = Some(t);
+                        t
+                    }
+                };
+                match s.pop_runnable() {
+                    Some(p) => {
+                        self.now_cache.store(s.now, Ordering::Release);
+                        if p != me {
+                            Step::Hand(s.procs[p].token.clone(), s.procs[me].token.clone())
+                        } else if s.now >= t {
+                            Step::Done
+                        } else {
+                            Step::Again // spurious early wake-up for `me`
+                        }
+                    }
+                    None => Step::Dead,
+                }
+            };
+            match step {
+                Step::Done => return,
+                Step::Again => continue,
+                Step::Hand(next_token, my_token) => {
+                    next_token.set();
+                    my_token.wait();
+                    self.check_abort();
+                    self.check_killed(me);
+                    if self.now_cache.load(Ordering::Acquire) >= target.unwrap() {
+                        return;
+                    }
+                }
+                Step::Dead => self.abort(format!(
+                    "deadlock: no scheduled events and all processes blocked\n{}",
+                    self.blocked_report()
+                )),
             }
         }
     }
@@ -290,30 +404,32 @@ impl Kernel {
     /// Called by the process wrapper when the body returns. Transfers
     /// control onwards; when the last process exits, wakes the runner.
     pub(crate) fn proc_exit(&self, me: Pid) {
-        let live = {
+        enum Exit {
+            LastOut,
+            Hand(Arc<Token>),
+            Dead(usize),
+        }
+        let exit = {
             let mut s = self.state.lock();
             s.procs[me].done = true;
             s.live -= 1;
-            s.live
-        };
-        if live == 0 {
-            self.main_token.set();
-            return;
-        }
-        // Hand the token to the next event's owner, if any.
-        let next = {
-            let mut s = self.state.lock();
-            s.pop_runnable()
-        };
-        match next {
-            Some(p) => {
-                let token = {
-                    let s = self.state.lock();
-                    s.procs[p].token.clone()
-                };
-                token.set();
+            if s.live == 0 {
+                Exit::LastOut
+            } else {
+                // Hand the token to the next event's owner, if any.
+                match s.pop_runnable() {
+                    Some(p) => {
+                        self.now_cache.store(s.now, Ordering::Release);
+                        Exit::Hand(s.procs[p].token.clone())
+                    }
+                    None => Exit::Dead(s.live),
+                }
             }
-            None => self.abort(format!(
+        };
+        match exit {
+            Exit::LastOut => self.main_token.set(),
+            Exit::Hand(token) => token.set(),
+            Exit::Dead(live) => self.abort(format!(
                 "deadlock: process `{}` exited with {} live processes \
                  blocked and no scheduled events\n{}",
                 self.proc_name(me),
@@ -331,16 +447,16 @@ impl Kernel {
             if s.live == 0 {
                 return;
             }
-            s.pop_runnable()
+            match s.pop_runnable() {
+                Some(p) => {
+                    self.now_cache.store(s.now, Ordering::Release);
+                    Some(s.procs[p].token.clone())
+                }
+                None => None,
+            }
         };
         match first {
-            Some(p) => {
-                let token = {
-                    let s = self.state.lock();
-                    s.procs[p].token.clone()
-                };
-                token.set();
-            }
+            Some(token) => token.set(),
             None => {
                 // Cannot happen through `Simulation::run` (it schedules a
                 // t=0 activation per process), but fail gracefully: this is
@@ -385,10 +501,8 @@ impl Kernel {
             return;
         }
         s.procs[victim].killed = true;
-        let seq = s.seq;
-        s.seq += 1;
         let now = s.now;
-        s.heap.push(Reverse(Event { time: now, seq, pid: victim }));
+        s.push_event(now, victim);
     }
 
     /// Install the fault plan's pause windows; called once before the run.

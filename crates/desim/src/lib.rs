@@ -50,12 +50,13 @@ pub mod fault;
 pub mod kernel;
 pub mod resource;
 pub mod sim;
+pub mod sweep;
 pub mod sync;
 pub mod time;
 pub mod trace;
 
 pub use fault::{FaultAction, FaultKind, FaultPlan, LinkDisposition, LinkFault};
-pub use kernel::{Kernel, Pid};
+pub use kernel::{EventStats, Kernel, Pid};
 pub use resource::{FifoServer, LinkClock};
 pub use sim::{Ctx, ProcStats, SimConfig, SimError, SimOutcome, Simulation};
 pub use sync::{SimBarrier, SimChannel, SimMutex, SimSemaphore, WaitSet};

@@ -72,7 +72,12 @@ impl FifoServer {
     }
 
     /// Submit and block the calling process until the request completes.
+    ///
+    /// Service order is call order, so any lazy local lead is committed
+    /// first (see [`Ctx::commit_lag`]); callers using raw
+    /// [`FifoServer::submit`] under a lazy config must do the same.
     pub fn serve(&self, ctx: &mut Ctx, bytes: u64) -> SimTime {
+        ctx.commit_lag();
         let done = self.submit(ctx.now(), bytes);
         let wait = done.since(ctx.now());
         ctx.advance(wait);
@@ -98,26 +103,78 @@ impl FifoServer {
 /// A running tally of availability for a *single* serial device, cheaper
 /// than [`FifoServer`] when `k = 1` and contention bookkeeping is done by
 /// the caller. Used for per-rank NIC tx/rx serialization.
-#[derive(Debug, Default, Clone, Copy)]
+///
+/// Unlike a plain high-water mark, the clock remembers recent *idle gaps*
+/// so that a request arriving out of call order — a decoupled local clock
+/// (see `SimConfig::lazy_time`) lets a process book future occupancy before
+/// a peer books an earlier slot — is served in the gap where a causally
+/// ordered execution would have served it, instead of queueing behind work
+/// that arrives later in virtual time. With in-call-order arrivals the gap
+/// list is never hit on the fast path and results match the plain tally.
+/// The gap list is bounded ([`LinkClock::GAP_CAP`]); the oldest gaps are
+/// forgotten (treated as busy), which only ever delays a booking, keeps
+/// memory constant, and stays deterministic.
+#[derive(Debug, Default, Clone)]
 pub struct LinkClock {
     free_at: u64,
+    /// Idle intervals `(start, end)` strictly before `free_at`, ascending
+    /// and disjoint by construction (new gaps open at the old `free_at`).
+    gaps: Vec<(u64, u64)>,
 }
 
 impl LinkClock {
+    /// Most idle gaps remembered; beyond this the oldest is forgotten.
+    ///
+    /// Sized generously: under a lazy clock one process can book its
+    /// *entire* flow before a peer executes at all, so the calendar must
+    /// cover a whole flow's worth of idle slivers or the peer's early
+    /// traffic queues behind the far future (and per-sender non-overtaking
+    /// then drags the rest of its flow along). 1024 gaps is 16 KiB per
+    /// link, and the list only grows while the link is idle at booking
+    /// time — saturated links never lengthen it.
+    const GAP_CAP: usize = 1024;
+
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Occupy the link for `service` starting no earlier than `now`;
     /// returns the completion time.
-    #[inline]
     pub fn occupy(&mut self, now: SimTime, service: SimDuration) -> SimTime {
-        let start = self.free_at.max(now.as_nanos());
-        self.free_at = start + service.as_nanos();
+        let n = now.as_nanos();
+        let s = service.as_nanos();
+        // Earliest remembered gap that can hold the request.
+        for i in 0..self.gaps.len() {
+            let (gs, ge) = self.gaps[i];
+            let start = gs.max(n);
+            if start + s <= ge {
+                match (start > gs, start + s < ge) {
+                    (false, false) => {
+                        self.gaps.remove(i);
+                    }
+                    (false, true) => self.gaps[i] = (start + s, ge),
+                    (true, false) => self.gaps[i] = (gs, start),
+                    (true, true) => {
+                        self.gaps[i] = (gs, start);
+                        self.gaps.insert(i + 1, (start + s, ge));
+                    }
+                }
+                return SimTime(start + s);
+            }
+        }
+        // Tail: after everything booked so far.
+        if n > self.free_at {
+            if self.gaps.len() == Self::GAP_CAP {
+                self.gaps.remove(0);
+            }
+            self.gaps.push((self.free_at, n));
+        }
+        let start = self.free_at.max(n);
+        self.free_at = start + s;
         SimTime(self.free_at)
     }
 
-    /// When the link next becomes free.
+    /// When the link next becomes free (ignoring remembered gaps).
     #[inline]
     pub fn free_at(&self) -> SimTime {
         SimTime(self.free_at)
@@ -192,5 +249,40 @@ mod tests {
         assert_eq!(t1, SimTime(10_000));
         assert_eq!(t2, SimTime(20_000));
         assert_eq!(t3, SimTime(110_000)); // link idle 20us..100us
+    }
+
+    #[test]
+    fn link_clock_books_late_arrivals_into_idle_gaps() {
+        let mut link = LinkClock::new();
+        // A future booking leaves the link idle before it.
+        let t1 = link.occupy(SimTime(100_000), SimDuration::from_micros(10));
+        assert_eq!(t1, SimTime(110_000));
+        // An earlier arrival (a lazily-clocked peer ran behind in execution
+        // order) is served in the idle gap, not queued behind the future.
+        let t2 = link.occupy(SimTime(5_000), SimDuration::from_micros(10));
+        assert_eq!(t2, SimTime(15_000));
+        // A request too large for the remaining gap queues at the tail.
+        let t3 = link.occupy(SimTime(20_000), SimDuration::from_micros(90));
+        assert_eq!(t3, SimTime(200_000));
+        // The split leftovers are themselves reusable.
+        let t4 = link.occupy(SimTime(16_000), SimDuration::from_micros(4));
+        assert_eq!(t4, SimTime(20_000));
+    }
+
+    #[test]
+    fn link_clock_forgets_oldest_gaps_beyond_cap() {
+        let mut link = LinkClock::new();
+        // Create GAP_CAP + 8 disjoint gaps of 1us each.
+        let mut t = 0u64;
+        for _ in 0..(LinkClock::GAP_CAP + 8) {
+            t += 2_000;
+            link.occupy(SimTime(t), SimDuration::from_micros(1));
+            t += 1_000;
+        }
+        // The earliest surviving gap starts at 8 * 3000 (the first eight
+        // were forgotten); a very early arrival lands there rather than at
+        // the forgotten front.
+        let t_early = link.occupy(SimTime(0), SimDuration::from_micros(1));
+        assert_eq!(t_early, SimTime(8 * 3_000 + 1_000));
     }
 }

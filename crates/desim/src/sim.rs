@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::fault::{FaultKind, FaultPlan};
-use crate::kernel::{Kernel, Pid, ProcKill, SimAbort};
+use crate::kernel::{EventStats, Kernel, Pid, ProcKill, SimAbort};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Span, Trace, TraceSink};
 
@@ -25,6 +25,17 @@ pub struct SimConfig {
     /// Seeded failure schedule (see [`FaultPlan`]). The default empty plan
     /// injects nothing and costs nothing.
     pub fault_plan: FaultPlan,
+    /// Decouple each process's local clock from the event heap: `advance`
+    /// accumulates a local lead ("lag") instead of scheduling a wake-up, and
+    /// the lead is reconciled at the next suspension point. Virtual-time
+    /// results are preserved wherever inter-process ordering is mediated by
+    /// timestamps (messages with availability times, timed wake-ups); what
+    /// changes is the *execution* interleaving of independent compute
+    /// stretches — and the per-advance heap event they no longer cost.
+    /// Ignored (forced off) when the fault plan kills or pauses processes,
+    /// since preempting a process mid-`advance` requires its local time to
+    /// be on the heap.
+    pub lazy_time: bool,
 }
 
 impl Default for SimConfig {
@@ -34,6 +45,7 @@ impl Default for SimConfig {
             trace: false,
             stack_size: 512 * 1024,
             fault_plan: FaultPlan::default(),
+            lazy_time: false,
         }
     }
 }
@@ -62,6 +74,8 @@ pub struct SimOutcome {
     pub killed: Vec<Pid>,
     /// Recorded spans (empty unless `SimConfig::trace`).
     pub trace: Trace,
+    /// Kernel event-traffic counters (heap scheduling efficiency).
+    pub events: EventStats,
 }
 
 /// A failed simulation: deadlock or a panicking process.
@@ -159,96 +173,78 @@ impl Simulation {
         }
         let stats: Arc<Mutex<Vec<ProcStats>>> =
             Arc::new(Mutex::new(vec![ProcStats::default(); nprocs]));
+        // Kills and pauses preempt processes at heap-event granularity, which
+        // lazy local clocks deliberately skip — so they force eventful mode.
+        let lazy = config.lazy_time && !config.fault_plan.has_process_faults();
 
-        let mut handles = Vec::with_capacity(nprocs);
-        for (pid, name, body) in pending {
-            // Every process gets an initial wake-up at t=0, fired in spawn
-            // order by the FIFO tie-break.
-            kernel.schedule_at(SimTime::ZERO, pid);
-            let kernel = kernel.clone();
-            let trace = trace.clone();
-            let stats = stats.clone();
-            let seed = config.seed;
-            let thread_name = format!("sim-{pid}-{name}");
-            let handle = std::thread::Builder::new()
-                .name(thread_name)
-                .stack_size(config.stack_size)
-                .spawn(move || {
-                    // Wait for our t=0 activation before touching anything.
-                    let entry = catch_unwind(AssertUnwindSafe(|| {
-                        kernel.entry_wait(pid);
-                    }));
-                    if let Err(payload) = entry {
-                        if payload.downcast_ref::<ProcKill>().is_some() {
-                            // Killed before the body ever ran.
-                            {
-                                let mut st = stats.lock();
-                                st[pid] = ProcStats {
-                                    name,
-                                    busy: SimDuration::ZERO,
-                                    finished_at: kernel.now(),
-                                    killed: true,
-                                };
-                            }
-                            kernel.proc_exit(pid);
-                        }
-                        return; // aborted (or killed) before start
-                    }
-                    let mut ctx = Ctx {
-                        kernel: kernel.clone(),
-                        pid,
-                        nprocs,
-                        rng: derive_rng(seed, pid),
-                        trace,
-                        busy: SimDuration::ZERO,
-                        open_spans: Vec::new(),
-                    };
-                    let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
-                    match result {
-                        Ok(()) => {
-                            {
-                                let mut st = stats.lock();
-                                st[pid] = ProcStats {
-                                    name,
-                                    busy: ctx.busy,
-                                    finished_at: kernel.now(),
-                                    killed: false,
-                                };
-                            }
-                            // May unwind with SimAbort on deadlock; the
-                            // quiet hook keeps that silent.
-                            kernel.proc_exit(pid);
-                        }
-                        Err(payload) => {
-                            if payload.downcast_ref::<ProcKill>().is_some() {
-                                // Removed by fault injection: a clean (if
-                                // abrupt) exit, not a failure.
-                                {
-                                    let mut st = stats.lock();
-                                    st[pid] = ProcStats {
-                                        name,
-                                        busy: ctx.busy,
-                                        finished_at: kernel.now(),
-                                        killed: true,
-                                    };
-                                }
-                                kernel.proc_exit(pid);
-                                return;
-                            }
-                            if payload.downcast_ref::<SimAbort>().is_some() {
-                                // Simulation-wide abort already in progress.
-                                return;
-                            }
-                            let msg = panic_message(payload.as_ref());
-                            kernel.mark_failed(format!("process {pid} `{name}` panicked: {msg}"));
-                        }
-                    }
-                })
-                .expect("failed to spawn simulation thread");
-            handles.push(handle);
+        // Every process gets its t=0 activation up front, in pid order: the
+        // heap's FIFO tie-break is what starts bodies in spawn order, so OS
+        // thread creation below need not be ordered — or even finished —
+        // before the simulation starts (an activation token set before its
+        // thread first waits stays set until consumed).
+        for (pid, _, _) in &pending {
+            kernel.schedule_at(SimTime::ZERO, *pid);
         }
 
+        // Large worlds create their threads from a small helper pool that
+        // overlaps with the running simulation; small worlds spawn inline.
+        let spawners = spawner_threads(nprocs);
+        let mut handles = Vec::with_capacity(nprocs);
+        let spawner_handles = if spawners <= 1 {
+            for (pid, name, body) in pending {
+                handles.push(spawn_proc_thread(
+                    kernel.clone(),
+                    trace.clone(),
+                    stats.clone(),
+                    config.seed,
+                    nprocs,
+                    config.stack_size,
+                    lazy,
+                    pid,
+                    name,
+                    body,
+                ));
+            }
+            Vec::new()
+        } else {
+            let chunk_len = nprocs.div_ceil(spawners);
+            let mut rest = pending;
+            let mut spawner_handles = Vec::with_capacity(spawners);
+            while !rest.is_empty() {
+                let tail = rest.split_off(rest.len().min(chunk_len));
+                let chunk = std::mem::replace(&mut rest, tail);
+                let kernel = kernel.clone();
+                let trace = trace.clone();
+                let stats = stats.clone();
+                let seed = config.seed;
+                let stack_size = config.stack_size;
+                spawner_handles.push(std::thread::spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(pid, name, body)| {
+                            spawn_proc_thread(
+                                kernel.clone(),
+                                trace.clone(),
+                                stats.clone(),
+                                seed,
+                                nprocs,
+                                stack_size,
+                                lazy,
+                                pid,
+                                name,
+                                body,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            spawner_handles
+        };
+
         kernel.run_to_completion();
+        for sh in spawner_handles {
+            handles.extend(sh.join().expect("spawner thread panicked"));
+        }
         for h in handles {
             // Threads that unwound with SimAbort report Err; that is fine.
             let _ = h.join();
@@ -260,7 +256,14 @@ impl Simulation {
             Arc::try_unwrap(stats).map(|m| m.into_inner()).unwrap_or_else(|arc| arc.lock().clone());
         let killed =
             proc_stats.iter().enumerate().filter(|(_, s)| s.killed).map(|(pid, _)| pid).collect();
-        Ok(SimOutcome { end_time: kernel.now(), proc_stats, killed, trace: trace.take() })
+        Ok(SimOutcome {
+            // The horizon covers lazy local clocks that outran the heap.
+            end_time: SimTime(kernel.now().0.max(kernel.horizon())),
+            proc_stats,
+            killed,
+            trace: trace.take(),
+            events: kernel.event_stats(),
+        })
     }
 
     /// [`Simulation::run`], panicking on failure. Convenient in tests.
@@ -270,6 +273,113 @@ impl Simulation {
             Err(e) => panic!("{e}"),
         }
     }
+}
+
+/// How many helper threads to use for OS-thread creation. Inline spawning
+/// is fine for small worlds; thousand-rank worlds spend most of their
+/// startup in serial `thread::spawn` calls, so those get a pool bounded by
+/// the host's parallelism.
+fn spawner_threads(nprocs: usize) -> usize {
+    if nprocs < 256 {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cores.min(8).min(nprocs.div_ceil(64)).max(1)
+}
+
+/// Create the OS thread backing one simulated process. The thread parks on
+/// the process token until its t=0 activation (or a later hand-off) wakes
+/// it, so thread creation order is irrelevant to simulation order.
+#[allow(clippy::too_many_arguments)]
+fn spawn_proc_thread(
+    kernel: Arc<Kernel>,
+    trace: TraceSink,
+    stats: Arc<Mutex<Vec<ProcStats>>>,
+    seed: u64,
+    nprocs: usize,
+    stack_size: usize,
+    lazy: bool,
+    pid: Pid,
+    name: String,
+    body: ProcBody,
+) -> std::thread::JoinHandle<()> {
+    let thread_name = format!("sim-{pid}-{name}");
+    std::thread::Builder::new()
+        .name(thread_name)
+        .stack_size(stack_size)
+        .spawn(move || {
+            // Wait for our t=0 activation before touching anything.
+            let entry = catch_unwind(AssertUnwindSafe(|| {
+                kernel.entry_wait(pid);
+            }));
+            if let Err(payload) = entry {
+                if payload.downcast_ref::<ProcKill>().is_some() {
+                    // Killed before the body ever ran.
+                    {
+                        let mut st = stats.lock();
+                        st[pid] = ProcStats {
+                            name,
+                            busy: SimDuration::ZERO,
+                            finished_at: kernel.now(),
+                            killed: true,
+                        };
+                    }
+                    kernel.proc_exit(pid);
+                }
+                return; // aborted (or killed) before start
+            }
+            let mut ctx = Ctx {
+                kernel: kernel.clone(),
+                pid,
+                nprocs,
+                rng: derive_rng(seed, pid),
+                trace,
+                busy: SimDuration::ZERO,
+                open_spans: Vec::new(),
+                lag: 0,
+                lazy,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+            match result {
+                Ok(()) => {
+                    // `ctx.now()` includes any unreconciled lazy lead; fold
+                    // it into the outcome's end time via the horizon.
+                    let finished_at = ctx.now();
+                    kernel.raise_horizon(finished_at.0);
+                    {
+                        let mut st = stats.lock();
+                        st[pid] = ProcStats { name, busy: ctx.busy, finished_at, killed: false };
+                    }
+                    // May unwind with SimAbort on deadlock; the quiet hook
+                    // keeps that silent.
+                    kernel.proc_exit(pid);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<ProcKill>().is_some() {
+                        // Removed by fault injection: a clean (if abrupt)
+                        // exit, not a failure.
+                        {
+                            let mut st = stats.lock();
+                            st[pid] = ProcStats {
+                                name,
+                                busy: ctx.busy,
+                                finished_at: kernel.now(),
+                                killed: true,
+                            };
+                        }
+                        kernel.proc_exit(pid);
+                        return;
+                    }
+                    if payload.downcast_ref::<SimAbort>().is_some() {
+                        // Simulation-wide abort already in progress.
+                        return;
+                    }
+                    let msg = panic_message(payload.as_ref());
+                    kernel.mark_failed(format!("process {pid} `{name}` panicked: {msg}"));
+                }
+            }
+        })
+        .expect("failed to spawn simulation thread")
 }
 
 fn derive_rng(seed: u64, pid: Pid) -> StdRng {
@@ -321,6 +431,13 @@ pub struct Ctx {
     trace: TraceSink,
     busy: SimDuration,
     open_spans: Vec<(&'static str, SimTime)>,
+    /// Local lead over the kernel clock accumulated by `advance` in lazy
+    /// mode ("decoupled local clock"): this process is at `kernel.now() +
+    /// lag` while the heap never saw the intermediate steps. Always zero in
+    /// eventful mode.
+    lag: u64,
+    /// Lazy local clocks on for this run (see `SimConfig::lazy_time`).
+    lazy: bool,
 }
 
 impl Ctx {
@@ -336,16 +453,23 @@ impl Ctx {
         self.nprocs
     }
 
-    /// Current virtual time.
+    /// Current virtual time (this process's local clock: the kernel clock
+    /// plus any lazy lead).
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.kernel.now()
+        SimTime(self.kernel.now().0 + self.lag)
     }
 
     /// Spend `dt` of virtual time computing (other processes run meanwhile).
     pub fn advance(&mut self, dt: SimDuration) {
         self.busy += dt;
-        self.kernel.advance(self.pid, dt);
+        if self.lazy {
+            // Decoupled local clock: no heap event, no hand-off — just run
+            // ahead locally. Reconciled at the next `suspend`.
+            self.lag += dt.0;
+        } else {
+            self.kernel.advance(self.pid, dt);
+        }
     }
 
     /// [`Ctx::advance`] with float seconds.
@@ -353,10 +477,41 @@ impl Ctx {
         self.advance(SimDuration::from_secs_f64(secs));
     }
 
+    /// Convert any lazily accumulated local lead into a real kernel advance,
+    /// so the kernel clock catches up to this process's local clock (other
+    /// processes run during the interval, exactly as under eventful time).
+    ///
+    /// Primitives mediated by *timestamps* (message availability, timed
+    /// wake-ups, the gap-aware [`crate::LinkClock`]) tolerate lazy clocks
+    /// as-is. Primitives mediated by *call order* — locks, FIFO grant
+    /// queues, [`crate::FifoServer`] — must call this first, or a lazily
+    /// leading process books/acquires ahead of peers that are earlier in
+    /// virtual time. No-op in eventful mode or when there is no lead.
+    pub fn commit_lag(&mut self) {
+        if self.lag > 0 {
+            let lead = std::mem::take(&mut self.lag);
+            self.kernel.advance(self.pid, SimDuration(lead));
+        }
+    }
+
     /// Suspend until some event wakes this process. May wake spuriously;
     /// callers loop on their predicate. `why` shows up in deadlock reports.
     pub fn suspend(&mut self, why: &'static str) {
+        if self.lag == 0 {
+            self.kernel.suspend(self.pid, why);
+            return;
+        }
+        // Reconcile the lazy lead commit-free: waiting and computing overlap
+        // from this process's point of view. If the wake-up lands before our
+        // local clock (kernel still behind `local`), the wait was already
+        // covered by locally-accounted time and the remainder stays as lag;
+        // if it lands after, the local clock snaps forward to the wake-up.
+        // Crucially the lead is *not* converted into a kernel `advance`
+        // first: that would deliver (and swallow) the very wake-up events
+        // this suspension is waiting for.
+        let local = self.kernel.now().0 + self.lag;
         self.kernel.suspend(self.pid, why);
+        self.lag = local.saturating_sub(self.kernel.now().0);
     }
 
     /// Schedule a wake-up for this process at absolute virtual time `at`.

@@ -102,7 +102,13 @@ impl SimMutex {
     }
 
     /// Acquire the lock, suspending in FIFO order while it is held.
+    ///
+    /// Grant order is execution order, so any lazy local lead is committed
+    /// first (see [`Ctx::commit_lag`]); critical-section `advance`s under a
+    /// lazy config should likewise be followed by `commit_lag` so the
+    /// release happens at the right kernel time.
     pub fn lock(&self, ctx: &mut Ctx) {
+        ctx.commit_lag();
         let me = ctx.pid();
         {
             let mut inner = self.inner.lock();
@@ -278,7 +284,11 @@ impl SimSemaphore {
     }
 
     /// Take one permit, suspending FIFO while none is free.
+    ///
+    /// Grant order is execution order; lazy local leads are committed first
+    /// (see [`Ctx::commit_lag`]).
     pub fn acquire(&self, ctx: &mut Ctx) {
+        ctx.commit_lag();
         let me = ctx.pid();
         {
             let mut inner = self.inner.lock();
@@ -349,7 +359,11 @@ impl SimBarrier {
     }
 
     /// Block until `n` processes have arrived.
+    ///
+    /// The releasing wake happens at the last arriver's kernel time, so
+    /// lazy local leads are committed first (see [`Ctx::commit_lag`]).
     pub fn wait(&self, ctx: &mut Ctx) {
+        ctx.commit_lag();
         let gen = {
             let mut st = self.state.lock();
             st.arrived += 1;

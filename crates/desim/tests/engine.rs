@@ -434,3 +434,68 @@ fn empty_fault_plan_changes_nothing() {
     // A non-default plan seed must not perturb a fault-free run either.
     assert_eq!(run(FaultPlan::default()), run(FaultPlan::new(0xDEAD_BEEF)));
 }
+
+#[test]
+fn lazy_time_matches_eventful_end_time() {
+    // Pure-compute programs never touch the heap under a lazy clock; the
+    // run's end time must still cover every local lead (via the horizon).
+    let run = |lazy: bool| {
+        let mut sim = Simulation::new(SimConfig { lazy_time: lazy, ..SimConfig::default() });
+        for i in 0..4u64 {
+            sim.spawn(format!("p{i}"), move |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(SimDuration::from_micros(i + 1));
+                }
+            });
+        }
+        let out = sim.run_expect();
+        (out.end_time, out.proc_stats.iter().map(|p| p.finished_at).collect::<Vec<_>>())
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn lazy_lead_survives_a_suspend() {
+    // A process 10us ahead of the kernel suspends on a 5us wake: the wake
+    // is in its local past, so the local clock must stay at 10us — waiting
+    // and computing overlap, they do not add.
+    let mut sim = Simulation::new(SimConfig { lazy_time: true, ..SimConfig::default() });
+    sim.spawn("p", |ctx| {
+        ctx.advance(SimDuration::from_micros(10));
+        ctx.wake_self_at(SimTime(5_000));
+        ctx.suspend("test-nap");
+        assert_eq!(ctx.now(), SimTime(10_000));
+        // A wake strictly past the local lead does advance the clock.
+        ctx.wake_self_at(SimTime(25_000));
+        ctx.suspend("test-nap");
+        assert_eq!(ctx.now(), SimTime(25_000));
+    });
+    assert_eq!(sim.run_expect().end_time, SimTime(25_000));
+}
+
+#[test]
+fn lazy_time_is_forced_off_under_process_faults() {
+    // A kill plan needs committed time (the victim must die mid-compute,
+    // not after lazily finishing its whole body), so `lazy_time` must not
+    // change a faulty run's outcome.
+    let run = |lazy: bool| {
+        let plan = FaultPlan::new(7).kill(1, SimTime(25_000));
+        let mut sim = Simulation::new(SimConfig {
+            lazy_time: lazy,
+            fault_plan: plan,
+            ..SimConfig::default()
+        });
+        for i in 0..3usize {
+            sim.spawn(format!("p{i}"), move |ctx| {
+                for _ in 0..10 {
+                    ctx.advance(SimDuration::from_micros(i as u64 + 4));
+                }
+            });
+        }
+        let out = sim.run_expect();
+        (out.end_time, out.killed.clone())
+    };
+    let (end, killed) = run(true);
+    assert_eq!(killed, vec![1]);
+    assert_eq!((end, killed), run(false));
+}

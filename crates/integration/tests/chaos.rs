@@ -17,7 +17,10 @@
 //!    accounting and an order-insensitive payload checksum.
 //!
 //! The sweep size is tunable for CI smoke runs: `CHAOS_SEEDS` (count) and
-//! `CHAOS_SEED_START` (first seed) — see `ci.sh`.
+//! `CHAOS_SEED_START` (first seed) — see `ci.sh`. Seeds run in parallel
+//! on `SWEEP_JOBS` threads (see [`desim::sweep`]); each run is a pure
+//! function of its seed, so fingerprints are byte-identical at any job
+//! count and invariants are still checked in seed order.
 
 use std::sync::Arc;
 
@@ -309,11 +312,12 @@ fn sweep_range() -> (u64, u64) {
 #[test]
 fn chaos_sweep_holds_invariants_across_seeds() {
     let (start, count) = sweep_range();
+    let seeds: Vec<u64> = (start..start + count).collect();
+    let runs = desim::sweep::par_map(seeds, |seed| (seed, run_chaos(seed)));
     let mut runs_with_kills = 0u64;
     let mut runs_with_drops = 0u64;
-    for seed in start..start + count {
-        let (s, fp) = run_chaos(seed);
-        check_invariants(seed, &s, &fp);
+    for (seed, (s, fp)) in &runs {
+        check_invariants(*seed, s, fp);
         runs_with_kills += u64::from(!fp.killed.is_empty());
         runs_with_drops += u64::from(fp.msgs_dropped > 0);
     }
@@ -330,10 +334,14 @@ fn chaos_sweep_holds_invariants_across_seeds() {
 #[test]
 fn chaos_runs_replay_identically() {
     let (start, count) = sweep_range();
-    // A slice of the sweep, re-run and compared bit-for-bit.
-    for seed in (start..start + count).step_by((count as usize / 10).max(1)) {
-        let (_, a) = run_chaos(seed);
-        let (_, b) = run_chaos(seed);
+    // A slice of the sweep, re-run and compared bit-for-bit. The two
+    // replays of a seed deliberately land on *different* worker threads
+    // (all first runs, then all second runs), so this also certifies that
+    // parallel dispatch leaves fingerprints untouched.
+    let seeds: Vec<u64> = (start..start + count).step_by((count as usize / 10).max(1)).collect();
+    let first = desim::sweep::par_map(seeds.clone(), |seed| run_chaos(seed).1);
+    let second = desim::sweep::par_map(seeds.clone(), |seed| run_chaos(seed).1);
+    for ((seed, a), b) in seeds.iter().zip(first).zip(second) {
         assert_eq!(a, b, "seed {seed}: fingerprint diverged between replays");
     }
 }
@@ -344,13 +352,12 @@ fn chaos_runs_replay_identically() {
 #[test]
 fn chaos_fault_free_schedules_conserve_everything() {
     let (start, count) = sweep_range();
-    let mut seen = 0;
-    for seed in start..start + count {
-        let (s, fp) = run_chaos(seed);
-        if !s.plan.is_empty() {
-            continue;
-        }
-        seen += 1;
+    // Schedules are a cheap pure function of the seed, so fault-free
+    // seeds are selected up front and only those runs are paid for.
+    let seeds: Vec<u64> = (start..start + count).filter(|&s| schedule(s).plan.is_empty()).collect();
+    let seen = seeds.len() as u64;
+    let runs = desim::sweep::par_map(seeds, |seed| (seed, run_chaos(seed)));
+    for (seed, (s, fp)) in &runs {
         assert_eq!(fp.msgs_dropped, 0, "seed {seed}");
         assert_eq!(fp.killed, Vec::<usize>::new(), "seed {seed}");
         assert_eq!(fp.san_codes, Vec::<&str>::new(), "seed {seed}: sanitizer findings");

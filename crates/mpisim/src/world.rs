@@ -199,6 +199,12 @@ impl World {
             seed: self.seed,
             trace: self.trace,
             fault_plan: self.fault_plan.clone(),
+            // Rank interactions are mediated by message availability times
+            // and timed wake-ups, so decoupled local clocks (no heap event
+            // per compute step) preserve results while skipping most of the
+            // kernel's context switches. desim forces this off by itself
+            // when the fault plan kills or pauses ranks.
+            lazy_time: true,
             ..SimConfig::default()
         });
         // Deadlock reports include the sanitizer's credit-state table, so a

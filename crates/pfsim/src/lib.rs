@@ -110,6 +110,10 @@ impl Pfs {
     /// A metadata operation: open, close, stat, or a collective file-view
     /// (re)definition. All clients serialize through the metadata server.
     pub fn meta_op(&self, ctx: &mut Ctx) {
+        // FIFO servers are call-order resources: surrender any lazy local
+        // lead so submissions arrive in virtual-time order (see
+        // `Ctx::commit_lag`).
+        ctx.commit_lag();
         let done = self.meta.submit(ctx.now(), 0);
         let wait = done.since(ctx.now());
         ctx.advance(wait);
@@ -121,6 +125,7 @@ impl Pfs {
     /// lanes; the client blocks until the last chunk lands, and can never
     /// exceed its own link bandwidth.
     pub fn write_striped(&self, ctx: &mut Ctx, bytes: u64) -> SimTime {
+        ctx.commit_lag(); // call-order resource; see `meta_op`
         let done = self.submit_striped(ctx.now(), bytes);
         let client_done =
             ctx.now() + SimDuration::from_bytes_at(bytes.max(1), self.config.client_bandwidth);
@@ -137,6 +142,7 @@ impl Pfs {
 
     /// Striped read of `bytes` (same path as [`Pfs::write_striped`]).
     pub fn read_striped(&self, ctx: &mut Ctx, bytes: u64) -> SimTime {
+        ctx.commit_lag(); // call-order resource; see `meta_op`
         let done = self.submit_striped(ctx.now(), bytes);
         let client_done =
             ctx.now() + SimDuration::from_bytes_at(bytes.max(1), self.config.client_bandwidth);
@@ -170,13 +176,22 @@ impl Pfs {
     /// (the consistency semantics the MPI library must enforce without a
     /// file view), release. Writers fully serialize.
     pub fn write_shared(&self, ctx: &mut Ctx, bytes: u64) {
+        // The pointer queue is a lock: both the acquisition order *and* the
+        // hold interval are mediated by execution order, so the whole
+        // operation runs on committed (eventful) time — a lazy hold would
+        // release at a kernel clock that never moved, letting the next
+        // writer's interval overlap this one's.
+        ctx.commit_lag();
         self.pointer_lock(ctx);
         ctx.advance(self.config.shared_pointer_latency);
+        ctx.commit_lag();
         // Transfer through a single OST lane's worth of bandwidth — shared
         // pointer writes do not stripe effectively.
         let rate = self.config.ost_bandwidth.min(self.config.client_bandwidth);
         ctx.advance(self.config.ost_request_overhead);
+        ctx.commit_lag();
         ctx.advance(SimDuration::from_bytes_at(bytes, rate));
+        ctx.commit_lag();
         self.pointer_unlock(ctx);
         {
             let mut a = self.acct.lock();

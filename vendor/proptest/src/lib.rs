@@ -3,10 +3,11 @@
 //! The container building this repository has no network access, so the
 //! real crate cannot be fetched. This shim keeps the call-site syntax —
 //! the `proptest!` macro, range/`any`/tuple/`prop::collection::vec`
-//! strategies, `ProptestConfig { cases, .. }` and the `prop_assert*`
-//! macros — while replacing the machinery with straightforward seeded
-//! random sampling. There is **no shrinking**: a failing case reports its
-//! generated inputs and panics.
+//! strategies, `Strategy::prop_map`, the (weighted) `prop_oneof!` union,
+//! `ProptestConfig { cases, .. }` and the `prop_assert*` macros — while
+//! replacing the machinery with straightforward seeded random sampling.
+//! There is **no shrinking**: a failing case reports its generated inputs
+//! and panics.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,6 +72,67 @@ pub mod strategy {
         type Value;
         /// Draw one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { strat: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strat: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.strat.sample(rng))
+        }
+    }
+
+    /// A weighted, boxed `prop_oneof!` arm.
+    pub type OneofArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+    /// The strategy built by [`prop_oneof!`](crate::prop_oneof): draws an
+    /// arm with probability proportional to its weight, then samples it.
+    pub struct WeightedUnion<V> {
+        arms: Vec<OneofArm<V>>,
+        total: u32,
+    }
+
+    impl<V> WeightedUnion<V> {
+        pub fn new(arms: Vec<OneofArm<V>>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof needs a positive total weight");
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<V> Strategy for WeightedUnion<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total as usize) as u32;
+            for (w, f) in &self.arms {
+                if pick < *w {
+                    return f(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    /// One `prop_oneof!` arm, boxed for the union (macro plumbing).
+    pub fn oneof_arm<S>(weight: u32, strat: S) -> OneofArm<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        (weight, Box::new(move |rng| strat.sample(rng)))
     }
 
     /// Always yields a clone of the wrapped value.
@@ -251,7 +313,22 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Union strategy: pick one of the arms, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]` draws `a` three times as often).
+/// All arms must yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $($crate::strategy::oneof_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Assert inside a property; failure reports the generated inputs.
