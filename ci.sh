@@ -27,6 +27,16 @@ echo "== chaos smoke (25 seeds, fixed range, parallel sweep) =="
 CHAOS_SEED_START=0 CHAOS_SEEDS=25 SWEEP_JOBS="${SWEEP_JOBS:-4}" \
     cargo test -q --offline -p integration --test chaos
 
+echo "== native backend smoke (quickstart + fig5-small on OS threads) =="
+# The same portable programs on the native threaded backend, compared
+# against the simulator's per-consumer payload fingerprints. Real threads
+# can deadlock rather than fail, so bound each run with a wall-clock
+# timeout. See DESIGN.md §11.
+timeout 120 cargo run --release --offline -q -p integration \
+    --example quickstart_native -- --backend both
+timeout 180 cargo test -q --release --offline -p integration \
+    --test backend_equivalence
+
 echo "== engine perf smoke (quick gate vs committed baseline) =="
 # Virtual times and message counts must match the committed quick-mode
 # capture exactly (the timing model is deterministic — drift means a

@@ -141,7 +141,7 @@ pub fn run_decoupled_analysis(nprocs: usize, cfg: &AnalysisConfig) -> AnalysisRe
         let steps = cfg2.steps;
         let secs_per_unit = cfg2.secs_per_unit;
         let d3 = d2.clone();
-        run_decoupled::<WorkloadUpdate, _, _>(
+        run_decoupled::<WorkloadUpdate, _, _, _>(
             rank,
             &comm,
             spec,

@@ -25,7 +25,7 @@ use std::f64::consts::PI;
 use std::sync::Arc;
 
 use mpisim::{dims_create, CartComm, MachineConfig, Rank, Src, World, WorldOutcome};
-use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel};
+use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
 use parking_lot::Mutex;
 
 use grid::{Field, Shell};
@@ -360,6 +360,37 @@ struct HaloPacket {
     faces: Vec<(usize, isize, Vec<f64>)>,
 }
 
+/// The boundary group's aggregation kernel, generic over the transport:
+/// collect the faces of each `(destination, iteration)` pair
+/// first-come-first-served, and reply with one combined packet the moment
+/// the set is complete. `expected[r]` is the number of faces destination
+/// rank `r` is owed per iteration. The simulated and native backends run
+/// this same function.
+fn aggregate_faces<TP: Transport>(
+    rank: &mut TP,
+    faces_in: &mut Stream<FaceMsg>,
+    halo_out: &mut Stream<HaloPacket>,
+    expected: &[usize],
+) {
+    // Faces collected so far for one (destination, iteration).
+    type FaceSet = Vec<(usize, isize, Vec<f64>)>;
+    let mut pending: std::collections::HashMap<(usize, usize), FaceSet> =
+        std::collections::HashMap::new();
+    while let Some(msg) = faces_in.recv_one(rank) {
+        let key = (msg.dest, msg.iter);
+        let entry = pending.entry(key).or_default();
+        entry.push((msg.dim, msg.dir, msg.values));
+        if entry.len() == expected[msg.dest] {
+            let faces = pending.remove(&key).expect("just inserted");
+            // Small aggregation cost per combined packet.
+            rank.compute(1e-6);
+            halo_out.isend_to(rank, key.0, HaloPacket { iter: key.1, faces });
+        }
+    }
+    assert!(pending.is_empty(), "all face sets must complete");
+    halo_out.terminate(rank);
+}
+
 /// Run the decoupled variant: compute ranks stream their faces (routed by
 /// *destination*) to the boundary group, which aggregates the up-to-six
 /// faces of each destination and streams one combined packet back.
@@ -445,29 +476,11 @@ pub fn run_decoupled(nprocs: usize, cfg: &CgConfig) -> CgResult {
                 }
             }
             Role::Consumer => {
-                // Boundary-aggregation rank: collect the faces of each
-                // destination, combine, reply — first-come-first-served.
                 let mut faces_in: Stream<FaceMsg> = Stream::attach(fwd_ch);
                 let mut halo_out: Stream<HaloPacket> = Stream::attach(rev_ch);
                 let expected: Vec<usize> =
                     (0..g0.size()).map(|r| cart.neighbors(r).len()).collect();
-                // Faces collected so far for one (destination, iteration).
-                type FaceSet = Vec<(usize, isize, Vec<f64>)>;
-                let mut pending: std::collections::HashMap<(usize, usize), FaceSet> =
-                    std::collections::HashMap::new();
-                while let Some(msg) = faces_in.recv_one(rank) {
-                    let key = (msg.dest, msg.iter);
-                    let entry = pending.entry(key).or_default();
-                    entry.push((msg.dim, msg.dir, msg.values));
-                    if entry.len() == expected[msg.dest] {
-                        let faces = pending.remove(&key).expect("just inserted");
-                        // Small aggregation cost per combined packet.
-                        rank.compute(1e-6);
-                        halo_out.isend_to(rank, key.0, HaloPacket { iter: key.1, faces });
-                    }
-                }
-                assert!(pending.is_empty(), "all face sets must complete");
-                halo_out.terminate(rank);
+                aggregate_faces(rank, &mut faces_in, &mut halo_out, &expected);
             }
             Role::Bystander => unreachable!(),
         }

@@ -18,3 +18,4 @@ pub mod analysis;
 pub mod cg;
 pub mod mapreduce;
 pub mod pic;
+pub mod portable;

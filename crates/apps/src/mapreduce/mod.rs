@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mpisim::{MachineConfig, Rank, World, WorldOutcome};
-use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel};
+use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
 use parking_lot::Mutex;
 use pfsim::{Pfs, PfsConfig};
 use workloads::{Corpus, CorpusConfig};
@@ -183,7 +183,44 @@ pub fn run_reference(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
 }
 
 /// A streamed chunk of intermediate map output.
-type KvChunk = Vec<(u32, u32)>;
+pub(crate) type KvChunk = Vec<(u32, u32)>;
+
+/// The local reducer's kernel, generic over the transport: fold arriving
+/// chunks FCFS into the sparse `local` histogram and forward each chunk to
+/// the master — deliberately unaggregated, per the paper. The simulated
+/// and native backends run this same function.
+pub(crate) fn reduce_fold<TP: Transport>(
+    rank: &mut TP,
+    input: &mut Stream<KvChunk>,
+    mut to_master: Option<&mut Stream<KvChunk>>,
+    local: &mut HashMap<u32, u64>,
+) {
+    input.operate(rank, |rank, chunk| {
+        // Sparse hash fold: cheap per pair.
+        rank.compute(chunk.len() as f64 * 100e-9);
+        for &(w, c) in &chunk {
+            *local.entry(w).or_insert(0) += c as u64;
+        }
+        if let Some(m) = to_master.as_mut() {
+            m.isend_to(rank, 0, chunk);
+        }
+    });
+}
+
+/// The master's kernel, generic over the transport: aggregate the stream
+/// of unaggregated per-chunk updates into a dense histogram.
+pub(crate) fn master_aggregate<TP: Transport>(
+    rank: &mut TP,
+    from_reducers: &mut Stream<KvChunk>,
+    hist: &mut [u64],
+) {
+    from_reducers.operate(rank, |rank, chunk| {
+        rank.compute(chunk.len() as f64 * 100e-9);
+        for (w, c) in chunk {
+            hist[w as usize] += c as u64;
+        }
+    });
+}
 
 /// Decoupled implementation: map group ⇒ (keyed stream) ⇒ reduce group ⇒
 /// (flat gather, no aggregation — per the paper) ⇒ master.
@@ -293,16 +330,7 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                 let mut input: Stream<KvChunk> = Stream::attach(ch1);
                 let mut to_master: Option<Stream<KvChunk>> = ch2.map(Stream::attach);
                 let mut local: HashMap<u32, u64> = HashMap::new();
-                input.operate(rank, |rank, chunk| {
-                    // Sparse hash fold: cheap per pair.
-                    rank.compute(chunk.len() as f64 * 100e-9);
-                    for &(w, c) in &chunk {
-                        *local.entry(w).or_insert(0) += c as u64;
-                    }
-                    if let Some(m) = to_master.as_mut() {
-                        m.isend_to(rank, 0, chunk);
-                    }
-                });
+                reduce_fold(rank, &mut input, to_master.as_mut(), &mut local);
                 if let Some(mut m) = to_master {
                     m.terminate(rank);
                 } else {
@@ -322,12 +350,7 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                     Stream::attach(ch2.expect("master has the reducer channel"));
                 let vocab = corpus2.vocab();
                 let mut hist = vec![0u64; vocab];
-                from_reducers.operate(rank, |rank, chunk| {
-                    rank.compute(chunk.len() as f64 * 100e-9);
-                    for (w, c) in chunk {
-                        hist[w as usize] += c as u64;
-                    }
-                });
+                master_aggregate(rank, &mut from_reducers, &mut hist);
                 *result2.lock() = hist;
             }
         }

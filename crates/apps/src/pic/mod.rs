@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mpisim::{dims_create, CartComm, MachineConfig, Rank, World, WorldOutcome};
-use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel};
+use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
 use pfsim::{Pfs, PfsConfig};
 use workloads::particles::{advance, Particle, ParticleConfig};
 
@@ -348,6 +348,30 @@ enum ToComm {
     Exits { particles: Vec<Particle> },
 }
 
+/// The communication group's relay kernel, generic over the transport:
+/// aggregate each arriving bundle of exits by destination owner and
+/// forward in one pass — pure FCFS, no waiting on any producer. The
+/// simulated and native backends run this same function.
+fn relay_exits<TP: Transport>(
+    rank: &mut TP,
+    input: &mut Stream<ToComm>,
+    reply: &mut Stream<Vec<Particle>>,
+    owner_of: impl Fn(&Particle) -> usize,
+) {
+    while let Some(ToComm::Exits { particles }) = input.recv_one(rank) {
+        let mut by_dest: HashMap<usize, Vec<Particle>> = HashMap::new();
+        for p in particles {
+            by_dest.entry(owner_of(&p)).or_default().push(p);
+        }
+        // Small aggregation cost per forwarded bundle.
+        rank.compute(1e-6 * by_dest.len().max(1) as f64);
+        for (dest, bundle) in by_dest {
+            reply.isend_to(rank, dest, bundle);
+        }
+    }
+    reply.terminate(rank);
+}
+
 /// Decoupled: stream exiting particles to the communication group; each
 /// arriving bundle is aggregated by destination and forwarded in one pass
 /// (max two hops per particle, no collectives). The compute ranks are
@@ -437,22 +461,8 @@ fn run_comm_decoupled_inner(nprocs: usize, cfg: &PicConfig, trace: bool) -> PicR
             Role::Consumer => {
                 let mut input: Stream<ToComm> = Stream::attach(fwd_ch);
                 let mut reply: Stream<Vec<Particle>> = Stream::attach(rev_ch);
-                // Pure FCFS relay: aggregate each bundle by destination
-                // and forward in one pass — no waiting on any producer.
                 rank.trace_begin("comm");
-                while let Some(ToComm::Exits { particles }) = input.recv_one(rank) {
-                    let mut by_dest: HashMap<usize, Vec<Particle>> = HashMap::new();
-                    for p in particles {
-                        let owner = PicState::owner_static(&cart, p.pos);
-                        by_dest.entry(owner).or_default().push(p);
-                    }
-                    // Small aggregation cost per forwarded bundle.
-                    rank.compute(1e-6 * by_dest.len().max(1) as f64);
-                    for (dest, bundle) in by_dest {
-                        reply.isend_to(rank, dest, bundle);
-                    }
-                }
-                reply.terminate(rank);
+                relay_exits(rank, &mut input, &mut reply, |p| PicState::owner_static(&cart, p.pos));
                 rank.trace_end("comm");
             }
             Role::Bystander => unreachable!(),

@@ -1,0 +1,313 @@
+//! Portable stream applications — the same programs on every backend.
+//!
+//! The functions here are written once, generic over [`Transport`], and
+//! run unchanged on the discrete-event simulator (`mpisim::Rank`) and the
+//! native threaded backend (`native::NativeRank`). They are the substrate
+//! of the cross-backend equivalence tests: both take only deterministic
+//! inputs (world rank, step number, a splitmix recurrence), route over
+//! [`RoutePolicy::Static`] or explicit keyed partitioning, and report the
+//! payloads each consumer received — so the *per-consumer payload
+//! multisets* must agree between backends even though arrival order (and
+//! on the native backend, wall-clock timing) differs run to run.
+//!
+//! [`RoutePolicy::Static`]: mpistream::RoutePolicy::Static
+
+use std::collections::HashMap;
+
+use mpistream::{run_decoupled, ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
+
+use crate::mapreduce::{master_aggregate, reduce_fold, KvChunk};
+
+// ---------------------------------------------------------------------
+// Quickstart (the paper's Listing 1)
+// ---------------------------------------------------------------------
+
+/// One workload report streamed to the analysis group.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadUpdate {
+    pub rank: usize,
+    pub step: usize,
+    pub work_units: u64,
+}
+
+/// What one rank saw during a portable run: its role, how many elements it
+/// streamed (producers), and the sorted payload values it consumed
+/// (consumers). The consumer payloads are the cross-backend invariant.
+#[derive(Clone, Debug, Default)]
+pub struct PortableReport {
+    /// Elements this rank streamed into the channel (producers).
+    pub sent: u64,
+    /// Sorted payload values this rank consumed (consumers; empty
+    /// otherwise). Sorted so the report is an order-insensitive multiset.
+    pub received: Vec<u64>,
+}
+
+/// The quickstart program of `examples/quickstart.rs`, generic over the
+/// transport: a computation group alternates `Calculation()` with
+/// streaming workload updates to a small analysis group that folds them
+/// first-come-first-served.
+///
+/// Every streamed `work_units` value is a pure function of `(rank, step)`,
+/// and the channel routes statically (producer `i` feeds consumer
+/// `i % n_consumers`), so each analysis rank's received *multiset* is
+/// identical on every backend.
+pub fn quickstart<TP: Transport>(rank: &mut TP, steps: usize, every: usize) -> PortableReport {
+    let comm = rank.world_group();
+    let spec = GroupSpec { every };
+    let my_role = spec.role_of(rank.world_rank());
+    let mut report = PortableReport::default();
+    let received = &mut report.received;
+    let stats = run_decoupled::<WorkloadUpdate, _, _, _>(
+        rank,
+        &comm,
+        spec,
+        ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
+        // --- computation group ---
+        |rank, p| {
+            let me = rank.world_rank();
+            let mut work = 1_000u64 + (me as u64 * 37) % 500;
+            for step in 0..steps {
+                // Calculation(): imbalanced work, perturbed each step.
+                rank.compute(work as f64 * 1e-7);
+                work =
+                    work.wrapping_mul(6364136223846793005).wrapping_add(step as u64) % 2_000 + 500;
+                p.stream.isend(rank, WorkloadUpdate { rank: me, step, work_units: work });
+            }
+        },
+        // --- analysis group ---
+        |rank, c| {
+            c.stream.operate(rank, |_rank, update: WorkloadUpdate| {
+                received.push(update.work_units);
+            });
+            received.sort_unstable();
+        },
+    );
+    if my_role == Role::Producer {
+        report.sent = stats.elements;
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Mini MapReduce (a scaled-down Fig. 5 topology)
+// ---------------------------------------------------------------------
+
+/// Tunables of the portable mini MapReduce: a synthetic token stream
+/// replaces the simulated corpus/PFS so the program depends on nothing but
+/// the transport.
+#[derive(Clone, Debug)]
+pub struct MiniMrConfig {
+    /// One reduce rank per `every` ranks (the paper's `alpha`).
+    pub every: usize,
+    /// Word-id space of the synthetic token stream.
+    pub vocab: usize,
+    /// Streamed chunks per mapper.
+    pub chunks_per_mapper: usize,
+    /// Tokens hashed into each chunk.
+    pub tokens_per_chunk: usize,
+}
+
+impl Default for MiniMrConfig {
+    fn default() -> Self {
+        MiniMrConfig { every: 4, vocab: 97, chunks_per_mapper: 8, tokens_per_chunk: 64 }
+    }
+}
+
+/// splitmix64 — the deterministic token generator shared by the mappers
+/// and the serial oracle.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Token `i` of chunk `chunk` on mapper index `mi`.
+fn token(cfg: &MiniMrConfig, mi: usize, chunk: usize, i: usize) -> u32 {
+    let seq = (mi * cfg.chunks_per_mapper + chunk) * cfg.tokens_per_chunk + i;
+    (mix64(seq as u64) % cfg.vocab as u64) as u32
+}
+
+/// The paper's Fig. 5 dataflow in miniature, generic over the transport:
+/// a map group streams `(word, count)` chunks to local reducers (keyed
+/// `word % n_reducers` partitioning); the reducers fold FCFS and forward
+/// each chunk — unaggregated — to a master rank that assembles the global
+/// histogram. Returns `Some(histogram)` on the master, `None` elsewhere.
+///
+/// The token stream is a pure function of the mapper index, so the
+/// master's histogram equals [`mini_mapreduce_oracle`] on every backend.
+pub fn mini_mapreduce<TP: Transport>(rank: &mut TP, cfg: &MiniMrConfig) -> Option<Vec<u64>> {
+    let nprocs = rank.world_size();
+    assert!(nprocs >= cfg.every, "need at least {} ranks for alpha = 1/{0}", cfg.every);
+    let comm = rank.world_group();
+    let spec = GroupSpec { every: cfg.every };
+    let me = rank.world_rank();
+    let my_role = spec.role_of(me);
+    // The reduce group's highest rank serves as the master aggregator
+    // (it does not consume map output unless it is the only reducer).
+    let reduce_ranks: Vec<usize> =
+        (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
+    let master = *reduce_ranks.last().expect("at least one reducer");
+    let solo_reducer = reduce_ranks.len() == 1;
+
+    // Channel 1: map group -> local reducers.
+    let ch1_role = match my_role {
+        Role::Producer => Role::Producer,
+        Role::Consumer if me == master && !solo_reducer => Role::Bystander,
+        Role::Consumer => Role::Consumer,
+        Role::Bystander => unreachable!(),
+    };
+    let ch1 = StreamChannel::create(
+        rank,
+        &comm,
+        ch1_role,
+        ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
+    );
+    // Channel 2: local reducers -> master (absent when solo).
+    let ch2 = if solo_reducer {
+        None
+    } else {
+        let ch2_role = match my_role {
+            Role::Consumer if me == master => Role::Consumer,
+            Role::Consumer => Role::Producer,
+            _ => Role::Bystander,
+        };
+        Some(StreamChannel::create(
+            rank,
+            &comm,
+            ch2_role,
+            ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
+        ))
+    };
+
+    match ch1_role {
+        Role::Producer => {
+            // Map rank: hash each synthetic chunk and stream its pairs,
+            // partitioned by the owning local reducer.
+            let mut stream: Stream<KvChunk> = Stream::attach(ch1);
+            let map_ranks: Vec<usize> =
+                (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
+            let mi = map_ranks.iter().position(|&r| r == me).expect("mapper");
+            let nc = stream.channel().consumers().len();
+            for chunk in 0..cfg.chunks_per_mapper {
+                let mut partial: HashMap<u32, u32> = HashMap::new();
+                for i in 0..cfg.tokens_per_chunk {
+                    *partial.entry(token(cfg, mi, chunk, i)).or_insert(0) += 1;
+                }
+                rank.compute(cfg.tokens_per_chunk as f64 * 50e-9);
+                let mut pairs: Vec<(u32, u32)> = partial.into_iter().collect();
+                pairs.sort_unstable();
+                let mut by_consumer: Vec<KvChunk> = vec![Vec::new(); nc];
+                for (w, c) in pairs {
+                    by_consumer[w as usize % nc].push((w, c));
+                }
+                for (ci, part) in by_consumer.into_iter().enumerate() {
+                    if !part.is_empty() {
+                        stream.isend_to(rank, ci, part);
+                    }
+                }
+            }
+            stream.terminate(rank);
+            None
+        }
+        Role::Consumer => {
+            let mut input: Stream<KvChunk> = Stream::attach(ch1);
+            let mut to_master: Option<Stream<KvChunk>> = ch2.map(Stream::attach);
+            let mut local: HashMap<u32, u64> = HashMap::new();
+            reduce_fold(rank, &mut input, to_master.as_mut(), &mut local);
+            if let Some(mut m) = to_master {
+                m.terminate(rank);
+                None
+            } else {
+                // Solo reducer: it *is* the master.
+                let mut hist = vec![0u64; cfg.vocab];
+                for (w, c) in local {
+                    hist[w as usize] += c;
+                }
+                Some(hist)
+            }
+        }
+        Role::Bystander => {
+            // Master: aggregate the stream of unaggregated chunk updates.
+            let mut from_reducers: Stream<KvChunk> =
+                Stream::attach(ch2.expect("master has the reducer channel"));
+            let mut hist = vec![0u64; cfg.vocab];
+            master_aggregate(rank, &mut from_reducers, &mut hist);
+            Some(hist)
+        }
+    }
+}
+
+/// Serial oracle for [`mini_mapreduce`]: the histogram the master must
+/// produce for a world of `nprocs` ranks, independent of any transport.
+pub fn mini_mapreduce_oracle(nprocs: usize, cfg: &MiniMrConfig) -> Vec<u64> {
+    let spec = GroupSpec { every: cfg.every };
+    let nmap = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).count();
+    let mut hist = vec![0u64; cfg.vocab];
+    for mi in 0..nmap {
+        for chunk in 0..cfg.chunks_per_mapper {
+            for i in 0..cfg.tokens_per_chunk {
+                hist[token(cfg, mi, chunk, i) as usize] += 1;
+            }
+        }
+    }
+    hist
+}
+
+/// Order-insensitive fingerprint of a payload multiset: sort a copy, then
+/// fold each value through splitmix64. Two backends that deliver the same
+/// multiset — in any order — produce the same fingerprint.
+pub fn fingerprint(values: &[u64]) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let mut h = 0xcbf29ce484222325u64;
+    for v in sorted {
+        h = mix64(h ^ v);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{MachineConfig, World};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn quickstart_consumers_see_every_update_in_sim() {
+        let reports: Arc<Mutex<HashMap<usize, PortableReport>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let r2 = reports.clone();
+        World::new(MachineConfig::default()).with_seed(7).run_expect(16, move |rank| {
+            let rep = quickstart(rank, 10, 8);
+            r2.lock().insert(rank.world_rank(), rep);
+        });
+        let reports = reports.lock();
+        let produced: u64 = reports.values().map(|r| r.sent).sum();
+        let consumed: usize = reports.values().map(|r| r.received.len()).sum();
+        assert_eq!(produced, 14 * 10); // 14 producers, 10 steps each
+        assert_eq!(consumed as u64, produced);
+    }
+
+    #[test]
+    fn mini_mapreduce_matches_oracle_in_sim() {
+        let cfg = MiniMrConfig::default();
+        let got: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let g2 = got.clone();
+        let cfg2 = cfg.clone();
+        World::new(MachineConfig::default()).with_seed(9).run_expect(8, move |rank| {
+            if let Some(hist) = mini_mapreduce(rank, &cfg2) {
+                *g2.lock() = hist;
+            }
+        });
+        assert_eq!(*got.lock(), mini_mapreduce_oracle(8, &cfg));
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive() {
+        assert_eq!(fingerprint(&[3, 1, 2]), fingerprint(&[1, 2, 3]));
+        assert_ne!(fingerprint(&[1, 2, 3]), fingerprint(&[1, 2, 4]));
+        assert_ne!(fingerprint(&[1]), fingerprint(&[1, 1]));
+    }
+}

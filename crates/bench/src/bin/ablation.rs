@@ -22,7 +22,7 @@ fn pipeline_time(aggregation: usize, credits: Option<usize>, adaptive: bool) -> 
     world
         .run_expect(64, move |rank| {
             let comm = rank.comm_world();
-            run_decoupled::<u64, _, _>(
+            run_decoupled::<u64, _, _, _>(
                 rank,
                 &comm,
                 GroupSpec { every: 8 },

@@ -52,7 +52,7 @@ fn micro_sim(t_sigma: f64) -> (f64, f64) {
     let dec = world
         .run_expect(16, move |rank| {
             let comm = rank.comm_world();
-            run_decoupled::<u64, _, _>(
+            run_decoupled::<u64, _, _, _>(
                 rank,
                 &comm,
                 GroupSpec { every: 8 },

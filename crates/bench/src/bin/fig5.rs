@@ -5,31 +5,27 @@
 //! FULL_SCALE=1 for the paper's 8,192).
 
 use apps::mapreduce::{run_decoupled, run_reference};
-use bench_harness::{configs, max_procs, proc_sweep, Table};
+use bench_harness::{configs, run_weak_scaling, FigRow};
 
 fn main() {
-    let max = max_procs(1024);
-    let mut table = Table::new(
+    run_weak_scaling(
+        "fig5_mapreduce",
         "Fig. 5 — MapReduce weak scaling, execution time (s)",
-        "procs",
         &["reference", "dec_a12.5%", "dec_a6.25%", "dec_a3.125%"],
+        1024,
+        |p| {
+            let t_ref = run_reference(p, &configs::fig5(p, 16)).outcome.elapsed_secs();
+            let d8 = run_decoupled(p, &configs::fig5(p, 8)).outcome.elapsed_secs();
+            let d16 = run_decoupled(p, &configs::fig5(p, 16)).outcome.elapsed_secs();
+            let d32 = if p >= 32 {
+                run_decoupled(p, &configs::fig5(p, 32)).outcome.elapsed_secs()
+            } else {
+                f64::NAN
+            };
+            FigRow {
+                values: vec![t_ref, d8, d16, d32],
+                note: format!("ref {t_ref:.3}  a=1/8 {d8:.3}  a=1/16 {d16:.3}  a=1/32 {d32:.3}"),
+            }
+        },
     );
-    // Scale points are independent simulations; sweep them on SWEEP_JOBS
-    // threads and report in order once all rows are in.
-    let rows = desim::sweep::par_map(proc_sweep(max), |p| {
-        let t_ref = run_reference(p, &configs::fig5(p, 16)).outcome.elapsed_secs();
-        let d8 = run_decoupled(p, &configs::fig5(p, 8)).outcome.elapsed_secs();
-        let d16 = run_decoupled(p, &configs::fig5(p, 16)).outcome.elapsed_secs();
-        let d32 = if p >= 32 {
-            run_decoupled(p, &configs::fig5(p, 32)).outcome.elapsed_secs()
-        } else {
-            f64::NAN
-        };
-        (p, t_ref, d8, d16, d32)
-    });
-    for (p, t_ref, d8, d16, d32) in rows {
-        println!("P={p}: ref {t_ref:.3}  a=1/8 {d8:.3}  a=1/16 {d16:.3}  a=1/32 {d32:.3}");
-        table.push(p, vec![t_ref, d8, d16, d32]);
-    }
-    table.finish("fig5_mapreduce");
 }

@@ -6,35 +6,37 @@
 //! paper's 300.
 
 use apps::cg::{run_blocking, run_decoupled, run_nonblocking};
-use bench_harness::{configs, full_scale, max_procs, proc_sweep, Table};
+use bench_harness::{configs, full_scale, run_weak_scaling, FigRow};
 
 fn main() {
-    let max = max_procs(1024);
     let iters = if full_scale() { 300 } else { 50 };
     let cfg = configs::fig6(iters);
-    let mut table = Table::new(
+    run_weak_scaling(
+        "fig6_cg",
         &format!("Fig. 6 — CG weak scaling ({iters} iterations), execution time (s)"),
-        "procs",
         &["blocking", "nonblocking", "decoupling"],
+        1024,
+        |p| {
+            let b = run_blocking(p, &cfg);
+            let n = run_nonblocking(p, &cfg);
+            let d = run_decoupled(p, &cfg);
+            FigRow {
+                note: format!(
+                    "blocking {:.3}  nonblocking {:.3}  decoupled {:.3}  \
+                     (residuals {:.2e}/{:.2e}/{:.2e})",
+                    b.outcome.elapsed_secs(),
+                    n.outcome.elapsed_secs(),
+                    d.outcome.elapsed_secs(),
+                    b.residual,
+                    n.residual,
+                    d.residual
+                ),
+                values: vec![
+                    b.outcome.elapsed_secs(),
+                    n.outcome.elapsed_secs(),
+                    d.outcome.elapsed_secs(),
+                ],
+            }
+        },
     );
-    let rows = desim::sweep::par_map(proc_sweep(max), |p| {
-        (p, run_blocking(p, &cfg), run_nonblocking(p, &cfg), run_decoupled(p, &cfg))
-    });
-    for (p, b, n, d) in rows {
-        println!(
-            "P={p}: blocking {:.3}  nonblocking {:.3}  decoupled {:.3}  \
-             (residuals {:.2e}/{:.2e}/{:.2e})",
-            b.outcome.elapsed_secs(),
-            n.outcome.elapsed_secs(),
-            d.outcome.elapsed_secs(),
-            b.residual,
-            n.residual,
-            d.residual
-        );
-        table.push(
-            p,
-            vec![b.outcome.elapsed_secs(), n.outcome.elapsed_secs(), d.outcome.elapsed_secs()],
-        );
-    }
-    table.finish("fig6_cg");
 }

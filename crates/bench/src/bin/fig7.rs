@@ -4,25 +4,25 @@
 //! `cargo run --release -p bench-harness --bin fig7`.
 
 use apps::pic::{run_comm_decoupled, run_comm_reference};
-use bench_harness::{configs, max_procs, proc_sweep, Table};
+use bench_harness::{configs, run_weak_scaling, FigRow};
 
 fn main() {
-    let max = max_procs(1024);
     let cfg = configs::fig7();
-    let mut table = Table::new(
+    run_weak_scaling(
+        "fig7_pic_comm",
         "Fig. 7 — iPIC3D particle communication weak scaling, execution time (s)",
-        "procs",
         &["reference", "decoupling"],
+        1024,
+        |p| {
+            let r = run_comm_reference(p, &cfg);
+            let d = run_comm_decoupled(p, &cfg);
+            FigRow {
+                note: format!(
+                    "reference {:.3}  decoupled {:.3}  (particles {} / {})",
+                    r.op_secs, d.op_secs, r.final_particles, d.final_particles
+                ),
+                values: vec![r.op_secs, d.op_secs],
+            }
+        },
     );
-    let rows = desim::sweep::par_map(proc_sweep(max), |p| {
-        (p, run_comm_reference(p, &cfg), run_comm_decoupled(p, &cfg))
-    });
-    for (p, r, d) in rows {
-        println!(
-            "P={p}: reference {:.3}  decoupled {:.3}  (particles {} / {})",
-            r.op_secs, d.op_secs, r.final_particles, d.final_particles
-        );
-        table.push(p, vec![r.op_secs, d.op_secs]);
-    }
-    table.finish("fig7_pic_comm");
 }

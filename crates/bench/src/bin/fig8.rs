@@ -5,34 +5,30 @@
 //! `cargo run --release -p bench-harness --bin fig8`.
 
 use apps::pic::{run_io_decoupled, run_io_reference, IoMode};
-use bench_harness::{configs, max_procs, proc_sweep, Table};
+use bench_harness::{configs, run_weak_scaling, FigRow};
 
 fn main() {
-    let max = max_procs(1024);
     let cfg = configs::fig8();
-    let mut table = Table::new(
+    run_weak_scaling(
+        "fig8_pic_io",
         "Fig. 8 — iPIC3D particle I/O weak scaling, execution time (s)",
-        "procs",
         &["RefColl", "RefShared", "Decoupling"],
+        1024,
+        |p| {
+            let c = run_io_reference(p, &cfg, IoMode::Collective);
+            let s = run_io_reference(p, &cfg, IoMode::Shared);
+            let d = run_io_decoupled(p, &cfg);
+            FigRow {
+                note: format!(
+                    "RefColl {:.3}  RefShared {:.3}  Decoupling {:.3}  \
+                     ({:.1} GB written each)",
+                    c.op_secs,
+                    s.op_secs,
+                    d.op_secs,
+                    c.bytes_written as f64 / 1e9
+                ),
+                values: vec![c.op_secs, s.op_secs, d.op_secs],
+            }
+        },
     );
-    let rows = desim::sweep::par_map(proc_sweep(max), |p| {
-        (
-            p,
-            run_io_reference(p, &cfg, IoMode::Collective),
-            run_io_reference(p, &cfg, IoMode::Shared),
-            run_io_decoupled(p, &cfg),
-        )
-    });
-    for (p, c, s, d) in rows {
-        println!(
-            "P={p}: RefColl {:.3}  RefShared {:.3}  Decoupling {:.3}  \
-             ({:.1} GB written each)",
-            c.op_secs,
-            s.op_secs,
-            d.op_secs,
-            c.bytes_written as f64 / 1e9
-        );
-        table.push(p, vec![c.op_secs, s.op_secs, d.op_secs]);
-    }
-    table.finish("fig8_pic_io");
 }

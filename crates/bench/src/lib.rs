@@ -118,6 +118,34 @@ impl Table {
     }
 }
 
+/// One scale point of a figure sweep: the column values for the table row
+/// plus the human-readable progress note printed as `P=<procs>: <note>`.
+pub struct FigRow {
+    pub values: Vec<f64>,
+    pub note: String,
+}
+
+/// The boilerplate every `figN` binary shares: read the sweep ceiling
+/// from the environment, simulate each scale point in parallel on
+/// `SWEEP_JOBS` threads (each point is an independent simulation), print
+/// the rows in order, and render the table to console + `results/`.
+pub fn run_weak_scaling(
+    csv_name: &str,
+    title: &str,
+    columns: &[&str],
+    default_max: usize,
+    point: impl Fn(usize) -> FigRow + Sync,
+) {
+    let max = max_procs(default_max);
+    let mut table = Table::new(title, "procs", columns);
+    let rows = desim::sweep::par_map(proc_sweep(max), |p| (p, point(p)));
+    for (p, row) in rows {
+        println!("P={p}: {}", row.note);
+        table.push(p, row.values);
+    }
+    table.finish(csv_name);
+}
+
 /// The workspace root (falls back to CWD).
 pub fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));

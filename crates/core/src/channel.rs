@@ -1,8 +1,9 @@
 //! Stream channels: the communication fabric between decoupled groups.
 
-use mpisim::{Comm, Rank, SimDuration, Tag};
+use desim::SimDuration;
 
 use crate::group::Role;
+use crate::transport::{Group, Tag, Transport};
 
 /// Namespace byte for stream traffic inside the simulator's tag space.
 pub(crate) const NS_STREAM: u8 = 2;
@@ -141,7 +142,10 @@ impl ChannelConfig {
 
 /// A communication channel between a producer group and a consumer group
 /// (`MPIStream_CreateChannel` in the paper). Creation is collective over
-/// `comm`; every member declares its [`Role`].
+/// a [`Group`]; every member declares its [`Role`]. The channel itself is
+/// backend-free — plain rank lists, a config and a tag namespace — so the
+/// same value describes a simulated or a native channel (and feeds
+/// `streamcheck` topology extraction either way).
 #[derive(Clone, Debug)]
 pub struct StreamChannel {
     pub(crate) id: u16,
@@ -152,16 +156,16 @@ pub struct StreamChannel {
 }
 
 impl StreamChannel {
-    /// Collectively create a channel over `comm`. Each rank passes its own
-    /// role; the membership lists are agreed through an allgather, and the
-    /// channel id is allocated world-uniquely and broadcast.
-    pub fn create(
-        rank: &mut Rank,
-        comm: &Comm,
+    /// Collectively create a channel over `group`. Each rank passes its
+    /// own role; the membership lists are agreed through an allgather, and
+    /// the channel id is allocated world-uniquely and broadcast.
+    pub fn create<TP: Transport>(
+        rank: &mut TP,
+        group: &TP::Group,
         role: Role,
         config: ChannelConfig,
     ) -> StreamChannel {
-        match StreamChannel::try_create(rank, comm, role, config) {
+        match StreamChannel::try_create(rank, group, role, config) {
             Ok(ch) => ch,
             Err(e) => panic!("invalid ChannelConfig: {e}"),
         }
@@ -172,9 +176,9 @@ impl StreamChannel {
     /// any communication, so a rejected config leaves the communicator in a
     /// usable state on every rank (all ranks see the same config and reject
     /// identically).
-    pub fn try_create(
-        rank: &mut Rank,
-        comm: &Comm,
+    pub fn try_create<TP: Transport>(
+        rank: &mut TP,
+        group: &TP::Group,
         role: Role,
         config: ChannelConfig,
     ) -> Result<StreamChannel, ConfigError> {
@@ -184,7 +188,7 @@ impl StreamChannel {
             Role::Consumer => 1,
             Role::Bystander => 2,
         };
-        let roles = rank.allgatherv(comm, 1, (rank.world_rank(), code));
+        let roles = rank.allgatherv(group, 1, (rank.world_rank(), code));
         let mut producers = Vec::new();
         let mut consumers = Vec::new();
         for (w, c) in roles {
@@ -198,17 +202,17 @@ impl StreamChannel {
         consumers.sort_unstable();
         assert!(!producers.is_empty(), "channel needs at least one producer");
         assert!(!consumers.is_empty(), "channel needs at least one consumer");
-        let id = if comm.rank_of(rank.world_rank()) == Some(0) {
+        let id = if group.rank_of(rank.world_rank()) == Some(0) {
             Some(rank.alloc_channel_id())
         } else {
             None
         };
-        let id = rank.bcast(comm, 0, 2, id);
+        let id = rank.bcast(group, 0, 2, id);
         let ch = StreamChannel { id, producers, consumers, my_role: role, config };
         // Sanitizer: every member registers the channel's flow-control
         // parameters (idempotent) so credit audits and the orphan scan can
-        // classify this channel's traffic.
-        #[cfg(feature = "check")]
+        // classify this channel's traffic. A no-op on backends without a
+        // checker.
         rank.check_register_channel(ch.id, ch.config.credits.map(|c| c as u64), ch.credit_tag());
         Ok(ch)
     }

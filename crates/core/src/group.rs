@@ -8,7 +8,7 @@
 //! close to a consumer and balances NIC load, so we follow the same
 //! pattern.
 
-use mpisim::{Comm, Rank};
+use crate::transport::{Group, Transport};
 
 /// Role of a rank with respect to one stream channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,7 +64,11 @@ impl GroupSpec {
     /// list and sizes — which is all MPI would let you know about a group
     /// you are not part of). Both groups must be non-empty — a world too
     /// small for the spec panics with a clear message.
-    pub fn split(&self, rank: &mut Rank, comm: &Comm) -> (Comm, Comm, Role) {
+    pub fn split<TP: Transport>(
+        &self,
+        rank: &mut TP,
+        comm: &TP::Group,
+    ) -> (TP::Group, TP::Group, Role) {
         let me = rank.world_rank();
         let role = self.role_of(me);
         let color = match role {
@@ -76,9 +80,9 @@ impl GroupSpec {
             rank.split(comm, Some(color), me as i64).expect("split with Some color yields a comm");
         let other_ranks: Vec<usize> =
             comm.ranks().iter().copied().filter(|&w| self.role_of(w) != role).collect();
-        // Metadata-only view of the opposite group (id outside the
-        // registered range; never used to address collectives).
-        let other = Comm::new(u16::MAX, other_ranks);
+        // Metadata-only view of the opposite group (never used to address
+        // collectives).
+        let other = TP::Group::meta(other_ranks);
         let (producers, consumers) = if color == 0 { (mine, other) } else { (other, mine) };
         assert!(
             !producers.ranks().is_empty() && !consumers.ranks().is_empty(),

@@ -5,37 +5,43 @@
 //! run the producer/consumer bodies, and terminate the flow. Application
 //! case studies with richer topologies (multiple channels, reply streams)
 //! compose the lower-level pieces directly.
+//!
+//! The harness is generic over [`Transport`], so the same producer and
+//! consumer bodies run inside the simulator (`TP = SimTransport`) or on
+//! native OS threads (`TP = native::NativeRank`) unchanged.
 
-use mpisim::{Comm, Rank};
-
-use crate::channel::{ChannelConfig, StreamChannel};
+use crate::channel::{ChannelConfig, ConfigError, StreamChannel};
 use crate::group::{GroupSpec, Role};
 use crate::stream::Stream;
+use crate::transport::Transport;
 
 /// Everything a producer body gets to work with.
-pub struct ProducerCtx<'s, T> {
+pub struct ProducerCtx<'s, T, G> {
     /// Stream endpoint to inject into. Terminated automatically when the
     /// body returns (explicit early [`Stream::terminate`] is fine too).
     pub stream: &'s mut Stream<T>,
     /// The producer group's own communicator (for collectives among the
     /// remaining, non-decoupled ranks).
-    pub group: Comm,
+    pub group: G,
 }
 
 /// Everything a consumer body gets to work with.
-pub struct ConsumerCtx<'s, T> {
+pub struct ConsumerCtx<'s, T, G> {
     /// Stream endpoint to drain (typically via [`Stream::operate`]).
     pub stream: &'s mut Stream<T>,
     /// The consumer (decoupled) group's communicator.
-    pub group: Comm,
+    pub group: G,
 }
 
 /// Split `comm` per `spec`, create a producer→consumer channel with
 /// `config`, and run `producer` on compute ranks and `consumer` on
 /// decoupled ranks. Returns this rank's stream statistics.
-pub fn run_decoupled<T, P, C>(
-    rank: &mut Rank,
-    comm: &Comm,
+///
+/// Panics on an invalid [`ChannelConfig`]; [`try_run_decoupled`] returns
+/// the typed [`ConfigError`] instead.
+pub fn run_decoupled<T, TP, P, C>(
+    rank: &mut TP,
+    comm: &TP::Group,
     spec: GroupSpec,
     config: ChannelConfig,
     producer: P,
@@ -43,9 +49,36 @@ pub fn run_decoupled<T, P, C>(
 ) -> crate::stream::StreamStats
 where
     T: Send + 'static,
-    P: FnOnce(&mut Rank, &mut ProducerCtx<'_, T>),
-    C: FnOnce(&mut Rank, &mut ConsumerCtx<'_, T>),
+    TP: Transport,
+    P: FnOnce(&mut TP, &mut ProducerCtx<'_, T, TP::Group>),
+    C: FnOnce(&mut TP, &mut ConsumerCtx<'_, T, TP::Group>),
 {
+    match try_run_decoupled(rank, comm, spec, config, producer, consumer) {
+        Ok(stats) => stats,
+        Err(e) => panic!("invalid ChannelConfig: {e}"),
+    }
+}
+
+/// [`run_decoupled`] returning the typed [`ConfigError`] instead of
+/// panicking on an invalid configuration. Validation happens before any
+/// communication — no split is performed, no channel id consumed — so a
+/// rejected config leaves the communicator fully usable on every rank
+/// (all ranks see the same config and reject identically).
+pub fn try_run_decoupled<T, TP, P, C>(
+    rank: &mut TP,
+    comm: &TP::Group,
+    spec: GroupSpec,
+    config: ChannelConfig,
+    producer: P,
+    consumer: C,
+) -> Result<crate::stream::StreamStats, ConfigError>
+where
+    T: Send + 'static,
+    TP: Transport,
+    P: FnOnce(&mut TP, &mut ProducerCtx<'_, T, TP::Group>),
+    C: FnOnce(&mut TP, &mut ConsumerCtx<'_, T, TP::Group>),
+{
+    config.validate()?;
     let (producers, consumers, role) = spec.split(rank, comm);
     let channel = StreamChannel::create(rank, comm, role, config);
     let mut stream: Stream<T> = Stream::attach(channel);
@@ -61,5 +94,5 @@ where
         }
         Role::Bystander => unreachable!("GroupSpec assigns no bystanders"),
     }
-    stream.stats()
+    Ok(stream.stats())
 }

@@ -14,6 +14,11 @@
 //! - a decoupled operation runs on a small group where its complexity
 //!   shrinks and can be aggressively optimized (aggregation, buffering).
 //!
+//! The runtime is generic over a [`Transport`] — the same stream program
+//! runs inside the deterministic discrete-event simulator
+//! ([`SimTransport`], i.e. `mpisim::Rank`) or on real OS threads (the
+//! `native` crate). See the [`transport`] module for the contract.
+//!
 //! ## Quick example (the paper's Listing 1)
 //!
 //! ```
@@ -23,7 +28,7 @@
 //! let world = World::new(MachineConfig::default());
 //! world.run_expect(8, |rank| {
 //!     let comm = rank.comm_world();
-//!     run_decoupled::<u64, _, _>(
+//!     run_decoupled::<u64, _, _, _>(
 //!         rank,
 //!         &comm,
 //!         GroupSpec { every: 8 },          // one analysis rank per 8
@@ -50,11 +55,15 @@ pub mod channel;
 pub mod group;
 pub mod harness;
 pub mod select;
+pub mod sim;
 pub mod stream;
+pub mod transport;
 
 pub use adaptive::AdaptiveGranularity;
 pub use channel::{ChannelConfig, ConfigError, RoutePolicy, StreamChannel};
 pub use group::{GroupSpec, Role};
-pub use harness::{run_decoupled, ConsumerCtx, ProducerCtx};
+pub use harness::{run_decoupled, try_run_decoupled, ConsumerCtx, ProducerCtx};
 pub use select::operate2;
+pub use sim::SimTransport;
 pub use stream::{ProducerReport, ProducerState, Stream, StreamOutcome, StreamStats};
+pub use transport::{Group, MsgInfo, Src, Tag, Transport};

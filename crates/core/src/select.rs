@@ -7,9 +7,8 @@
 //! module provides first-come-first-served draining across two channels
 //! without busy-waiting.
 
-use mpisim::Rank;
-
 use crate::stream::Stream;
+use crate::transport::Transport;
 
 /// Drain two consumer endpoints first-come-first-served until **both**
 /// have seen every producer terminate. Returns the element counts
@@ -19,12 +18,12 @@ use crate::stream::Stream;
 /// burst on one stream cannot starve the other: whenever either has a
 /// message ready it is processed; when neither does, the rank suspends
 /// until its mailbox changes.
-pub fn operate2<A, B>(
-    rank: &mut Rank,
+pub fn operate2<A, B, TP: Transport>(
+    rank: &mut TP,
     a: &mut Stream<A>,
     b: &mut Stream<B>,
-    mut on_a: impl FnMut(&mut Rank, A),
-    mut on_b: impl FnMut(&mut Rank, B),
+    mut on_a: impl FnMut(&mut TP, A),
+    mut on_b: impl FnMut(&mut TP, B),
 ) -> (u64, u64)
 where
     A: Send + 'static,

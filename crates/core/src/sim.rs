@@ -1,0 +1,177 @@
+//! `SimTransport`: the [`Transport`] implementation over the
+//! discrete-event simulator.
+//!
+//! `mpisim::Rank` *is* the simulator backend — the impl here is a direct
+//! forwarding shim, so a stream program generic over [`Transport`]
+//! executes the exact same simulator calls, in the exact same order, as
+//! one written against `Rank` directly. That is the property the fig
+//! harnesses, the chaos suite and the perf-regression baselines rely on:
+//! going through the abstraction is byte-identical to not having it.
+//!
+//! Two details keep the shim exact:
+//!
+//! - [`Transport::send`] forwards to [`mpisim::Rank::send_t`], which is
+//!   defined as `isend_t` + `wait_send` — precisely the call pair the
+//!   stream layer used before the refactor (wait only for injection,
+//!   never for delivery).
+//! - [`Tag`]/[`Src`] convert by value with the same bit layout, so tags
+//!   on the wire are unchanged and the sanitizer's tag-space
+//!   classification still applies.
+
+use mpisim::Rank;
+
+use crate::transport::{Group, MsgInfo, SimTime, Src, Tag, Transport};
+
+/// The simulator backend, by its transport name. Stream programs written
+/// against `Transport` take a `&mut SimTransport` to run simulated.
+pub type SimTransport<'c> = Rank<'c>;
+
+#[inline]
+fn sim_src(src: Src) -> mpisim::Src {
+    match src {
+        Src::Rank(r) => mpisim::Src::Rank(r),
+        Src::Any => mpisim::Src::Any,
+    }
+}
+
+#[inline]
+fn sim_tag(tag: Tag) -> mpisim::Tag {
+    mpisim::Tag(tag.0)
+}
+
+#[inline]
+fn from_sim_info(info: mpisim::MsgInfo) -> MsgInfo {
+    MsgInfo { src: info.src, tag: Tag(info.tag.0), bytes: info.bytes }
+}
+
+impl Group for mpisim::Comm {
+    fn ranks(&self) -> &[usize] {
+        mpisim::Comm::ranks(self)
+    }
+
+    fn rank_of(&self, w: usize) -> Option<usize> {
+        mpisim::Comm::rank_of(self, w)
+    }
+
+    fn meta(ranks: Vec<usize>) -> Self {
+        // Id outside the registered range; never used to address
+        // collectives (see the `Group` contract).
+        mpisim::Comm::new(u16::MAX, ranks)
+    }
+}
+
+impl<'c> Transport for Rank<'c> {
+    type Group = mpisim::Comm;
+
+    fn world_rank(&self) -> usize {
+        Rank::world_rank(self)
+    }
+
+    fn world_size(&self) -> usize {
+        Rank::world_size(self)
+    }
+
+    fn world_group(&self) -> mpisim::Comm {
+        Rank::comm_world(self)
+    }
+
+    fn now(&self) -> SimTime {
+        Rank::now(self)
+    }
+
+    fn compute(&mut self, secs: f64) {
+        Rank::compute(self, secs);
+    }
+
+    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T) {
+        Rank::send_t(self, dst, sim_tag(tag), bytes, value);
+    }
+
+    fn recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
+        let (v, info) = Rank::recv_t(self, sim_src(src), sim_tag(tag));
+        (v, from_sim_info(info))
+    }
+
+    fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
+        Rank::try_recv_t(self, sim_src(src), sim_tag(tag)).map(|(v, i)| (v, from_sim_info(i)))
+    }
+
+    fn recv_deadline<T: Send + 'static>(
+        &mut self,
+        src: Src,
+        tag: Tag,
+        deadline: SimTime,
+    ) -> Option<(T, MsgInfo)> {
+        Rank::recv_t_deadline(self, sim_src(src), sim_tag(tag), deadline)
+            .map(|(v, i)| (v, from_sim_info(i)))
+    }
+
+    fn probe(&mut self, src: Src, tag: Tag) -> Option<MsgInfo> {
+        Rank::iprobe_t(self, sim_src(src), sim_tag(tag)).map(from_sim_info)
+    }
+
+    fn wait_for_mail(&mut self) {
+        Rank::wait_for_mail(self);
+    }
+
+    fn barrier(&mut self, group: &mpisim::Comm) {
+        Rank::barrier(self, group);
+    }
+
+    fn allreduce<T: Clone + Send + 'static>(
+        &mut self,
+        group: &mpisim::Comm,
+        bytes: u64,
+        value: T,
+        op: impl Fn(&mut T, &T),
+    ) -> T {
+        Rank::allreduce(self, group, bytes, value, op)
+    }
+
+    fn allgatherv<T: Clone + Send + 'static>(
+        &mut self,
+        group: &mpisim::Comm,
+        bytes: u64,
+        value: T,
+    ) -> Vec<T> {
+        Rank::allgatherv(self, group, bytes, value)
+    }
+
+    fn bcast<T: Clone + Send + 'static>(
+        &mut self,
+        group: &mpisim::Comm,
+        root: usize,
+        bytes: u64,
+        value: Option<T>,
+    ) -> T {
+        Rank::bcast(self, group, root, bytes, value)
+    }
+
+    fn split(
+        &mut self,
+        group: &mpisim::Comm,
+        color: Option<i64>,
+        key: i64,
+    ) -> Option<mpisim::Comm> {
+        Rank::split(self, group, color, key)
+    }
+
+    fn alloc_channel_id(&mut self) -> u16 {
+        Rank::alloc_channel_id(self)
+    }
+
+    #[cfg(feature = "check")]
+    fn check_register_channel(&mut self, id: u16, window: Option<u64>, credit_tag: Tag) {
+        Rank::check_register_channel(self, id, window, sim_tag(credit_tag));
+    }
+
+    #[cfg(feature = "check")]
+    fn check_data_sent(&mut self, id: u16, consumer: usize, elems: u64) {
+        Rank::check_data_sent(self, id, consumer, elems);
+    }
+
+    #[cfg(feature = "check")]
+    fn check_credit_issued(&mut self, id: u16, producer: usize, elems: u64) {
+        Rank::check_credit_issued(self, id, producer, elems);
+    }
+}

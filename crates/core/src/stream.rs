@@ -15,10 +15,9 @@
 //! mechanism that absorbs producer imbalance: a late producer never stalls
 //! the consumer as long as any other producer has data in flight.
 
-use mpisim::{MsgInfo, Rank, Src};
-
 use crate::channel::{RoutePolicy, StreamChannel};
 use crate::group::Role;
+use crate::transport::{MsgInfo, SimTime, Src, Transport};
 
 /// Wire format of one stream message.
 enum Wire<T> {
@@ -168,7 +167,7 @@ impl<T: Send + 'static> Stream<T> {
         self.stats
     }
 
-    fn my_producer_index(&self, rank: &Rank) -> usize {
+    fn my_producer_index<TP: Transport>(&self, rank: &TP) -> usize {
         self.channel
             .producers
             .iter()
@@ -176,7 +175,7 @@ impl<T: Send + 'static> Stream<T> {
             .expect("this rank is not a producer on the channel")
     }
 
-    fn default_consumer_index(&mut self, rank: &Rank) -> usize {
+    fn default_consumer_index<TP: Transport>(&mut self, rank: &TP) -> usize {
         match self.channel.config.route {
             RoutePolicy::Static => self.my_producer_index(rank) % self.channel.consumers.len(),
             RoutePolicy::RoundRobin => {
@@ -195,7 +194,7 @@ impl<T: Send + 'static> Stream<T> {
     /// a consumer per the channel policy, coalescing `aggregation`
     /// elements per wire message. Asynchronous — blocks only when the
     /// credit window is exhausted.
-    pub fn isend(&mut self, rank: &mut Rank, elem: T) {
+    pub fn isend<TP: Transport>(&mut self, rank: &mut TP, elem: T) {
         assert_eq!(self.channel.my_role, Role::Producer, "isend on a non-producer endpoint");
         let c = self.default_consumer_index(rank);
         self.isend_to(rank, c, elem);
@@ -203,14 +202,14 @@ impl<T: Send + 'static> Stream<T> {
 
     /// Inject one element routed by `key` (hash-partitioned streams, e.g.
     /// word-histogram keys).
-    pub fn isend_keyed(&mut self, rank: &mut Rank, key: u64, elem: T) {
+    pub fn isend_keyed<TP: Transport>(&mut self, rank: &mut TP, key: u64, elem: T) {
         let c = (mix64(key) % self.channel.consumers.len() as u64) as usize;
         self.isend_to(rank, c, elem);
     }
 
     /// Inject one element to an explicit consumer index (application-
     /// specific routing, e.g. "the consumer responsible for my subdomain").
-    pub fn isend_to(&mut self, rank: &mut Rank, consumer: usize, elem: T) {
+    pub fn isend_to<TP: Transport>(&mut self, rank: &mut TP, consumer: usize, elem: T) {
         assert!(!self.terminated, "isend after terminate");
         assert_eq!(self.channel.my_role, Role::Producer, "isend on a non-producer endpoint");
         self.agg[consumer].push(elem);
@@ -220,7 +219,7 @@ impl<T: Send + 'static> Stream<T> {
     }
 
     /// Flush any partially filled aggregation buffers.
-    pub fn flush(&mut self, rank: &mut Rank) {
+    pub fn flush<TP: Transport>(&mut self, rank: &mut TP) {
         for c in 0..self.channel.consumers.len() {
             if !self.agg[c].is_empty() {
                 self.flush_one(rank, c);
@@ -228,7 +227,7 @@ impl<T: Send + 'static> Stream<T> {
         }
     }
 
-    fn flush_one(&mut self, rank: &mut Rank, consumer: usize) {
+    fn flush_one<TP: Transport>(&mut self, rank: &mut TP, consumer: usize) {
         let batch = std::mem::take(&mut self.agg[consumer]);
         debug_assert!(!batch.is_empty());
         self.send_batch(rank, consumer, batch);
@@ -239,7 +238,7 @@ impl<T: Send + 'static> Stream<T> {
     /// re-routes to the next live consumer; under [`RoutePolicy::Static`]
     /// (and keyed routing) elements are pinned to their consumer, so they
     /// are dropped and counted in [`StreamStats::lost`].
-    fn send_batch(&mut self, rank: &mut Rank, mut consumer: usize, batch: Vec<T>) {
+    fn send_batch<TP: Transport>(&mut self, rank: &mut TP, mut consumer: usize, batch: Vec<T>) {
         let n = batch.len() as u64;
         loop {
             if self.dead_consumers[consumer] {
@@ -269,10 +268,8 @@ impl<T: Send + 'static> Stream<T> {
             let bytes = n * self.channel.config.element_bytes;
             let dst = self.channel.consumers[consumer];
             let tag = self.channel.data_tag();
-            let req = rank.isend_t(dst, tag, bytes, Wire::Data(batch));
-            rank.wait_send(req);
+            rank.send(dst, tag, bytes, Wire::Data(batch));
             self.outstanding[consumer] += n;
-            #[cfg(feature = "check")]
             rank.check_data_sent(self.channel.id, dst, n);
             self.sent_per_consumer[consumer] += n;
             self.stats.elements += n;
@@ -304,14 +301,14 @@ impl<T: Send + 'static> Stream<T> {
     /// Blockingly consume one credit message for `consumer`. With a
     /// `failure_timeout` configured the wait is bounded: `false` means the
     /// consumer stayed silent past the timeout.
-    fn absorb_credit(&mut self, rank: &mut Rank, consumer: usize) -> bool {
+    fn absorb_credit<TP: Transport>(&mut self, rank: &mut TP, consumer: usize) -> bool {
         let src = self.channel.consumers[consumer];
         let tag = self.channel.credit_tag();
         let acked = match self.channel.config.failure_timeout {
-            None => rank.recv_t::<u64>(Src::Rank(src), tag).0,
+            None => rank.recv::<u64>(Src::Rank(src), tag).0,
             Some(t) => {
                 let deadline = rank.now() + t;
-                match rank.recv_t_deadline::<u64>(Src::Rank(src), tag, deadline) {
+                match rank.recv_deadline::<u64>(Src::Rank(src), tag, deadline) {
                     Some((acked, _)) => acked,
                     None => return false,
                 }
@@ -323,12 +320,12 @@ impl<T: Send + 'static> Stream<T> {
 
     /// Opportunistically drain any credits that have already arrived
     /// (keeps the window loose without blocking).
-    fn drain_credits(&mut self, rank: &mut Rank) {
+    fn drain_credits<TP: Transport>(&mut self, rank: &mut TP) {
         if self.channel.config.credits.is_none() {
             return;
         }
         let tag = self.channel.credit_tag();
-        while let Some((acked, info)) = rank.try_recv_t::<u64>(Src::Any, tag) {
+        while let Some((acked, info)) = rank.try_recv::<u64>(Src::Any, tag) {
             let c = self
                 .channel
                 .consumers
@@ -341,7 +338,7 @@ impl<T: Send + 'static> Stream<T> {
 
     /// Close this producer's flow (`MPIStream_Terminate`): flush all
     /// buffers and notify every consumer.
-    pub fn terminate(&mut self, rank: &mut Rank) {
+    pub fn terminate<TP: Transport>(&mut self, rank: &mut TP) {
         assert_eq!(self.channel.my_role, Role::Producer, "terminate on a non-producer endpoint");
         if self.terminated {
             return;
@@ -355,7 +352,7 @@ impl<T: Send + 'static> Stream<T> {
                 continue;
             }
             let sent = self.sent_per_consumer[c];
-            rank.send_t(dst, tag, 16, Wire::<T>::Term { sent });
+            rank.send(dst, tag, 16, Wire::<T>::Term { sent });
         }
         // Drain remaining credit messages so they do not linger as
         // unconsumed traffic (and so outstanding counts settle for tests).
@@ -375,7 +372,7 @@ impl<T: Send + 'static> Stream<T> {
     /// Apply `op` to every arriving element, first-come-first-served over
     /// all producers, until every producer has terminated
     /// (`MPIStream_Operate`). Returns the number of elements processed.
-    pub fn operate(&mut self, rank: &mut Rank, mut op: impl FnMut(&mut Rank, T)) -> u64 {
+    pub fn operate<TP: Transport>(&mut self, rank: &mut TP, mut op: impl FnMut(&mut TP, T)) -> u64 {
         assert_eq!(self.channel.my_role, Role::Consumer, "operate on a non-consumer endpoint");
         let mut processed = 0;
         // Drain anything a prior recv_one pulled but did not hand out.
@@ -415,10 +412,10 @@ impl<T: Send + 'static> Stream<T> {
     /// plus reporting. Must be the endpoint's only draining call — mixing
     /// with `operate`/`recv_one` would consume `Term`s this method can no
     /// longer attribute.
-    pub fn operate_outcome(
+    pub fn operate_outcome<TP: Transport>(
         &mut self,
-        rank: &mut Rank,
-        mut op: impl FnMut(&mut Rank, T),
+        rank: &mut TP,
+        mut op: impl FnMut(&mut TP, T),
     ) -> StreamOutcome {
         assert_eq!(self.channel.my_role, Role::Consumer, "operate on a non-consumer endpoint");
         assert_eq!(self.terms_seen, 0, "operate_outcome must be the endpoint's only draining call");
@@ -440,7 +437,7 @@ impl<T: Send + 'static> Stream<T> {
         // producers, ordered: `first()` is the earliest instant any of them
         // exceeds the timeout. Maintained incrementally on each arrival in
         // place of a full O(np) min-scan per message.
-        let mut deadlines: std::collections::BTreeSet<(mpisim::SimTime, usize)> =
+        let mut deadlines: std::collections::BTreeSet<(SimTime, usize)> =
             std::collections::BTreeSet::new();
         if let Some(t) = timeout {
             for (i, &heard) in last_heard.iter().enumerate() {
@@ -460,12 +457,12 @@ impl<T: Send + 'static> Stream<T> {
                 break;
             }
             let got = match timeout {
-                None => Some(rank.recv_t::<Wire<T>>(Src::Any, tag)),
+                None => Some(rank.recv::<Wire<T>>(Src::Any, tag)),
                 Some(_) => {
                     // The earliest instant any open producer's silence
                     // exceeds the timeout.
                     let &(deadline, _) = deadlines.first().expect("at least one producer is open");
-                    rank.recv_t_deadline::<Wire<T>>(Src::Any, tag, deadline)
+                    rank.recv_deadline::<Wire<T>>(Src::Any, tag, deadline)
                 }
             };
             match got {
@@ -495,8 +492,7 @@ impl<T: Send + 'static> Stream<T> {
                                 }
                             }
                             if self.channel.config.credits.is_some() {
-                                rank.send_t(info.src, self.channel.credit_tag(), 8, n);
-                                #[cfg(feature = "check")]
+                                rank.send(info.src, self.channel.credit_tag(), 8, n);
                                 rank.check_credit_issued(self.channel.id, info.src, n);
                             }
                         }
@@ -540,11 +536,11 @@ impl<T: Send + 'static> Stream<T> {
     /// Process arriving elements while `running` stays true (for consumers
     /// that interleave stream processing with other work). Returns
     /// elements processed; stops early once all producers terminated.
-    pub fn operate_while(
+    pub fn operate_while<TP: Transport>(
         &mut self,
-        rank: &mut Rank,
+        rank: &mut TP,
         mut running: impl FnMut() -> bool,
-        mut op: impl FnMut(&mut Rank, T),
+        mut op: impl FnMut(&mut TP, T),
     ) -> u64 {
         let mut processed = 0;
         while self.terms_seen < self.channel.producers.len() && running() {
@@ -555,10 +551,14 @@ impl<T: Send + 'static> Stream<T> {
 
     /// Process at most the next wire message if one is already available;
     /// never blocks. Returns elements processed (0 if nothing was ready).
-    pub fn operate_some(&mut self, rank: &mut Rank, mut op: impl FnMut(&mut Rank, T)) -> u64 {
+    pub fn operate_some<TP: Transport>(
+        &mut self,
+        rank: &mut TP,
+        mut op: impl FnMut(&mut TP, T),
+    ) -> u64 {
         assert_eq!(self.channel.my_role, Role::Consumer);
         let tag = self.channel.data_tag();
-        match rank.try_recv_t::<Wire<T>>(Src::Any, tag) {
+        match rank.try_recv::<Wire<T>>(Src::Any, tag) {
             Some((wire, info)) => self.dispatch(rank, wire, info, &mut op),
             None => 0,
         }
@@ -567,10 +567,14 @@ impl<T: Send + 'static> Stream<T> {
     /// Like [`Stream::operate_some`] but also reports whether *any* wire
     /// message (data or termination marker) was consumed — the progress
     /// signal multiplexers need to avoid busy-waiting.
-    pub fn try_step(&mut self, rank: &mut Rank, mut op: impl FnMut(&mut Rank, T)) -> (u64, bool) {
+    pub fn try_step<TP: Transport>(
+        &mut self,
+        rank: &mut TP,
+        mut op: impl FnMut(&mut TP, T),
+    ) -> (u64, bool) {
         assert_eq!(self.channel.my_role, Role::Consumer);
         let tag = self.channel.data_tag();
-        match rank.try_recv_t::<Wire<T>>(Src::Any, tag) {
+        match rank.try_recv::<Wire<T>>(Src::Any, tag) {
             Some((wire, info)) => (self.dispatch(rank, wire, info, &mut op), true),
             None => (0, false),
         }
@@ -587,7 +591,7 @@ impl<T: Send + 'static> Stream<T> {
     /// have terminated, consumers must have drained every claimed element.
     /// Dropping a `Stream` without `free` is allowed (Rust cleans up), but
     /// `free` catches protocol bugs the way the C API's explicit call did.
-    pub fn free(self, _rank: &mut Rank) {
+    pub fn free<TP: Transport>(self, _rank: &mut TP) {
         match self.channel.my_role {
             Role::Producer => {
                 assert!(self.terminated, "free() on a producer endpoint that never terminated");
@@ -620,7 +624,7 @@ impl<T: Send + 'static> Stream<T> {
     /// producers). Returns `None` once every producer has terminated and
     /// all elements were handed out. Mixing `recv_one` with `operate` on
     /// the same endpoint is supported — both drain the same buffers.
-    pub fn recv_one(&mut self, rank: &mut Rank) -> Option<T> {
+    pub fn recv_one<TP: Transport>(&mut self, rank: &mut TP) -> Option<T> {
         assert_eq!(self.channel.my_role, Role::Consumer, "recv_one on a non-consumer endpoint");
         loop {
             if let Some(elem) = self.pending.pop_front() {
@@ -631,7 +635,7 @@ impl<T: Send + 'static> Stream<T> {
                 return None;
             }
             let tag = self.channel.data_tag();
-            let (wire, info) = rank.recv_t::<Wire<T>>(Src::Any, tag);
+            let (wire, info) = rank.recv::<Wire<T>>(Src::Any, tag);
             match wire {
                 Wire::Data(batch) => {
                     let n = batch.len() as u64;
@@ -640,8 +644,7 @@ impl<T: Send + 'static> Stream<T> {
                     self.stats.bytes += info.bytes;
                     self.pending.extend(batch);
                     if self.channel.config.credits.is_some() {
-                        rank.send_t(info.src, self.channel.credit_tag(), 8, n);
-                        #[cfg(feature = "check")]
+                        rank.send(info.src, self.channel.credit_tag(), 8, n);
                         rank.check_credit_issued(self.channel.id, info.src, n);
                     }
                 }
@@ -654,18 +657,18 @@ impl<T: Send + 'static> Stream<T> {
     }
 
     /// Blockingly receive and dispatch one wire message.
-    fn step(&mut self, rank: &mut Rank, op: &mut impl FnMut(&mut Rank, T)) -> u64 {
+    fn step<TP: Transport>(&mut self, rank: &mut TP, op: &mut impl FnMut(&mut TP, T)) -> u64 {
         let tag = self.channel.data_tag();
-        let (wire, info) = rank.recv_t::<Wire<T>>(Src::Any, tag);
+        let (wire, info) = rank.recv::<Wire<T>>(Src::Any, tag);
         self.dispatch(rank, wire, info, op)
     }
 
-    fn dispatch(
+    fn dispatch<TP: Transport>(
         &mut self,
-        rank: &mut Rank,
+        rank: &mut TP,
         wire: Wire<T>,
         info: MsgInfo,
-        op: &mut impl FnMut(&mut Rank, T),
+        op: &mut impl FnMut(&mut TP, T),
     ) -> u64 {
         match wire {
             Wire::Data(batch) => {
@@ -678,8 +681,7 @@ impl<T: Send + 'static> Stream<T> {
                 }
                 if self.channel.config.credits.is_some() {
                     // Acknowledge the whole batch in one small message.
-                    rank.send_t(info.src, self.channel.credit_tag(), 8, n);
-                    #[cfg(feature = "check")]
+                    rank.send(info.src, self.channel.credit_tag(), 8, n);
                     rank.check_credit_issued(self.channel.id, info.src, n);
                 }
                 n

@@ -1,0 +1,261 @@
+//! The transport abstraction: what the stream runtime needs from a
+//! message-passing substrate.
+//!
+//! The paper's MPIStream library is layered *on top of* MPI — it uses
+//! point-to-point sends with tag matching, `MPI_ANY_SOURCE` receives, a
+//! handful of collectives for setup, and nothing else. [`Transport`]
+//! captures exactly that surface, so the stream runtime ([`crate::Stream`],
+//! [`crate::StreamChannel`], [`crate::run_decoupled`], `operate2`) is
+//! generic over *where* it executes:
+//!
+//! - [`crate::SimTransport`] (an alias for `mpisim::Rank`) runs stream
+//!   programs inside the deterministic discrete-event simulator, on a
+//!   virtual clock with a modelled network.
+//! - `native::NativeRank` (the `crates/native` backend) runs the same
+//!   programs on real OS threads with lock-and-condvar mailboxes, on the
+//!   wall clock.
+//!
+//! The trait deliberately exposes the *semantics* both backends share and
+//! nothing either is forced to fake: time is a monotone [`SimTime`] whose
+//! meaning (virtual vs wall nanoseconds) belongs to the backend;
+//! [`Transport::send`] returns once the message is injected (delivery is
+//! asynchronous); receives match on `(source, tag)` with [`Src::Any`]
+//! selecting the first *available* message — the FCFS mechanism the
+//! decoupling model uses to absorb producer imbalance.
+
+pub use desim::{SimDuration, SimTime};
+
+/// Wire tag. User tags occupy the low 32 bits; library-internal traffic
+/// (collectives, streams) sets the top bit and namespaces the rest so it
+/// can never collide with application tags. The bit layout is shared by
+/// every backend, so a channel's tags mean the same thing in the
+/// simulator and on native threads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+impl Tag {
+    /// A plain application tag.
+    pub const fn user(t: u32) -> Tag {
+        Tag(t as u64)
+    }
+
+    /// An internal tag in namespace `ns` (collectives, streams, ...) with
+    /// a per-channel id and sequence number.
+    pub const fn internal(ns: u8, chan: u16, seq: u32) -> Tag {
+        Tag(1 << 63 | (ns as u64) << 48 | (chan as u64) << 32 | seq as u64)
+    }
+}
+
+/// Source selector for receives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Src {
+    /// Match only messages from this world rank.
+    Rank(usize),
+    /// Match a message from any source — the first *available* one, which
+    /// is the mechanism the decoupling model uses to absorb imbalance.
+    Any,
+}
+
+/// Metadata delivered along with a received payload.
+#[derive(Clone, Copy, Debug)]
+pub struct MsgInfo {
+    /// World rank of the sender.
+    pub src: usize,
+    /// The message's wire tag.
+    pub tag: Tag,
+    /// Modelled wire size in bytes.
+    pub bytes: u64,
+}
+
+/// An ordered set of world ranks — the backend's communicator type.
+///
+/// Mirrors what MPI lets a library know about a group: the member list in
+/// group-rank order, plus membership queries. A group obtained from
+/// [`Transport::split`] is *addressable* (usable for collectives on the
+/// backend that made it); [`Group::meta`] builds a metadata-only view of
+/// ranks this process is **not** a member of — pure rank-list bookkeeping,
+/// never a collective target.
+pub trait Group: Clone {
+    /// Member world ranks in group-rank order.
+    fn ranks(&self) -> &[usize];
+
+    /// Group rank of world rank `w`, if a member.
+    fn rank_of(&self, w: usize) -> Option<usize>;
+
+    /// Metadata-only group from a rank list (see the trait docs).
+    fn meta(ranks: Vec<usize>) -> Self;
+
+    /// Number of members.
+    fn size(&self) -> usize {
+        self.ranks().len()
+    }
+
+    /// Whether world rank `w` is a member.
+    fn contains(&self, w: usize) -> bool {
+        self.rank_of(w).is_some()
+    }
+}
+
+/// A message-passing substrate the stream runtime can execute on.
+///
+/// One value of a `Transport` impl is one *process* (an MPI rank): it
+/// knows its world rank, can exchange tagged point-to-point messages with
+/// peers, and can take part in the small collective subset channel setup
+/// needs (allgather, broadcast, barrier, allreduce, split).
+///
+/// ## Contract
+///
+/// - **Injection, not delivery.** [`Transport::send`] blocks only until
+///   the message is handed to the substrate (sender-side overhead); it
+///   never waits for the receiver. This is `MPI_Isend` + wait-for-buffer,
+///   the call pattern the stream layer is built on.
+/// - **FCFS wildcard matching.** A [`Src::Any`] receive takes the first
+///   message *available* at the receiver among those matching the tag;
+///   ties and ordering across sources are backend-defined (virtual arrival
+///   time in the simulator, lock-acquisition order natively). Per
+///   `(source, tag)` pair, message order is preserved (non-overtaking).
+/// - **Monotone clock.** [`Transport::now`] never goes backwards. The
+///   unit is nanoseconds; whether they are virtual or wall-clock is the
+///   backend's business, and deadline receives interpret deadlines on the
+///   same clock.
+/// - **Collective call order.** As in MPI, every member of a group must
+///   invoke the same collectives in the same order.
+///
+/// What the trait does **not** promise: determinism (that is a property of
+/// the simulator backend, not of the abstraction), fault injection, or a
+/// performance model. Code that needs those names the backend explicitly.
+pub trait Transport {
+    /// The backend's communicator type.
+    type Group: Group;
+
+    // ---------------------------------------------------------------
+    // Identity and time
+    // ---------------------------------------------------------------
+
+    /// This process's world rank.
+    fn world_rank(&self) -> usize;
+
+    /// Total number of processes.
+    fn world_size(&self) -> usize;
+
+    /// The group of all processes (MPI_COMM_WORLD).
+    fn world_group(&self) -> Self::Group;
+
+    /// Current time on the backend's clock (virtual or wall nanoseconds).
+    fn now(&self) -> SimTime;
+
+    /// Model `secs` seconds of computation (advances the virtual clock in
+    /// the simulator; burns or sleeps real time natively).
+    fn compute(&mut self, secs: f64);
+
+    // ---------------------------------------------------------------
+    // Point-to-point
+    // ---------------------------------------------------------------
+
+    /// Send `value` to world rank `dst` under `tag`, with a modelled wire
+    /// size of `bytes`. Returns once injected (see the trait docs).
+    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T);
+
+    /// Blockingly receive the first available message matching
+    /// `(src, tag)`.
+    fn recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo);
+
+    /// Receive a matching message if one is already available; never
+    /// blocks.
+    fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)>;
+
+    /// Blockingly receive, giving up at `deadline` (on the backend's
+    /// clock). `None` means the deadline passed with nothing deliverable.
+    fn recv_deadline<T: Send + 'static>(
+        &mut self,
+        src: Src,
+        tag: Tag,
+        deadline: SimTime,
+    ) -> Option<(T, MsgInfo)>;
+
+    /// Metadata of the first available matching message, without
+    /// consuming it; never blocks.
+    fn probe(&mut self, src: Src, tag: Tag) -> Option<MsgInfo>;
+
+    /// Suspend until this process's mailbox changes — a new message
+    /// arrives or an in-flight one becomes available. May wake
+    /// spuriously; callers re-check their condition. The building block
+    /// for multiplexing over several message sources (see `operate2`).
+    fn wait_for_mail(&mut self);
+
+    // ---------------------------------------------------------------
+    // Collective subset (channel setup + app-side reductions)
+    // ---------------------------------------------------------------
+
+    /// Synchronize all members of `group`.
+    fn barrier(&mut self, group: &Self::Group);
+
+    /// All-reduce `value` over `group` with `op` (must be associative and
+    /// commutative; combine order is backend-defined).
+    fn allreduce<T: Clone + Send + 'static>(
+        &mut self,
+        group: &Self::Group,
+        bytes: u64,
+        value: T,
+        op: impl Fn(&mut T, &T),
+    ) -> T;
+
+    /// Gather every member's `value`; all members receive the vector in
+    /// group-rank order.
+    fn allgatherv<T: Clone + Send + 'static>(
+        &mut self,
+        group: &Self::Group,
+        bytes: u64,
+        value: T,
+    ) -> Vec<T>;
+
+    /// Broadcast from group rank `root` (which passes `Some`, everyone
+    /// else `None`).
+    fn bcast<T: Clone + Send + 'static>(
+        &mut self,
+        group: &Self::Group,
+        root: usize,
+        bytes: u64,
+        value: Option<T>,
+    ) -> T;
+
+    /// Collective split of `group` (MPI_Comm_split): members with the
+    /// same `color` form a new group ordered by `(key, world_rank)`;
+    /// `color = None` yields `None` (MPI_UNDEFINED).
+    fn split(&mut self, group: &Self::Group, color: Option<i64>, key: i64) -> Option<Self::Group>;
+
+    /// Allocate a world-unique 16-bit id (stream channels build their tag
+    /// namespace from it). Not collective — callers that need agreement
+    /// allocate on one rank and broadcast.
+    fn alloc_channel_id(&mut self) -> u16;
+
+    // ---------------------------------------------------------------
+    // Sanitizer hooks (no-ops unless the backend carries a checker)
+    // ---------------------------------------------------------------
+
+    /// Report a stream channel's flow-control parameters to the backend's
+    /// sanitizer, if any.
+    fn check_register_channel(&mut self, _id: u16, _window: Option<u64>, _credit_tag: Tag) {}
+
+    /// Report `elems` stream elements sent towards `_consumer`.
+    fn check_data_sent(&mut self, _id: u16, _consumer: usize, _elems: u64) {}
+
+    /// Report `elems` elements' worth of credit granted to `_producer`.
+    fn check_credit_issued(&mut self, _id: u16, _producer: usize, _elems: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Tag;
+
+    #[test]
+    fn tag_layout_separates_user_and_internal_space() {
+        assert_eq!(Tag::user(7).0, 7);
+        let t = Tag::internal(2, 0x0102, 1);
+        assert_eq!(t.0 >> 63, 1);
+        assert_eq!((t.0 >> 48) & 0xFF, 2);
+        assert_eq!((t.0 >> 32) & 0xFFFF, 0x0102);
+        assert_eq!(t.0 & 0xFFFF_FFFF, 1);
+        assert_ne!(Tag::user(u32::MAX).0 >> 63, 1);
+    }
+}

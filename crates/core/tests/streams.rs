@@ -25,7 +25,7 @@ fn every_element_is_delivered_exactly_once() {
     quiet().run_expect(8, move |rank| {
         let comm = rank.comm_world();
         let g3 = g2.clone();
-        run_decoupled::<(usize, u32), _, _>(
+        run_decoupled::<(usize, u32), _, _, _>(
             rank,
             &comm,
             GroupSpec { every: 4 },
@@ -60,7 +60,7 @@ fn per_producer_order_is_preserved_at_a_consumer() {
     quiet().run_expect(4, move |rank| {
         let comm = rank.comm_world();
         let g3 = g2.clone();
-        run_decoupled::<(usize, u32), _, _>(
+        run_decoupled::<(usize, u32), _, _, _>(
             rank,
             &comm,
             GroupSpec { every: 4 },
@@ -91,7 +91,7 @@ fn fcfs_absorbs_a_slow_producer() {
     // track the slow producer's finish, not the sum of everyone.
     let out = quiet().run_expect(5, |rank| {
         let comm = rank.comm_world();
-        run_decoupled::<u64, _, _>(
+        run_decoupled::<u64, _, _, _>(
             rank,
             &comm,
             GroupSpec { every: 5 },
@@ -123,7 +123,7 @@ fn round_robin_spreads_over_consumers() {
     ideal().run_expect(6, move |rank| {
         let comm = rank.comm_world();
         let c3 = c2.clone();
-        run_decoupled::<u32, _, _>(
+        run_decoupled::<u32, _, _, _>(
             rank,
             &comm,
             GroupSpec { every: 3 }, // 4 producers, 2 consumers
@@ -156,7 +156,7 @@ fn keyed_routing_is_consistent_and_covers_all() {
     ideal().run_expect(8, move |rank| {
         let comm = rank.comm_world();
         let s3 = s2.clone();
-        run_decoupled::<u64, _, _>(
+        run_decoupled::<u64, _, _, _>(
             rank,
             &comm,
             GroupSpec { every: 4 },
@@ -194,7 +194,7 @@ fn aggregation_reduces_message_count_but_not_elements() {
         let out = ideal().run_expect(4, move |rank| {
             let comm = rank.comm_world();
             let (m3, e3) = (m2.clone(), e2.clone());
-            run_decoupled::<u32, _, _>(
+            run_decoupled::<u32, _, _, _>(
                 rank,
                 &comm,
                 GroupSpec { every: 4 },
@@ -229,7 +229,7 @@ fn partial_batches_are_flushed_at_terminate() {
     ideal().run_expect(2, move |rank| {
         let comm = rank.comm_world();
         let t3 = t2.clone();
-        run_decoupled::<u32, _, _>(
+        run_decoupled::<u32, _, _, _>(
             rank,
             &comm,
             GroupSpec { every: 2 },
@@ -258,7 +258,7 @@ fn credit_window_bounds_consumer_queue_memory() {
         quiet().run_expect(2, move |rank| {
             let comm = rank.comm_world();
             let m3 = m2.clone();
-            run_decoupled::<[u8; 8], _, _>(
+            run_decoupled::<[u8; 8], _, _, _>(
                 rank,
                 &comm,
                 GroupSpec { every: 2 },
@@ -299,7 +299,7 @@ fn stats_agree_between_endpoints() {
     quiet().run_expect(4, move |rank| {
         let comm = rank.comm_world();
         let (p3, c3) = (p2.clone(), c2.clone());
-        let stats = run_decoupled::<u32, _, _>(
+        let stats = run_decoupled::<u32, _, _, _>(
             rank,
             &comm,
             GroupSpec { every: 4 },
@@ -675,5 +675,68 @@ fn double_terminate_is_idempotent() {
             }
             Role::Bystander => unreachable!(),
         }
+    });
+}
+
+/// An invalid channel configuration surfaces as a typed error from
+/// `try_run_decoupled` — on every rank, before any group is split or any
+/// channel id consumed — instead of a panic mid-collective.
+#[test]
+fn invalid_config_returns_typed_error_before_any_communication() {
+    use mpistream::{try_run_decoupled, ConfigError};
+    ideal().run_expect(4, |rank| {
+        let comm = rank.comm_world();
+        let t0 = rank.now();
+        let err = try_run_decoupled::<u32, _, _, _>(
+            rank,
+            &comm,
+            GroupSpec { every: 2 },
+            ChannelConfig { aggregation: 0, ..ChannelConfig::default() },
+            |_rank, _p| panic!("producer body must not run"),
+            |_rank, _c| panic!("consumer body must not run"),
+        )
+        .expect_err("aggregation = 0 must be rejected");
+        assert_eq!(err, ConfigError::ZeroAggregation);
+        assert_eq!(rank.now(), t0, "validation must not communicate or spend time");
+
+        // The same world can immediately run a valid configuration: the
+        // failed attempt consumed no channel id and left no group state.
+        let stats = try_run_decoupled::<u32, _, _, _>(
+            rank,
+            &comm,
+            GroupSpec { every: 2 },
+            ChannelConfig::default(),
+            |rank, p| {
+                for i in 0..3u32 {
+                    p.stream.isend(rank, i);
+                }
+            },
+            |rank, c| {
+                let n = c.stream.operate(rank, |_, _| {});
+                assert_eq!(n, 3); // 2 producers x 3, split over 2 consumers
+            },
+        )
+        .expect("valid config runs");
+        assert!(stats.elements > 0);
+    });
+}
+
+/// `StreamChannel::try_create` rejects a bad config with the same typed
+/// error on every member rank, collectively, before the id broadcast.
+#[test]
+fn try_create_rejects_invalid_config_on_every_rank() {
+    use mpistream::ConfigError;
+    ideal().run_expect(2, |rank| {
+        let comm = rank.comm_world();
+        let spec = GroupSpec { every: 2 };
+        let role = spec.role_of(rank.world_rank());
+        let err = StreamChannel::try_create(
+            rank,
+            &comm,
+            role,
+            ChannelConfig { credits: Some(0), ..ChannelConfig::default() },
+        )
+        .expect_err("zero credit window must be rejected");
+        assert_eq!(err, ConfigError::ZeroCreditWindow);
     });
 }

@@ -1,0 +1,519 @@
+//! # native — the stream runtime on real OS threads
+//!
+//! A [`Transport`](mpistream::Transport) backend that runs every rank as
+//! an OS thread on the host, so stream programs written against
+//! `mpistream` execute in *actual* parallel instead of inside the
+//! discrete-event simulator. The paper's decoupling pipeline — producer
+//! groups streaming to consumer groups over FCFS channels — is exercised
+//! against a real memory hierarchy, real locks and the wall clock.
+//!
+//! ## What this backend is (and is not)
+//!
+//! - **Same programs.** `run_decoupled`, `Stream`, `StreamChannel`,
+//!   `operate2` all work unchanged; the cross-backend equivalence suite
+//!   checks that fault-free payload sets match the simulator exactly.
+//! - **Real concurrency, wall-clock time.** [`Transport::now`] is
+//!   nanoseconds since [`NativeWorld::run`] began; deadline receives park
+//!   on a condvar with a wall-clock timeout. `compute(secs)` sleeps
+//!   `secs × compute_scale` — it models occupancy, it does not simulate a
+//!   machine.
+//! - **No determinism.** FCFS arrival order depends on OS scheduling.
+//!   Anything order-sensitive must be order-normalized before comparison
+//!   (the equivalence tests sort payload sets for exactly this reason).
+//! - **No fault model, no performance model.** There is no fault
+//!   injection, no modelled network, no sanitizer. A rank that panics
+//!   aborts the whole run when its thread is joined, but peers blocked on
+//!   it will wait until then — bound native runs with an external timeout
+//!   (as `ci.sh` does).
+//!
+//! ## Mailboxes
+//!
+//! Each rank owns an indexed mailbox mirroring the simulator's PR-3
+//! design — per-tag ordered index for wildcard matches, per-`(src, tag)`
+//! FIFO for directed ones — minus the in-flight layer (a native message
+//! is available the instant it is pushed). Parked receivers wake via
+//! condvar notification, and a version counter makes `wait_for_mail`
+//! race-free against pushes that land between a failed poll and the park.
+//!
+//! ```
+//! use mpistream::{run_decoupled, ChannelConfig, GroupSpec, Transport};
+//! use native::NativeWorld;
+//!
+//! let outcome = NativeWorld::new(8).run(|rank| {
+//!     let world = rank.world_group();
+//!     run_decoupled::<u64, _, _, _>(
+//!         rank,
+//!         &world,
+//!         GroupSpec { every: 4 },
+//!         ChannelConfig::default(),
+//!         |rank, p| {
+//!             for step in 0..10 {
+//!                 p.stream.isend(rank, step);
+//!             }
+//!         },
+//!         |rank, c| {
+//!             let mut seen = 0;
+//!             c.stream.operate(rank, |_, _| seen += 1);
+//!             assert_eq!(seen, 30); // 3 producers x 10 elements each
+//!         },
+//!     );
+//! });
+//! assert_eq!(outcome.nprocs, 8);
+//! ```
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use desim::SimTime;
+use mpistream::{Group, MsgInfo, Src, Tag, Transport};
+
+mod mailbox;
+
+use mailbox::{Env, Mailbox};
+
+/// Group id of the world group.
+const WORLD_ID: u64 = 0;
+/// Group id marking metadata-only groups (never collective targets).
+const META_ID: u64 = u64::MAX;
+
+/// An ordered set of world ranks on the native backend — plain metadata
+/// plus an id the collective rendezvous keys on.
+#[derive(Clone, Debug)]
+pub struct NativeGroup {
+    id: u64,
+    ranks: Arc<Vec<usize>>,
+}
+
+impl NativeGroup {
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+impl Group for NativeGroup {
+    fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    fn rank_of(&self, w: usize) -> Option<usize> {
+        // Membership lists are small and setup-time only; linear scan.
+        self.ranks.iter().position(|&x| x == w)
+    }
+
+    fn meta(ranks: Vec<usize>) -> NativeGroup {
+        NativeGroup { id: META_ID, ranks: Arc::new(ranks) }
+    }
+}
+
+/// One collective rendezvous: everyone deposits, the last arrival builds
+/// the group-rank-ordered vector and publishes one clone per member.
+#[derive(Default)]
+struct CollSlot {
+    deposits: HashMap<usize, Box<dyn Any + Send>>,
+    results: Option<HashMap<usize, Box<dyn Any + Send>>>,
+    taken: usize,
+}
+
+#[derive(Default)]
+struct GroupRegistry {
+    /// `(parent_id, collective_seq, color) -> id` — every member of one
+    /// split cell computes the same key, so lookup-or-insert hands the
+    /// whole cell the same id regardless of arrival order.
+    ids: HashMap<(u64, u32, i64), u64>,
+    next: u64,
+}
+
+struct SharedState {
+    nprocs: usize,
+    epoch: Instant,
+    compute_scale: f64,
+    mailboxes: Vec<Mailbox>,
+    world: NativeGroup,
+    colls: Mutex<HashMap<(u64, u32), CollSlot>>,
+    coll_cv: Condvar,
+    groups: Mutex<GroupRegistry>,
+    channel_ids: AtomicU32,
+}
+
+/// What a native run reports back.
+#[derive(Clone, Copy, Debug)]
+pub struct NativeOutcome {
+    /// Number of ranks (threads) that ran.
+    pub nprocs: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// A native world: `nprocs` ranks, each on its own OS thread.
+pub struct NativeWorld {
+    nprocs: usize,
+    compute_scale: f64,
+}
+
+impl NativeWorld {
+    /// A world of `nprocs` ranks.
+    pub fn new(nprocs: usize) -> NativeWorld {
+        assert!(nprocs > 0, "a world needs at least one rank");
+        NativeWorld { nprocs, compute_scale: 1.0 }
+    }
+
+    /// Wall-clock seconds slept per modelled compute second (default 1.0).
+    /// Scaled-down runs of simulator-sized workloads set this below 1 so
+    /// `compute(secs)` costs go down proportionally.
+    pub fn with_compute_scale(mut self, scale: f64) -> NativeWorld {
+        assert!(scale.is_finite() && scale >= 0.0, "compute_scale must be finite and >= 0");
+        self.compute_scale = scale;
+        self
+    }
+
+    /// Run `body` once per rank, each on its own thread, and join them
+    /// all. A panicking rank propagates after every thread has exited —
+    /// peers blocked on the dead rank block the join, so bound native
+    /// runs with an external timeout.
+    pub fn run<F>(&self, body: F) -> NativeOutcome
+    where
+        F: Fn(&mut NativeRank) + Send + Sync,
+    {
+        let shared = Arc::new(SharedState {
+            nprocs: self.nprocs,
+            epoch: Instant::now(),
+            compute_scale: self.compute_scale,
+            mailboxes: (0..self.nprocs).map(|_| Mailbox::new()).collect(),
+            world: NativeGroup { id: WORLD_ID, ranks: Arc::new((0..self.nprocs).collect()) },
+            colls: Mutex::new(HashMap::new()),
+            coll_cv: Condvar::new(),
+            groups: Mutex::new(GroupRegistry { ids: HashMap::new(), next: 1 }),
+            channel_ids: AtomicU32::new(0),
+        });
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let body = &body;
+            for r in 0..self.nprocs {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let mut rank =
+                        NativeRank { shared, rank: r, coll_seq: HashMap::new(), mail_seen: 0 };
+                    body(&mut rank);
+                });
+            }
+        });
+        NativeOutcome { nprocs: self.nprocs, elapsed: start.elapsed() }
+    }
+}
+
+/// One native rank: the per-thread handle [`NativeWorld::run`] passes to
+/// the body. Implements [`Transport`], so the whole stream runtime works
+/// against it.
+pub struct NativeRank {
+    shared: Arc<SharedState>,
+    rank: usize,
+    /// Per-group collective sequence numbers (identical call order on a
+    /// group keeps them in agreement, as MPI requires).
+    coll_seq: HashMap<u64, u32>,
+    /// Mailbox version at this rank's last look (see `wait_for_mail`).
+    mail_seen: u64,
+}
+
+impl NativeRank {
+    fn next_seq(&mut self, group: &NativeGroup) -> u32 {
+        assert!(group.id != META_ID, "collective on a metadata-only group");
+        let seq = self.coll_seq.entry(group.id).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        s
+    }
+
+    /// The one rendezvous every collective reduces to: gather each
+    /// member's `value` into a group-rank-ordered vector, delivered to
+    /// everyone.
+    fn gather_all<T: Clone + Send + 'static>(
+        &mut self,
+        group: &NativeGroup,
+        seq: u32,
+        value: T,
+    ) -> Vec<T> {
+        let my_gr = group.rank_of(self.rank).expect("collective on a group we are not in");
+        let size = group.size();
+        let key = (group.id, seq);
+        let mut colls = self.shared.colls.lock().unwrap();
+        let slot = colls.entry(key).or_default();
+        slot.deposits.insert(my_gr, Box::new(value));
+        if slot.deposits.len() == size {
+            let mut vals: Vec<T> = Vec::with_capacity(size);
+            for r in 0..size {
+                let b = slot.deposits.remove(&r).expect("every member deposited");
+                vals.push(*b.downcast::<T>().expect("uniform collective payload type"));
+            }
+            slot.results = Some(
+                (0..size).map(|r| (r, Box::new(vals.clone()) as Box<dyn Any + Send>)).collect(),
+            );
+            self.shared.coll_cv.notify_all();
+        }
+        loop {
+            let slot = colls.get_mut(&key).expect("slot lives until the last member takes");
+            if let Some(results) = slot.results.as_mut() {
+                let mine = results.remove(&my_gr).expect("my result is present");
+                slot.taken += 1;
+                if slot.taken == size {
+                    colls.remove(&key);
+                }
+                return *mine.downcast::<Vec<T>>().expect("uniform collective payload type");
+            }
+            colls = self.shared.coll_cv.wait(colls).unwrap();
+        }
+    }
+
+    fn deadline_instant(&self, deadline: SimTime) -> Instant {
+        self.shared.epoch + Duration::from_nanos(deadline.0)
+    }
+}
+
+impl Transport for NativeRank {
+    type Group = NativeGroup;
+
+    fn world_rank(&self) -> usize {
+        self.rank
+    }
+
+    fn world_size(&self) -> usize {
+        self.shared.nprocs
+    }
+
+    fn world_group(&self) -> NativeGroup {
+        self.shared.world.clone()
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(u64::try_from(self.shared.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    fn compute(&mut self, secs: f64) {
+        let scaled = secs * self.shared.compute_scale;
+        if scaled.is_finite() && scaled > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(scaled));
+        }
+    }
+
+    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T) {
+        assert!(dst < self.shared.nprocs, "send to out-of-range rank {dst}");
+        self.shared.mailboxes[dst].push(Env {
+            src: self.rank,
+            tag,
+            bytes,
+            payload: Box::new(value),
+        });
+    }
+
+    fn recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
+        let env = self.shared.mailboxes[self.rank].take(src, tag);
+        unpack(self.rank, env)
+    }
+
+    fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
+        let (env, version) = self.shared.mailboxes[self.rank].try_take(src, tag);
+        self.mail_seen = version;
+        env.map(|e| unpack(self.rank, e))
+    }
+
+    fn recv_deadline<T: Send + 'static>(
+        &mut self,
+        src: Src,
+        tag: Tag,
+        deadline: SimTime,
+    ) -> Option<(T, MsgInfo)> {
+        let until = self.deadline_instant(deadline);
+        let env = self.shared.mailboxes[self.rank].take_deadline(src, tag, until)?;
+        Some(unpack(self.rank, env))
+    }
+
+    fn probe(&mut self, src: Src, tag: Tag) -> Option<MsgInfo> {
+        let (info, version) = self.shared.mailboxes[self.rank].probe(src, tag);
+        self.mail_seen = version;
+        info
+    }
+
+    fn wait_for_mail(&mut self) {
+        // Parks until the version moves past the last failed poll — a push
+        // that landed in between returns immediately (no lost wake-up).
+        self.mail_seen = self.shared.mailboxes[self.rank].wait_change(self.mail_seen);
+    }
+
+    fn barrier(&mut self, group: &NativeGroup) {
+        let seq = self.next_seq(group);
+        let _: Vec<()> = self.gather_all(group, seq, ());
+    }
+
+    fn allreduce<T: Clone + Send + 'static>(
+        &mut self,
+        group: &NativeGroup,
+        _bytes: u64,
+        value: T,
+        op: impl Fn(&mut T, &T),
+    ) -> T {
+        let seq = self.next_seq(group);
+        let all = self.gather_all(group, seq, value);
+        // Fold in group-rank order on every member; `op` must be
+        // associative and commutative (the Transport contract), so the
+        // linear order is as good as the simulator's binomial tree.
+        let mut it = all.into_iter();
+        let mut acc = it.next().expect("group is non-empty");
+        for v in it {
+            op(&mut acc, &v);
+        }
+        acc
+    }
+
+    fn allgatherv<T: Clone + Send + 'static>(
+        &mut self,
+        group: &NativeGroup,
+        _bytes: u64,
+        value: T,
+    ) -> Vec<T> {
+        let seq = self.next_seq(group);
+        self.gather_all(group, seq, value)
+    }
+
+    fn bcast<T: Clone + Send + 'static>(
+        &mut self,
+        group: &NativeGroup,
+        root: usize,
+        _bytes: u64,
+        value: Option<T>,
+    ) -> T {
+        let seq = self.next_seq(group);
+        let mut all = self.gather_all(group, seq, value);
+        all.swap_remove(root).expect("root supplied the broadcast value")
+    }
+
+    fn split(&mut self, group: &NativeGroup, color: Option<i64>, key: i64) -> Option<NativeGroup> {
+        let seq = self.next_seq(group);
+        let color_code = color.unwrap_or(i64::MIN);
+        let mut entries = self.gather_all(group, seq, (color_code, key, self.rank));
+        color?;
+        // Members with my color, ordered by (key, world_rank) — the
+        // MPI_Comm_split contract.
+        entries.retain(|&(c, _, _)| c == color_code);
+        entries.sort_unstable_by_key(|&(_, k, w)| (k, w));
+        let members: Vec<usize> = entries.iter().map(|&(_, _, w)| w).collect();
+        // One id per split cell, agreed through the registry: every member
+        // computes the same (parent, seq, color) key.
+        let id = {
+            let mut groups = self.shared.groups.lock().unwrap();
+            match groups.ids.get(&(group.id, seq, color_code)) {
+                Some(&id) => id,
+                None => {
+                    let id = groups.next;
+                    groups.next += 1;
+                    groups.ids.insert((group.id, seq, color_code), id);
+                    id
+                }
+            }
+        };
+        Some(NativeGroup { id, ranks: Arc::new(members) })
+    }
+
+    fn alloc_channel_id(&mut self) -> u16 {
+        let id = self.shared.channel_ids.fetch_add(1, Ordering::Relaxed);
+        u16::try_from(id).expect("too many channels")
+    }
+}
+
+fn unpack<T: Send + 'static>(rank: usize, env: Env) -> (T, MsgInfo) {
+    let info = MsgInfo { src: env.src, tag: env.tag, bytes: env.bytes };
+    match env.payload.downcast::<T>() {
+        Ok(v) => (*v, info),
+        Err(_) => panic!(
+            "rank {rank}: payload type mismatch receiving tag {:?} from {} (expected {})",
+            env.tag,
+            env.src,
+            std::any::type_name::<T>()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_round_trips() {
+        NativeWorld::new(2).run(|rank| {
+            let t = Tag::user(1);
+            if rank.world_rank() == 0 {
+                rank.send(1, t, 8, 41u64);
+                let (v, info) = rank.recv::<u64>(Src::Rank(1), t);
+                assert_eq!(v, 42);
+                assert_eq!(info.src, 1);
+            } else {
+                let (v, _) = rank.recv::<u64>(Src::Any, t);
+                rank.send(0, t, 8, v + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn collectives_agree_across_threads() {
+        NativeWorld::new(8).run(|rank| {
+            let world = rank.world_group();
+            let sum = rank.allreduce(&world, 8, rank.world_rank() as u64, |a, b| *a += b);
+            assert_eq!(sum, 28);
+            let all = rank.allgatherv(&world, 8, rank.world_rank());
+            assert_eq!(all, (0..8).collect::<Vec<_>>());
+            let from_root = rank.bcast(&world, 3, 8, (rank.world_rank() == 3).then_some(99u32));
+            assert_eq!(from_root, 99);
+            rank.barrier(&world);
+        });
+    }
+
+    #[test]
+    fn split_forms_color_groups_with_distinct_ids() {
+        NativeWorld::new(6).run(|rank| {
+            let world = rank.world_group();
+            let me = rank.world_rank();
+            let g = rank.split(&world, Some((me % 2) as i64), me as i64).unwrap();
+            let expect: Vec<usize> = (0..6).filter(|r| r % 2 == me % 2).collect();
+            assert_eq!(g.ranks(), &expect[..]);
+            // Collectives address the new group without cross-talk.
+            let sum = rank.allreduce(&g, 8, 1u32, |a, b| *a += b);
+            assert_eq!(sum, 3);
+        });
+    }
+
+    #[test]
+    fn split_none_yields_no_group() {
+        NativeWorld::new(3).run(|rank| {
+            let world = rank.world_group();
+            let color = if rank.world_rank() == 2 { None } else { Some(0) };
+            let g = rank.split(&world, color, 0);
+            assert_eq!(g.is_some(), rank.world_rank() != 2);
+            if let Some(g) = g {
+                assert_eq!(g.ranks(), &[0, 1]);
+            }
+        });
+    }
+
+    #[test]
+    fn deadline_recv_times_out_on_the_wall_clock() {
+        NativeWorld::new(1).run(|rank| {
+            let deadline = rank.now() + desim::SimDuration::from_millis(15);
+            let got = rank.recv_deadline::<u64>(Src::Any, Tag::user(9), deadline);
+            assert!(got.is_none());
+            assert!(rank.now() >= deadline);
+        });
+    }
+
+    #[test]
+    fn clock_is_monotone_and_compute_advances_it() {
+        NativeWorld::new(1).run(|rank| {
+            let t0 = rank.now();
+            rank.compute(5e-3);
+            let t1 = rank.now();
+            assert!(t1 > t0);
+            assert!(t1.since(t0) >= desim::SimDuration::from_millis(4));
+        });
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-rank mailboxes for the native backend.
+//!
+//! The structure mirrors the simulator's indexed mailbox (`mpisim::msg`):
+//! envelopes live in a store keyed by arrival sequence, with a per-tag
+//! ordered index for `Src::Any` matching and a per-`(src, tag)` FIFO for
+//! directed receives. The simulator's in-flight machinery (messages whose
+//! availability lies in the virtual future) has no native counterpart —
+//! here a message is available the moment `push` lands it — so that whole
+//! layer disappears and FCFS order *is* arrival order.
+//!
+//! Blocking is a `Mutex` + `Condvar` pair per mailbox: senders push under
+//! the lock and `notify_all`; parked receivers re-check their match on
+//! every wake. A monotone `version` counter (bumped on every push) lets
+//! `wait_for_mail` detect "something changed since I last looked" without
+//! races between a failed `try_recv` and the park.
+
+use std::any::Any;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use mpistream::{MsgInfo, Src, Tag};
+
+pub(crate) struct Env {
+    pub src: usize,
+    pub tag: Tag,
+    pub bytes: u64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Arrival sequence of the next push (also the FCFS order key).
+    next_seq: u64,
+    /// Bumped on every push; `wait_for_mail`'s change signal.
+    version: u64,
+    envs: HashMap<u64, Env>,
+    /// Arrival-ordered ids per tag (kept exact: ids are removed on take).
+    by_tag: HashMap<Tag, BTreeSet<u64>>,
+    /// FIFO ids per (src, tag). Lazily compacted: a take through `by_tag`
+    /// leaves a tombstone here, skipped on the next directed match.
+    by_src_tag: HashMap<(usize, Tag), VecDeque<u64>>,
+}
+
+impl Inner {
+    fn push(&mut self, env: Env) {
+        let id = self.next_seq;
+        self.next_seq += 1;
+        self.version += 1;
+        self.by_tag.entry(env.tag).or_default().insert(id);
+        self.by_src_tag.entry((env.src, env.tag)).or_default().push_back(id);
+        self.envs.insert(id, env);
+    }
+
+    /// Id of the first available message matching `(src, tag)`.
+    fn find(&mut self, src: Src, tag: Tag) -> Option<u64> {
+        match src {
+            Src::Any => self.by_tag.get(&tag).and_then(|ids| ids.first().copied()),
+            Src::Rank(r) => {
+                let q = self.by_src_tag.get_mut(&(r, tag))?;
+                // Skip tombstones left by wildcard takes.
+                while let Some(&id) = q.front() {
+                    if self.envs.contains_key(&id) {
+                        return Some(id);
+                    }
+                    q.pop_front();
+                }
+                None
+            }
+        }
+    }
+
+    fn take(&mut self, src: Src, tag: Tag) -> Option<Env> {
+        let id = self.find(src, tag)?;
+        let env = self.envs.remove(&id).expect("indexed id has an envelope");
+        if let Some(ids) = self.by_tag.get_mut(&tag) {
+            ids.remove(&id);
+            if ids.is_empty() {
+                self.by_tag.remove(&tag);
+            }
+        }
+        // `by_src_tag` keeps a tombstone unless the id is already at the
+        // front (the common directed-receive case).
+        if let Some(q) = self.by_src_tag.get_mut(&(env.src, tag)) {
+            if q.front() == Some(&id) {
+                q.pop_front();
+            }
+            if q.is_empty() {
+                self.by_src_tag.remove(&(env.src, tag));
+            }
+        }
+        Some(env)
+    }
+}
+
+pub(crate) struct Mailbox {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Mailbox {
+        Mailbox { inner: Mutex::new(Inner::default()), cv: Condvar::new() }
+    }
+
+    pub fn push(&self, env: Env) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.push(env);
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking take. Returns the mailbox version observed alongside
+    /// the result, so the caller can later park "until changed".
+    pub fn try_take(&self, src: Src, tag: Tag) -> (Option<Env>, u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let env = inner.take(src, tag);
+        let version = inner.version;
+        (env, version)
+    }
+
+    /// Blocking take.
+    pub fn take(&self, src: Src, tag: Tag) -> Env {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(env) = inner.take(src, tag) {
+                return env;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Blocking take that gives up at the wall-clock `deadline`.
+    pub fn take_deadline(&self, src: Src, tag: Tag, deadline: Instant) -> Option<Env> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(env) = inner.take(src, tag) {
+                return Some(env);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self.cv.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Metadata of the first available match, without consuming it.
+    pub fn probe(&self, src: Src, tag: Tag) -> (Option<MsgInfo>, u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let info = inner.find(src, tag).map(|id| {
+            let env = &inner.envs[&id];
+            MsgInfo { src: env.src, tag: env.tag, bytes: env.bytes }
+        });
+        let version = inner.version;
+        (info, version)
+    }
+
+    /// Park until the mailbox version moves past `seen` (a push happened
+    /// since the caller last looked). Returns the new version. Wakes
+    /// immediately when the version already moved — the signal cannot be
+    /// lost between a failed `try_take` and the park.
+    pub fn wait_change(&self, seen: u64) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.version == seen {
+            inner = self.cv.wait(inner).unwrap();
+        }
+        inner.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, tag: Tag, v: u32) -> Env {
+        Env { src, tag, bytes: 8, payload: Box::new(v) }
+    }
+
+    fn val(e: Env) -> u32 {
+        *e.payload.downcast::<u32>().unwrap()
+    }
+
+    #[test]
+    fn wildcard_takes_in_arrival_order_across_sources() {
+        let mb = Mailbox::new();
+        let t = Tag::user(7);
+        mb.push(env(2, t, 20));
+        mb.push(env(0, t, 0));
+        mb.push(env(2, t, 21));
+        assert_eq!(val(mb.take(Src::Any, t)), 20);
+        assert_eq!(val(mb.take(Src::Any, t)), 0);
+        assert_eq!(val(mb.take(Src::Any, t)), 21);
+        assert!(mb.try_take(Src::Any, t).0.is_none());
+    }
+
+    #[test]
+    fn directed_take_skips_other_sources_and_tombstones() {
+        let mb = Mailbox::new();
+        let t = Tag::user(1);
+        mb.push(env(0, t, 1));
+        mb.push(env(1, t, 2));
+        mb.push(env(0, t, 3));
+        // Wildcard consumes src 0's first message, leaving a tombstone in
+        // the (0, t) FIFO.
+        assert_eq!(val(mb.take(Src::Any, t)), 1);
+        assert_eq!(val(mb.take(Src::Rank(0), t)), 3);
+        assert_eq!(val(mb.take(Src::Rank(1), t)), 2);
+    }
+
+    #[test]
+    fn tags_do_not_cross_match() {
+        let mb = Mailbox::new();
+        mb.push(env(0, Tag::user(1), 1));
+        assert!(mb.try_take(Src::Any, Tag::user(2)).0.is_none());
+        assert!(mb.probe(Src::Any, Tag::user(1)).0.is_some());
+        assert_eq!(val(mb.take(Src::Any, Tag::user(1))), 1);
+    }
+
+    #[test]
+    fn deadline_take_times_out_empty() {
+        let mb = Mailbox::new();
+        let before = Instant::now();
+        let got =
+            mb.take_deadline(Src::Any, Tag::user(1), before + std::time::Duration::from_millis(20));
+        assert!(got.is_none());
+        assert!(before.elapsed() >= std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn version_moves_on_push_only() {
+        let mb = Mailbox::new();
+        let (_, v0) = mb.try_take(Src::Any, Tag::user(1));
+        mb.push(env(0, Tag::user(1), 1));
+        let v1 = mb.wait_change(v0); // returns immediately: version moved
+        assert!(v1 > v0);
+    }
+}

@@ -29,7 +29,7 @@ fn main() {
     let world = World::new(MachineConfig::default()).with_seed(42);
     let outcome = world.run_expect(RANKS, |rank| {
         let comm = rank.comm_world();
-        let stats = run_decoupled::<WorkloadUpdate, _, _>(
+        let stats = run_decoupled::<WorkloadUpdate, _, _, _>(
             rank,
             &comm,
             GroupSpec::from_alpha(0.0625), // one analysis rank per 16

@@ -1,0 +1,109 @@
+//! Quickstart on the native threaded backend — the same decoupled program
+//! as `quickstart`, written once against the `Transport` trait and
+//! executed either inside the discrete-event simulator or on real OS
+//! threads (one per rank) on the host.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart_native -- --backend native
+//! cargo run --release --example quickstart_native -- --backend sim
+//! cargo run --release --example quickstart_native -- --backend both
+//! ```
+//!
+//! In `both` mode the per-consumer payload fingerprints from the two
+//! backends are compared: the program streams only deterministic values
+//! over static routing, so each analysis rank must consume the same
+//! multiset of updates no matter which backend delivered them.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use apps::portable::{fingerprint, quickstart, PortableReport};
+use mpisim::{MachineConfig, World};
+use mpistream::Transport;
+use native::NativeWorld;
+use parking_lot::Mutex;
+
+const RANKS: usize = 16;
+const STEPS: usize = 50;
+const EVERY: usize = 8; // one analysis rank per 8
+
+type Reports = BTreeMap<usize, PortableReport>;
+
+fn run_sim() -> Reports {
+    let reports: Arc<Mutex<Reports>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = reports.clone();
+    let world = World::new(MachineConfig::default()).with_seed(42);
+    let outcome = world.run_expect(RANKS, move |rank| {
+        let rep = quickstart(rank, STEPS, EVERY);
+        sink.lock().insert(rank.world_rank(), rep);
+    });
+    println!("sim:    virtual makespan {:.6} s", outcome.elapsed_secs());
+    Arc::try_unwrap(reports).expect("world joined").into_inner()
+}
+
+fn run_native() -> Reports {
+    let reports: Arc<Mutex<Reports>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = reports.clone();
+    // Modelled compute is milliseconds per rank; sleep it at full scale.
+    let world = NativeWorld::new(RANKS);
+    let outcome = world.run(move |rank| {
+        let me = rank.world_rank();
+        let rep = quickstart(rank, STEPS, EVERY);
+        sink.lock().insert(me, rep);
+    });
+    println!(
+        "native: wall-clock {:.6} s on {} threads",
+        outcome.elapsed.as_secs_f64(),
+        outcome.nprocs
+    );
+    Arc::try_unwrap(reports).expect("threads joined").into_inner()
+}
+
+/// Per-consumer fingerprints: `rank -> (updates consumed, fingerprint)`.
+fn consumer_fingerprints(reports: &Reports) -> BTreeMap<usize, (usize, u64)> {
+    reports
+        .iter()
+        .filter(|(_, rep)| !rep.received.is_empty())
+        .map(|(&r, rep)| (r, (rep.received.len(), fingerprint(&rep.received))))
+        .collect()
+}
+
+fn show(label: &str, reports: &Reports) {
+    for (rank, (n, fp)) in consumer_fingerprints(reports) {
+        println!("{label} analysis rank {rank:>2}: {n:>5} updates  fingerprint {fp:#018x}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("both")
+        .to_string();
+
+    match backend.as_str() {
+        "sim" => show("sim:   ", &run_sim()),
+        "native" => show("native:", &run_native()),
+        "both" => {
+            let sim = run_sim();
+            let native = run_native();
+            show("sim:   ", &sim);
+            show("native:", &native);
+            let same = consumer_fingerprints(&sim) == consumer_fingerprints(&native);
+            println!(
+                "\nper-consumer payload multisets {}",
+                if same { "MATCH across backends" } else { "DIFFER across backends" }
+            );
+            assert!(same, "backends disagree on consumed payloads");
+        }
+        other => {
+            eprintln!("unknown backend {other:?}: use --backend sim|native|both");
+            std::process::exit(2);
+        }
+    }
+}

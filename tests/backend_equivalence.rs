@@ -1,0 +1,126 @@
+//! Cross-backend equivalence: the portable programs of `apps::portable`
+//! must deliver the same per-consumer payload multisets whether the
+//! transport is the discrete-event simulator (`mpisim::Rank`) or the
+//! native threaded backend (`native::NativeRank`).
+//!
+//! Arrival *order* is explicitly not compared — the native backend makes
+//! no determinism promise — so every comparison is over order-normalized
+//! (sorted) payloads and their fingerprints.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use apps::portable::{
+    fingerprint, mini_mapreduce, mini_mapreduce_oracle, quickstart, MiniMrConfig, PortableReport,
+};
+use mpisim::{MachineConfig, World};
+use mpistream::{ChannelConfig, GroupSpec, Role, StreamChannel, Transport};
+use native::NativeWorld;
+use parking_lot::Mutex;
+
+const RANKS: usize = 16;
+const STEPS: usize = 25;
+const EVERY: usize = 8;
+
+type Reports = BTreeMap<usize, PortableReport>;
+
+fn quickstart_sim() -> Reports {
+    let reports: Arc<Mutex<Reports>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = reports.clone();
+    World::new(MachineConfig::default()).with_seed(42).run_expect(RANKS, move |rank| {
+        let rep = quickstart(rank, STEPS, EVERY);
+        sink.lock().insert(rank.world_rank(), rep);
+    });
+    Arc::try_unwrap(reports).expect("world joined").into_inner()
+}
+
+fn quickstart_native() -> Reports {
+    let reports: Arc<Mutex<Reports>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = reports.clone();
+    NativeWorld::new(RANKS).with_compute_scale(0.01).run(move |rank| {
+        let me = rank.world_rank();
+        let rep = quickstart(rank, STEPS, EVERY);
+        sink.lock().insert(me, rep);
+    });
+    Arc::try_unwrap(reports).expect("threads joined").into_inner()
+}
+
+#[test]
+fn quickstart_per_consumer_payloads_match_across_backends() {
+    let sim = quickstart_sim();
+    let native = quickstart_native();
+    assert_eq!(sim.len(), RANKS);
+    assert_eq!(native.len(), RANKS);
+    for rank in 0..RANKS {
+        let (s, n) = (&sim[&rank], &native[&rank]);
+        assert_eq!(s.sent, n.sent, "rank {rank}: streamed element count differs");
+        // `received` is sorted by the portable program: multiset equality.
+        assert_eq!(s.received, n.received, "rank {rank}: consumed payload multiset differs");
+        if !s.received.is_empty() {
+            assert_eq!(fingerprint(&s.received), fingerprint(&n.received));
+        }
+    }
+    // The workload actually flowed: every producer streamed every step.
+    let produced: u64 = sim.values().map(|r| r.sent).sum();
+    assert_eq!(produced, (RANKS - RANKS / EVERY) as u64 * STEPS as u64);
+}
+
+#[test]
+fn mini_mapreduce_histogram_matches_oracle_on_both_backends() {
+    // A small Fig. 5 topology: 8 ranks, reducers at {3, 7}, master 7.
+    const N: usize = 8;
+    let cfg = MiniMrConfig::default();
+    let oracle = mini_mapreduce_oracle(N, &cfg);
+    assert!(oracle.iter().sum::<u64>() > 0, "oracle must count something");
+
+    let sim_hist: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = sim_hist.clone();
+    let cfg2 = cfg.clone();
+    World::new(MachineConfig::default()).with_seed(7).run_expect(N, move |rank| {
+        if let Some(hist) = mini_mapreduce(rank, &cfg2) {
+            *sink.lock() = hist;
+        }
+    });
+    assert_eq!(*sim_hist.lock(), oracle, "simulator master histogram != oracle");
+
+    let native_hist: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = native_hist.clone();
+    NativeWorld::new(N).with_compute_scale(0.01).run(move |rank| {
+        if let Some(hist) = mini_mapreduce(rank, &cfg) {
+            *sink.lock() = hist;
+        }
+    });
+    assert_eq!(*native_hist.lock(), oracle, "native master histogram != oracle");
+}
+
+#[test]
+fn native_channel_feeds_streamcheck_topology_extraction() {
+    // `StreamChannel` is backend-free, so the `streamcheck` static pass
+    // ingests a channel created over the native transport unchanged.
+    let decl: Arc<Mutex<Option<streamcheck::ChannelDecl>>> = Arc::new(Mutex::new(None));
+    let sink = decl.clone();
+    NativeWorld::new(6).run(|rank| {
+        let comm = rank.world_group();
+        let spec = GroupSpec { every: 3 };
+        let role = spec.role_of(rank.world_rank());
+        let ch = StreamChannel::create(rank, &comm, role, ChannelConfig::default());
+        if rank.world_rank() == 0 {
+            *sink.lock() = Some(streamcheck::ChannelDecl::from_channel("native-ch", &ch));
+        }
+        // Tear the channel down cleanly so no rank is left waiting.
+        match role {
+            Role::Producer => {
+                let mut s: mpistream::Stream<u64> = mpistream::Stream::attach(ch);
+                s.terminate(rank);
+            }
+            Role::Consumer => {
+                let mut s: mpistream::Stream<u64> = mpistream::Stream::attach(ch);
+                s.operate(rank, |_, _| {});
+            }
+            Role::Bystander => {}
+        }
+    });
+    let decl = decl.lock().take().expect("rank 0 extracted the declaration");
+    assert_eq!(decl.producers, vec![0, 1, 3, 4]);
+    assert_eq!(decl.consumers, vec![2, 5]);
+}

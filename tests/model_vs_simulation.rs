@@ -28,7 +28,7 @@ fn simulate_decoupled(
         let n_cons = GroupSpec { every }.consumers_in(p);
         let n_prod = p - n_cons;
         let mine = total_elements.div_ceil(n_prod);
-        run_decoupled::<u64, _, _>(
+        run_decoupled::<u64, _, _, _>(
             rank,
             &comm,
             GroupSpec { every },
@@ -158,7 +158,7 @@ fn imbalance_absorption_matches_the_model_qualitatively() {
     let t_dec = world
         .run_expect(16, move |rank| {
             let comm = rank.comm_world();
-            run_decoupled::<u64, _, _>(
+            run_decoupled::<u64, _, _, _>(
                 rank,
                 &comm,
                 GroupSpec { every: 4 }, // 12 producers, 4 consumers
