@@ -32,8 +32,11 @@
 //! design — per-tag ordered index for wildcard matches, per-`(src, tag)`
 //! FIFO for directed ones — minus the in-flight layer (a native message
 //! is available the instant it is pushed). Parked receivers wake via
-//! condvar notification, and a version counter makes `wait_for_mail`
-//! race-free against pushes that land between a failed poll and the park.
+//! condvar notification, and a version counter — snapshotted once per
+//! polling round, inside `wait_for_mail` itself, never by individual
+//! polls — makes the park race-free against pushes that land anywhere
+//! between two waits, including between polls of different streams in
+//! one multiplexing pass.
 //!
 //! ```
 //! use mpistream::{run_decoupled, ChannelConfig, GroupSpec, Transport};
@@ -214,7 +217,9 @@ pub struct NativeRank {
     /// Per-group collective sequence numbers (identical call order on a
     /// group keeps them in agreement, as MPI requires).
     coll_seq: HashMap<u64, u32>,
-    /// Mailbox version at this rank's last look (see `wait_for_mail`).
+    /// Mailbox version at the last `wait_for_mail` return — a polling-
+    /// round snapshot, deliberately *not* advanced by `try_recv`/`probe`
+    /// (see `wait_for_mail` for why).
     mail_seen: u64,
 }
 
@@ -314,8 +319,7 @@ impl Transport for NativeRank {
     }
 
     fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
-        let (env, version) = self.shared.mailboxes[self.rank].try_take(src, tag);
-        self.mail_seen = version;
+        let env = self.shared.mailboxes[self.rank].try_take(src, tag);
         env.map(|e| unpack(self.rank, e))
     }
 
@@ -331,14 +335,18 @@ impl Transport for NativeRank {
     }
 
     fn probe(&mut self, src: Src, tag: Tag) -> Option<MsgInfo> {
-        let (info, version) = self.shared.mailboxes[self.rank].probe(src, tag);
-        self.mail_seen = version;
-        info
+        self.shared.mailboxes[self.rank].probe(src, tag)
     }
 
     fn wait_for_mail(&mut self) {
-        // Parks until the version moves past the last failed poll — a push
-        // that landed in between returns immediately (no lost wake-up).
+        // `mail_seen` is the version at the *previous* return from here
+        // (initially 0, matching the mailbox's initial version); polls in
+        // between never touch it. So a push landing anywhere in the
+        // caller's polling round — even between polls of two different
+        // streams in one `operate2` pass — keeps the version ahead of the
+        // snapshot and this returns immediately instead of parking past a
+        // message it never re-examined. Worst case is one spurious
+        // re-poll; a lost wake-up is impossible.
         self.mail_seen = self.shared.mailboxes[self.rank].wait_change(self.mail_seen);
     }
 
@@ -358,7 +366,10 @@ impl Transport for NativeRank {
         let all = self.gather_all(group, seq, value);
         // Fold in group-rank order on every member; `op` must be
         // associative and commutative (the Transport contract), so the
-        // linear order is as good as the simulator's binomial tree.
+        // linear order is as good as the simulator's binomial tree —
+        // except for floats, whose addition is only approximately
+        // associative: an f64 reduction may differ bitwise from the
+        // simulator's tree order (see DESIGN.md §11).
         let mut it = all.into_iter();
         let mut acc = it.next().expect("group is non-empty");
         for v in it {
@@ -391,24 +402,26 @@ impl Transport for NativeRank {
 
     fn split(&mut self, group: &NativeGroup, color: Option<i64>, key: i64) -> Option<NativeGroup> {
         let seq = self.next_seq(group);
-        let color_code = color.unwrap_or(i64::MIN);
-        let mut entries = self.gather_all(group, seq, (color_code, key, self.rank));
-        color?;
+        // Gather the Option itself — no sentinel, so every i64 (including
+        // i64::MIN) is a legal color, distinct from non-participation.
+        let mut entries = self.gather_all(group, seq, (color, key, self.rank));
+        let my_color = color?;
         // Members with my color, ordered by (key, world_rank) — the
-        // MPI_Comm_split contract.
-        entries.retain(|&(c, _, _)| c == color_code);
+        // MPI_Comm_split contract. `None` entries match no Some color.
+        entries.retain(|&(c, _, _)| c == Some(my_color));
         entries.sort_unstable_by_key(|&(_, k, w)| (k, w));
         let members: Vec<usize> = entries.iter().map(|&(_, _, w)| w).collect();
         // One id per split cell, agreed through the registry: every member
-        // computes the same (parent, seq, color) key.
+        // computes the same (parent, seq, color) key, and non-participants
+        // returned above without ever touching the registry.
         let id = {
             let mut groups = self.shared.groups.lock().unwrap();
-            match groups.ids.get(&(group.id, seq, color_code)) {
+            match groups.ids.get(&(group.id, seq, my_color)) {
                 Some(&id) => id,
                 None => {
                     let id = groups.next;
                     groups.next += 1;
-                    groups.ids.insert((group.id, seq, color_code), id);
+                    groups.ids.insert((group.id, seq, my_color), id);
                     id
                 }
             }
@@ -480,6 +493,25 @@ mod tests {
             // Collectives address the new group without cross-talk.
             let sum = rank.allreduce(&g, 8, 1u32, |a, b| *a += b);
             assert_eq!(sum, 3);
+        });
+    }
+
+    /// `Some(i64::MIN)` is a legal color, distinct from `None` — the old
+    /// sentinel encoding collapsed the two, so MIN-colored members would
+    /// have absorbed non-participants and deadlocked on first collective.
+    #[test]
+    fn split_min_color_is_distinct_from_none() {
+        NativeWorld::new(4).run(|rank| {
+            let world = rank.world_group();
+            let me = rank.world_rank();
+            let color = if me < 2 { Some(i64::MIN) } else { None };
+            let g = rank.split(&world, color, me as i64);
+            assert_eq!(g.is_some(), me < 2);
+            if let Some(g) = g {
+                assert_eq!(g.ranks(), &[0, 1]);
+                let sum = rank.allreduce(&g, 8, 1u32, |a, b| *a += b);
+                assert_eq!(sum, 2);
+            }
         });
     }
 

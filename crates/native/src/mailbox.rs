@@ -11,8 +11,13 @@
 //! Blocking is a `Mutex` + `Condvar` pair per mailbox: senders push under
 //! the lock and `notify_all`; parked receivers re-check their match on
 //! every wake. A monotone `version` counter (bumped on every push) lets
-//! `wait_for_mail` detect "something changed since I last looked" without
-//! races between a failed `try_recv` and the park.
+//! `wait_for_mail` detect "something changed since I last looked". The
+//! caller's snapshot of the counter advances *only* inside
+//! [`Mailbox::wait_change`] — never on individual polls — so a push that
+//! lands anywhere in a multi-poll round (e.g. `operate2` polling two
+//! streams in turn) still wakes the next wait instead of being absorbed
+//! into a later poll's observation. The cost is at most one spurious
+//! re-poll; the benefit is that the wake-up cannot be lost.
 
 use std::any::Any;
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -109,13 +114,13 @@ impl Mailbox {
         self.cv.notify_all();
     }
 
-    /// Non-blocking take. Returns the mailbox version observed alongside
-    /// the result, so the caller can later park "until changed".
-    pub fn try_take(&self, src: Src, tag: Tag) -> (Option<Env>, u64) {
-        let mut inner = self.inner.lock().unwrap();
-        let env = inner.take(src, tag);
-        let version = inner.version;
-        (env, version)
+    /// Non-blocking take. Deliberately does *not* report the mailbox
+    /// version: polls must not advance the caller's `wait_change`
+    /// snapshot, or a push landing between two polls of one multiplexing
+    /// round would be absorbed and the subsequent park could sleep
+    /// forever (lost wake-up).
+    pub fn try_take(&self, src: Src, tag: Tag) -> Option<Env> {
+        self.inner.lock().unwrap().take(src, tag)
     }
 
     /// Blocking take.
@@ -145,27 +150,36 @@ impl Mailbox {
         }
     }
 
-    /// Metadata of the first available match, without consuming it.
-    pub fn probe(&self, src: Src, tag: Tag) -> (Option<MsgInfo>, u64) {
+    /// Metadata of the first available match, without consuming it. Like
+    /// [`Mailbox::try_take`], this never exposes the version counter.
+    pub fn probe(&self, src: Src, tag: Tag) -> Option<MsgInfo> {
         let mut inner = self.inner.lock().unwrap();
-        let info = inner.find(src, tag).map(|id| {
+        inner.find(src, tag).map(|id| {
             let env = &inner.envs[&id];
             MsgInfo { src: env.src, tag: env.tag, bytes: env.bytes }
-        });
-        let version = inner.version;
-        (info, version)
+        })
     }
 
-    /// Park until the mailbox version moves past `seen` (a push happened
-    /// since the caller last looked). Returns the new version. Wakes
-    /// immediately when the version already moved — the signal cannot be
-    /// lost between a failed `try_take` and the park.
+    /// Park until the mailbox version moves past `seen`, then return the
+    /// new version — the caller's snapshot for its *next* polling round.
+    /// Because `seen` was taken when the previous `wait_change` returned
+    /// (not during any poll since), every push after that instant makes
+    /// the version differ and the call return immediately. The signal
+    /// cannot be lost between a failed poll and the park; at worst the
+    /// caller re-polls once for a message it already consumed.
     pub fn wait_change(&self, seen: u64) -> u64 {
         let mut inner = self.inner.lock().unwrap();
         while inner.version == seen {
             inner = self.cv.wait(inner).unwrap();
         }
         inner.version
+    }
+
+    /// Current version, as a round-start snapshot (tests only; ranks get
+    /// theirs from `wait_change`, starting from the shared initial 0).
+    #[cfg(test)]
+    fn version(&self) -> u64 {
+        self.inner.lock().unwrap().version
     }
 }
 
@@ -191,7 +205,7 @@ mod tests {
         assert_eq!(val(mb.take(Src::Any, t)), 20);
         assert_eq!(val(mb.take(Src::Any, t)), 0);
         assert_eq!(val(mb.take(Src::Any, t)), 21);
-        assert!(mb.try_take(Src::Any, t).0.is_none());
+        assert!(mb.try_take(Src::Any, t).is_none());
     }
 
     #[test]
@@ -212,8 +226,8 @@ mod tests {
     fn tags_do_not_cross_match() {
         let mb = Mailbox::new();
         mb.push(env(0, Tag::user(1), 1));
-        assert!(mb.try_take(Src::Any, Tag::user(2)).0.is_none());
-        assert!(mb.probe(Src::Any, Tag::user(1)).0.is_some());
+        assert!(mb.try_take(Src::Any, Tag::user(2)).is_none());
+        assert!(mb.probe(Src::Any, Tag::user(1)).is_some());
         assert_eq!(val(mb.take(Src::Any, Tag::user(1))), 1);
     }
 
@@ -230,9 +244,28 @@ mod tests {
     #[test]
     fn version_moves_on_push_only() {
         let mb = Mailbox::new();
-        let (_, v0) = mb.try_take(Src::Any, Tag::user(1));
+        let v0 = mb.version();
         mb.push(env(0, Tag::user(1), 1));
         let v1 = mb.wait_change(v0); // returns immediately: version moved
         assert!(v1 > v0);
+    }
+
+    /// The lost-wakeup regression: a push landing *between* two polls of a
+    /// multiplexing round must still wake the next `wait_change`, because
+    /// polls never advance the caller's snapshot.
+    #[test]
+    fn push_between_polls_is_not_absorbed() {
+        let mb = Mailbox::new();
+        let ta = Tag::user(1);
+        let tb = Tag::user(2);
+        let seen = mb.version(); // round-start snapshot
+        assert!(mb.try_take(Src::Any, ta).is_none()); // poll stream A
+        mb.push(env(0, tb, 7)); // producer lands B's message mid-round
+        assert!(mb.try_take(Src::Any, ta).is_none()); // poll A again: no match
+                                                      // The park must return immediately — the mid-round push moved the
+                                                      // version past the round-start snapshot.
+        let new = mb.wait_change(seen);
+        assert!(new > seen);
+        assert_eq!(val(mb.take(Src::Any, tb)), 7);
     }
 }

@@ -6,6 +6,12 @@
 //! Arrival *order* is explicitly not compared — the native backend makes
 //! no determinism promise — so every comparison is over order-normalized
 //! (sorted) payloads and their fingerprints.
+//!
+//! Keep reductions in this suite integer-valued (or order-insensitive):
+//! native `allreduce` folds linearly in group-rank order while the
+//! simulator reduces along a binomial tree, so an f64 sum can legally be
+//! bitwise-different across backends even on fault-free plans
+//! (DESIGN.md §11).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
