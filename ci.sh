@@ -37,11 +37,23 @@ timeout 120 cargo run --release --offline -q -p integration \
 timeout 180 cargo test -q --release --offline -p integration \
     --test backend_equivalence
 
+echo "== streamprof smoke (chrome traces + golden byte-compare) =="
+# fig2 rendered through the streamprof adapters (ASCII Gantt must stay
+# byte-identical to the pre-streamprof output) plus Chrome-trace export;
+# the golden test byte-compares the sim quickstart trace and structurally
+# validates the native one. See DESIGN.md §12.
+cargo run --release --offline -q -p bench-harness --bin fig2 -- --chrome-trace \
+    > /dev/null
+timeout 180 cargo test -q --release --offline -p integration \
+    --test streamprof_trace
+
 echo "== engine perf smoke (quick gate vs committed baseline) =="
 # Virtual times and message counts must match the committed quick-mode
 # capture exactly (the timing model is deterministic — drift means a
 # behaviour change); wall time may not exceed ENGINE_BENCH_MAX_RATIO
-# (default 3x) of the baseline's. See DESIGN.md §10.
+# (default 3x) of the baseline's. This also gates the streamprof hooks:
+# with no Profiled wrapper attached they must cost nothing, so the
+# virtual-time capture may not drift. See DESIGN.md §10, §12.
 cargo run --release --offline -q -p bench-harness --bin engine_bench -- \
     --quick --check --baseline results/engine_quick_baseline.json \
     --out target/BENCH_engine_quick.json

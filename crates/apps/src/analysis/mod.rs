@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use mpisim::{MachineConfig, World, WorldOutcome};
-use mpistream::{run_decoupled, ChannelConfig, GroupSpec};
+use mpistream::{run_decoupled, ChannelConfig, GroupSpec, Transport};
 use parking_lot::Mutex;
 
 /// One workload report streamed to the analysis group.
@@ -171,6 +171,58 @@ pub fn run_decoupled_analysis(nprocs: usize, cfg: &AnalysisConfig) -> AnalysisRe
     AnalysisResult { outcome, digest }
 }
 
+/// Profiled decoupled analysis run for granularity sweeps: the same
+/// streaming pattern as [`run_decoupled_analysis`] (minus the final
+/// digest gather) under `streamprof` instrumentation, with the channel
+/// granularity `S` (`element_bytes`) as a parameter. Returns the virtual
+/// makespan and the recorded trace — the substrate for fitting the
+/// paper's β(S)/Tσ from observations instead of assuming them (see
+/// `examples/alpha_tuning.rs`).
+///
+/// Unlike the digest variant, the consumer here models per-update
+/// analysis cost (normalised so a consumer's total OP1 work matches one
+/// producer's OP0 work) — without a modelled `T_W1` there is nothing to
+/// overlap and the effective β is trivially 1.
+pub fn run_profiled_analysis(
+    nprocs: usize,
+    cfg: &AnalysisConfig,
+    element_bytes: u64,
+) -> (f64, streamprof::Trace) {
+    let world = World::new(cfg.machine.clone()).with_seed(cfg.seed);
+    let sink = streamprof::ProfSink::new(streamprof::Clock::Virtual);
+    let s2 = sink.clone();
+    let cfg2 = cfg.clone();
+    let outcome = world.run_expect(nprocs, move |rank| {
+        let mut rank = streamprof::Profiled::new(rank, s2.clone());
+        let comm = rank.world_group();
+        let spec = GroupSpec { every: cfg2.alpha_every };
+        let steps = cfg2.steps;
+        let secs_per_unit = cfg2.secs_per_unit;
+        run_decoupled::<WorkloadUpdate, _, _, _>(
+            &mut rank,
+            &comm,
+            spec,
+            ChannelConfig { element_bytes, ..ChannelConfig::default() },
+            move |rank, p| {
+                let me = rank.world_rank();
+                for step in 0..steps {
+                    let w = workload_at(me, step);
+                    rank.compute(w as f64 * secs_per_unit);
+                    p.stream.isend(rank, WorkloadUpdate { rank: me, step, work_units: w });
+                }
+            },
+            move |rank, c| {
+                let fan_in = (cfg2.alpha_every - 1).max(1) as f64;
+                let per_update = secs_per_unit / fan_in;
+                c.stream.operate(rank, |rank, u| {
+                    rank.compute(u.work_units as f64 * per_update);
+                });
+            },
+        );
+    });
+    (outcome.elapsed_secs(), sink.take())
+}
+
 /// Communication topology of [`run_decoupled_analysis`] (Listing 1) for
 /// the `streamcheck` static pass: a single statically-routed update stream
 /// from the computation group to the analysis group.
@@ -251,6 +303,25 @@ mod tests {
             t_dec < t_ref,
             "decoupled analysis ({t_dec}) must beat per-step reductions ({t_ref})"
         );
+    }
+
+    #[test]
+    fn profiled_analysis_yields_a_fittable_trace() {
+        let c = cfg();
+        let (makespan, trace) = run_profiled_analysis(8, &c, 1 << 10);
+        assert!(makespan > 0.0);
+        assert!((trace.makespan_secs() - makespan).abs() < 1e-9);
+        let report = streamprof::fit(&trace).expect("trace carries stream counters");
+        // 8 ranks, every=4: six producers feed two consumers.
+        assert_eq!(report.producers, vec![0, 1, 2, 4, 5, 6]);
+        assert_eq!(report.consumers, vec![3, 7]);
+        assert_eq!(report.elems_mean, c.steps as f64);
+        assert!(report.overhead_o > 0.0);
+        assert!((0.0..=1.0).contains(&report.beta_eff));
+        // Determinism: the profiled run is a pure simulation.
+        let (m2, t2) = run_profiled_analysis(8, &c, 1 << 10);
+        assert_eq!(makespan, m2);
+        assert_eq!(trace.to_chrome_json(), t2.to_chrome_json());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::f64::consts::PI;
 use std::sync::Arc;
 
 use mpisim::{dims_create, CartComm, MachineConfig, Rank, Src, World, WorldOutcome};
-use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
+use mpistream::{prof_scoped, ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
 use parking_lot::Mutex;
 
 use grid::{Field, Shell};
@@ -382,9 +382,11 @@ fn aggregate_faces<TP: Transport>(
         entry.push((msg.dim, msg.dir, msg.values));
         if entry.len() == expected[msg.dest] {
             let faces = pending.remove(&key).expect("just inserted");
-            // Small aggregation cost per combined packet.
-            rank.compute(1e-6);
-            halo_out.isend_to(rank, key.0, HaloPacket { iter: key.1, faces });
+            prof_scoped(rank, "aggregate", |rank| {
+                // Small aggregation cost per combined packet.
+                rank.compute(1e-6);
+                halo_out.isend_to(rank, key.0, HaloPacket { iter: key.1, faces });
+            });
         }
     }
     assert!(pending.is_empty(), "all face sets must complete");

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mpisim::{MachineConfig, Rank, World, WorldOutcome};
-use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
+use mpistream::{prof_scoped, ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
 use parking_lot::Mutex;
 use pfsim::{Pfs, PfsConfig};
 use workloads::{Corpus, CorpusConfig};
@@ -196,14 +196,16 @@ pub(crate) fn reduce_fold<TP: Transport>(
     local: &mut HashMap<u32, u64>,
 ) {
     input.operate(rank, |rank, chunk| {
-        // Sparse hash fold: cheap per pair.
-        rank.compute(chunk.len() as f64 * 100e-9);
-        for &(w, c) in &chunk {
-            *local.entry(w).or_insert(0) += c as u64;
-        }
-        if let Some(m) = to_master.as_mut() {
-            m.isend_to(rank, 0, chunk);
-        }
+        prof_scoped(rank, "reduce", |rank| {
+            // Sparse hash fold: cheap per pair.
+            rank.compute(chunk.len() as f64 * 100e-9);
+            for &(w, c) in &chunk {
+                *local.entry(w).or_insert(0) += c as u64;
+            }
+            if let Some(m) = to_master.as_mut() {
+                m.isend_to(rank, 0, chunk);
+            }
+        });
     });
 }
 
@@ -215,10 +217,12 @@ pub(crate) fn master_aggregate<TP: Transport>(
     hist: &mut [u64],
 ) {
     from_reducers.operate(rank, |rank, chunk| {
-        rank.compute(chunk.len() as f64 * 100e-9);
-        for (w, c) in chunk {
-            hist[w as usize] += c as u64;
-        }
+        prof_scoped(rank, "master", |rank| {
+            rank.compute(chunk.len() as f64 * 100e-9);
+            for (w, c) in chunk {
+                hist[w as usize] += c as u64;
+            }
+        });
     });
 }
 

@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mpisim::{dims_create, CartComm, MachineConfig, Rank, World, WorldOutcome};
-use mpistream::{ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
+use mpistream::{prof_scoped, ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
 use pfsim::{Pfs, PfsConfig};
 use workloads::particles::{advance, Particle, ParticleConfig};
 
@@ -359,15 +359,17 @@ fn relay_exits<TP: Transport>(
     owner_of: impl Fn(&Particle) -> usize,
 ) {
     while let Some(ToComm::Exits { particles }) = input.recv_one(rank) {
-        let mut by_dest: HashMap<usize, Vec<Particle>> = HashMap::new();
-        for p in particles {
-            by_dest.entry(owner_of(&p)).or_default().push(p);
-        }
-        // Small aggregation cost per forwarded bundle.
-        rank.compute(1e-6 * by_dest.len().max(1) as f64);
-        for (dest, bundle) in by_dest {
-            reply.isend_to(rank, dest, bundle);
-        }
+        prof_scoped(rank, "relay", |rank| {
+            let mut by_dest: HashMap<usize, Vec<Particle>> = HashMap::new();
+            for p in particles {
+                by_dest.entry(owner_of(&p)).or_default().push(p);
+            }
+            // Small aggregation cost per forwarded bundle.
+            rank.compute(1e-6 * by_dest.len().max(1) as f64);
+            for (dest, bundle) in by_dest {
+                reply.isend_to(rank, dest, bundle);
+            }
+        });
     }
     reply.terminate(rank);
 }

@@ -66,4 +66,4 @@ pub use harness::{run_decoupled, try_run_decoupled, ConsumerCtx, ProducerCtx};
 pub use select::operate2;
 pub use sim::SimTransport;
 pub use stream::{ProducerReport, ProducerState, Stream, StreamOutcome, StreamStats};
-pub use transport::{Group, MsgInfo, Src, Tag, Transport};
+pub use transport::{prof_scoped, Group, MsgInfo, Src, Tag, TagKind, Transport};

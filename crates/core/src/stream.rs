@@ -271,6 +271,14 @@ impl<T: Send + 'static> Stream<T> {
             rank.send(dst, tag, bytes, Wire::Data(batch));
             self.outstanding[consumer] += n;
             rank.check_data_sent(self.channel.id, dst, n);
+            rank.prof_stream_send(self.channel.id, n, bytes);
+            if let Some(window) = self.channel.config.credits {
+                rank.prof_credit_occupancy(
+                    self.channel.id,
+                    self.outstanding[consumer],
+                    window as u64,
+                );
+            }
             self.sent_per_consumer[consumer] += n;
             self.stats.elements += n;
             self.stats.batches += 1;
@@ -481,6 +489,7 @@ impl<T: Send + 'static> Stream<T> {
                             self.stats.elements += n;
                             self.stats.batches += 1;
                             self.stats.bytes += info.bytes;
+                            rank.prof_stream_recv(self.channel.id, n, info.bytes);
                             delivered[pi] += n;
                             processed += n;
                             for elem in batch {
@@ -642,6 +651,7 @@ impl<T: Send + 'static> Stream<T> {
                     self.stats.elements += n;
                     self.stats.batches += 1;
                     self.stats.bytes += info.bytes;
+                    rank.prof_stream_recv(self.channel.id, n, info.bytes);
                     self.pending.extend(batch);
                     if self.channel.config.credits.is_some() {
                         rank.send(info.src, self.channel.credit_tag(), 8, n);
@@ -676,6 +686,7 @@ impl<T: Send + 'static> Stream<T> {
                 self.stats.elements += n;
                 self.stats.batches += 1;
                 self.stats.bytes += info.bytes;
+                rank.prof_stream_recv(self.channel.id, n, info.bytes);
                 for elem in batch {
                     op(rank, elem);
                 }

@@ -44,6 +44,39 @@ impl Tag {
     pub const fn internal(ns: u8, chan: u16, seq: u32) -> Tag {
         Tag(1 << 63 | (ns as u64) << 48 | (chan as u64) << 32 | seq as u64)
     }
+
+    /// Classify this tag for backend-independent tooling (profilers,
+    /// sanitizers) that observes traffic without knowing who built the
+    /// tag. Stream payload and credit tags are recognised from their
+    /// namespace bits, so a blocked receive can be attributed to
+    /// wait-for-data vs wait-for-credit from the tag alone.
+    pub fn kind(&self) -> TagKind {
+        use crate::channel::{CODE_CREDIT, CODE_DATA, NS_STREAM};
+        if self.0 >> 63 == 0 {
+            return TagKind::User(self.0 as u32);
+        }
+        let ns = ((self.0 >> 48) & 0xFF) as u8;
+        let channel = ((self.0 >> 32) & 0xFFFF) as u16;
+        let seq = self.0 as u32;
+        match (ns, seq) {
+            (NS_STREAM, CODE_DATA) => TagKind::StreamData { channel },
+            (NS_STREAM, CODE_CREDIT) => TagKind::StreamCredit { channel },
+            _ => TagKind::Internal { ns, channel, seq },
+        }
+    }
+}
+
+/// What a [`Tag`] means on the wire (see [`Tag::kind`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TagKind {
+    /// A plain application tag ([`Tag::user`]).
+    User(u32),
+    /// Stream payload traffic on `channel`.
+    StreamData { channel: u16 },
+    /// Stream flow-control credits on `channel`.
+    StreamCredit { channel: u16 },
+    /// Library-internal traffic in some other namespace (collectives, ...).
+    Internal { ns: u8, channel: u16, seq: u32 },
 }
 
 /// Source selector for receives.
@@ -242,6 +275,41 @@ pub trait Transport {
 
     /// Report `elems` elements' worth of credit granted to `_producer`.
     fn check_credit_issued(&mut self, _id: u16, _producer: usize, _elems: u64) {}
+
+    // ---------------------------------------------------------------
+    // Profiling hooks (no-ops unless the backend carries a profiler,
+    // e.g. `streamprof::Profiled`)
+    // ---------------------------------------------------------------
+
+    /// Open a named application span (closed by [`Transport::prof_end`]).
+    fn prof_begin(&mut self, _cat: &'static str) {}
+
+    /// Close the innermost open span named `cat`.
+    fn prof_end(&mut self, _cat: &'static str) {}
+
+    /// Report `elems`/`bytes` of stream payload sent on `channel`.
+    fn prof_stream_send(&mut self, _channel: u16, _elems: u64, _bytes: u64) {}
+
+    /// Report `elems`/`bytes` of stream payload received on `channel`.
+    fn prof_stream_recv(&mut self, _channel: u16, _elems: u64, _bytes: u64) {}
+
+    /// Sample the credit window right after a send: `outstanding` of
+    /// `window` elements currently un-acknowledged towards one consumer.
+    fn prof_credit_occupancy(&mut self, _channel: u16, _outstanding: u64, _window: u64) {}
+}
+
+/// Run `f` under a named profiling span: `prof_begin(cat)` / `prof_end(cat)`
+/// around the call. Free on unprofiled backends (the hooks are no-ops);
+/// under a profiler the span lands on this rank's timeline.
+pub fn prof_scoped<TP: Transport, R>(
+    rank: &mut TP,
+    cat: &'static str,
+    f: impl FnOnce(&mut TP) -> R,
+) -> R {
+    rank.prof_begin(cat);
+    let r = f(rank);
+    rank.prof_end(cat);
+    r
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -31,36 +32,45 @@ impl Span {
 }
 
 #[derive(Default)]
-struct TraceInner {
-    enabled: bool,
-    spans: Vec<Span>,
+struct TraceShared {
+    // `enabled` is fixed at construction (there is no set-enabled API), so
+    // a relaxed load is all the disabled fast path ever pays — the span
+    // mutex is only touched when tracing is actually on. `trace_begin`/
+    // `trace_end` sit on the engine hot path measured by `engine_bench`.
+    enabled: AtomicBool,
+    spans: Mutex<Vec<Span>>,
 }
 
-/// Shared trace recorder. Cheap no-op unless enabled.
+/// Shared trace recorder. Lock-free no-op unless enabled.
 #[derive(Clone, Default)]
 pub struct TraceSink {
-    inner: Arc<Mutex<TraceInner>>,
+    inner: Arc<TraceShared>,
 }
 
 impl TraceSink {
     pub fn new(enabled: bool) -> Self {
-        TraceSink { inner: Arc::new(Mutex::new(TraceInner { enabled, spans: Vec::new() })) }
-    }
-
-    pub fn enabled(&self) -> bool {
-        self.inner.lock().enabled
-    }
-
-    pub fn record(&self, span: Span) {
-        let mut inner = self.inner.lock();
-        if inner.enabled {
-            inner.spans.push(span);
+        TraceSink {
+            inner: Arc::new(TraceShared {
+                enabled: AtomicBool::new(enabled),
+                spans: Mutex::new(Vec::new()),
+            }),
         }
     }
 
-    pub(crate) fn take(&self) -> Trace {
-        let mut inner = self.inner.lock();
-        let mut spans = std::mem::take(&mut inner.spans);
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn record(&self, span: Span) {
+        if self.enabled() {
+            self.inner.spans.lock().push(span);
+        }
+    }
+
+    /// Drain the recording into a [`Trace`] (spans sorted by
+    /// `(pid, start, end)`).
+    pub fn take(&self) -> Trace {
+        let mut spans = std::mem::take(&mut *self.inner.spans.lock());
         spans.sort_by_key(|s| (s.pid, s.start.as_nanos(), s.end.as_nanos()));
         Trace { spans }
     }

@@ -1,0 +1,219 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto "JSON object format")
+//! exporter and a structural validator for tests.
+//!
+//! The exporter is deliberately serde-free (the build is offline) and
+//! fully deterministic: timestamps are integer-nanosecond values printed
+//! as exact `micros.nnn` decimals — no float formatting anywhere — and
+//! spans/streams are emitted in sorted order, one event per line.
+
+use std::fmt::Write as _;
+
+use crate::trace::Trace;
+
+/// Exact microseconds with nanosecond remainder, from integer nanos.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+impl Trace {
+    /// Export as Chrome-trace JSON (object format). Each span becomes a
+    /// complete (`"ph":"X"`) event with `pid` 0 and `tid` = world rank;
+    /// per-rank `thread_name` metadata labels the rows; stream counters
+    /// and the clock domain ride in a `"streamprof"` top-level key that
+    /// `chrome://tracing` ignores.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\n\"traceEvents\":[\n");
+        let mut first = true;
+        let npids = self.spans().iter().map(|s| s.pid + 1).max().unwrap_or(0);
+        for pid in 0..npids {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{pid},\
+                 \"args\":{{\"name\":\"rank {pid}\"}}}}"
+            );
+        }
+        for s in self.spans() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let ts = micros(s.start.as_nanos());
+            let dur = micros(s.end.as_nanos() - s.start.as_nanos());
+            let _ = write!(
+                out,
+                "{{\"name\":\"{cat}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":0,\
+                 \"tid\":{tid},\"ts\":{ts},\"dur\":{dur}}}",
+                cat = s.cat,
+                tid = s.pid,
+            );
+        }
+        out.push_str("\n],\n\"displayTimeUnit\":\"ms\",\n");
+        let _ =
+            writeln!(out, "\"streamprof\":{{\"clock\":\"{}\",\"streams\":[", self.clock().label());
+        let mut first = true;
+        for (&(pid, channel), m) in self.streams() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"pid\":{pid},\"channel\":{channel},\
+                 \"elems_sent\":{},\"bytes_sent\":{},\"batches_sent\":{},\
+                 \"elems_recv\":{},\"bytes_recv\":{},\"batches_recv\":{},\
+                 \"credit_samples\":{},\"credit_outstanding_sum\":{},\"credit_window\":{}}}",
+                m.elems_sent,
+                m.bytes_sent,
+                m.batches_sent,
+                m.elems_recv,
+                m.bytes_recv,
+                m.batches_recv,
+                m.credit_samples,
+                m.credit_outstanding_sum,
+                m.credit_window,
+            );
+        }
+        out.push_str("\n]}\n}\n");
+        out
+    }
+}
+
+/// What [`validate_chrome`] found in a structurally valid trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// `"ph":"X"` complete events.
+    pub spans: usize,
+    /// `"ph":"M"` metadata events.
+    pub metadata: usize,
+    /// Entries in the `"streamprof"` stream table.
+    pub streams: usize,
+}
+
+/// Structural check of [`Trace::to_chrome_json`] output, for schema tests
+/// on backends whose timings are not reproducible (the native backend):
+/// verifies the object framing, that every event line carries the keys
+/// Chrome requires, and that `ts`/`dur` parse as non-negative decimals.
+pub fn validate_chrome(json: &str) -> Result<ChromeStats, String> {
+    let mut stats = ChromeStats::default();
+    let mut lines = json.lines();
+    let mut expect = |want: &str| -> Result<(), String> {
+        match lines.next() {
+            Some(l) if l == want => Ok(()),
+            other => Err(format!("expected {want:?}, got {other:?}")),
+        }
+    };
+    expect("{")?;
+    expect("\"traceEvents\":[")?;
+    let mut in_streams = false;
+    for line in lines {
+        let event = line.strip_suffix(',').unwrap_or(line);
+        if event == "]" {
+            continue;
+        }
+        if event == "\"displayTimeUnit\":\"ms\"" {
+            continue;
+        }
+        if let Some(rest) = event.strip_prefix("\"streamprof\":{") {
+            if !rest.contains("\"clock\":\"virtual\"") && !rest.contains("\"clock\":\"wall\"") {
+                return Err(format!("bad clock domain in {event:?}"));
+            }
+            in_streams = true;
+            continue;
+        }
+        if event == "]}" || event == "}" || event.is_empty() {
+            continue;
+        }
+        if !event.starts_with('{') || !event.ends_with('}') {
+            return Err(format!("unframed event line {event:?}"));
+        }
+        if in_streams {
+            for key in ["\"pid\":", "\"channel\":", "\"elems_sent\":", "\"elems_recv\":"] {
+                if !event.contains(key) {
+                    return Err(format!("stream entry missing {key} in {event:?}"));
+                }
+            }
+            stats.streams += 1;
+        } else if event.contains("\"ph\":\"M\"") {
+            for key in ["\"name\":", "\"pid\":", "\"tid\":", "\"args\":"] {
+                if !event.contains(key) {
+                    return Err(format!("metadata event missing {key} in {event:?}"));
+                }
+            }
+            stats.metadata += 1;
+        } else if event.contains("\"ph\":\"X\"") {
+            for key in ["\"name\":", "\"cat\":", "\"pid\":", "\"tid\":", "\"ts\":", "\"dur\":"] {
+                if !event.contains(key) {
+                    return Err(format!("span event missing {key} in {event:?}"));
+                }
+            }
+            for key in ["\"ts\":", "\"dur\":"] {
+                let at = event.find(key).unwrap() + key.len();
+                let val: String =
+                    event[at..].chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+                if val.parse::<f64>().map_or(true, |v| !v.is_finite() || v < 0.0) {
+                    return Err(format!("bad {key} value {val:?} in {event:?}"));
+                }
+            }
+            stats.spans += 1;
+        } else {
+            return Err(format!("event of unknown phase {event:?}"));
+        }
+    }
+    if !in_streams {
+        return Err("missing streamprof section".into());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{Clock, ProfSink};
+    use desim::SimTime;
+
+    fn trace() -> Trace {
+        let sink = ProfSink::new(Clock::Virtual);
+        sink.record_span(0, "compute", SimTime(0), SimTime(1_500));
+        sink.record_span(1, "wait-data", SimTime(0), SimTime(1_000));
+        sink.record_span(1, "compute", SimTime(1_000), SimTime(2_000));
+        sink.stream_send(0, 0, 10, 80);
+        sink.stream_recv(1, 0, 10, 80);
+        sink.take()
+    }
+
+    #[test]
+    fn exporter_emits_exact_decimal_timestamps() {
+        let json = trace().to_chrome_json();
+        // 1500 ns = 1.500 us, printed exactly — never float-formatted.
+        assert!(json.contains("\"ts\":0.000,\"dur\":1.500"), "{json}");
+        assert!(json.contains("\"ts\":1.000,\"dur\":1.000"), "{json}");
+        assert!(json.contains("\"clock\":\"virtual\""));
+    }
+
+    #[test]
+    fn validator_accepts_own_output_and_counts_events() {
+        let json = trace().to_chrome_json();
+        let stats = validate_chrome(&json).unwrap();
+        assert_eq!(stats, ChromeStats { spans: 3, metadata: 2, streams: 2 });
+    }
+
+    #[test]
+    fn validator_rejects_tampered_output() {
+        let json = trace().to_chrome_json();
+        assert!(validate_chrome(&json.replace("\"ts\":", "\"t\":")).is_err());
+        assert!(validate_chrome(&json.replace("\"clock\":\"virtual\"", "\"clock\":\"?\"")).is_err());
+        assert!(validate_chrome("{}").is_err());
+    }
+
+    #[test]
+    fn micros_formats_integer_nanos_exactly() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+}

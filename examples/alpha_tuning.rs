@@ -3,9 +3,16 @@
 //! optimum — the workflow §II-D and §III suggest for configuring a
 //! decoupled application.
 //!
+//! The second half does the same for the model's *inputs*: instead of
+//! assuming β(S) and Tσ, it records `streamprof` traces over a channel
+//! granularity sweep and fits them from observations (Eq. 4 solved for
+//! β, then the β(S) family grid-searched through the measured points).
+//!
 //! Run with: `cargo run --release --example alpha_tuning`
 
-use apps::analysis::{run_decoupled_analysis, run_reference, AnalysisConfig};
+use apps::analysis::{
+    run_decoupled_analysis, run_profiled_analysis, run_reference, AnalysisConfig,
+};
 use perfmodel::{Beta, Complexity, Scenario};
 
 fn main() {
@@ -29,6 +36,7 @@ fn main() {
     }
 
     // Ask the analytic model the same question.
+    let assumed_beta = Beta::new(0.05, (1u64 << 20) as f64);
     let scn = Scenario {
         t_w0: 40.0 * 1500.0 * 2e-9, // steps x mean work x unit cost
         t_w1: t_ref - 40.0 * 1500.0 * 2e-9,
@@ -37,7 +45,7 @@ fn main() {
         data_d: 40 * (1 << 10),
         overhead_o: 1e-6,
         p: P,
-        beta: Beta::new(0.05, (1u64 << 20) as f64),
+        beta: assumed_beta,
         op1_optimization: 1.0,
     };
     let (alpha_star, t_star) = scn.optimal_alpha(1024.0);
@@ -45,5 +53,46 @@ fn main() {
         "\nmeasured optimum: alpha = 1/{} ({:.4} s); model suggests alpha = {:.3} \
          (predicted {:.4} s)",
         best.0, best.1, alpha_star, t_star
+    );
+
+    // --- Fit the model's inputs from traces instead of assuming them ---
+    println!("\nfitting beta(S) and T_sigma from streamprof traces (granularity sweep):\n");
+    // A compute-heavy configuration so the Eq. 4 terms dominate the fixed
+    // runtime costs (group split, final barrier) the model does not see.
+    let fit_cfg = AnalysisConfig { steps: 200, secs_per_unit: 1e-6, ..base.clone() };
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let mut t_sigma_fit = 0.0f64;
+    let mut overhead_fit = 0.0f64;
+    println!(
+        "  {:>10}  {:>10}  {:>12}  {:>12}",
+        "S (bytes)", "beta_eff", "model beta", "Tsigma (s)"
+    );
+    for shift in [6u32, 8, 10, 12, 14, 16] {
+        let s = 1u64 << shift;
+        let (_, trace) = run_profiled_analysis(P, &fit_cfg, s);
+        let fit = streamprof::fit(&trace).expect("analysis trace has stream counters");
+        println!(
+            "  {:>10}  {:>10.4}  {:>12.4}  {:>12.3e}",
+            s,
+            fit.beta_eff,
+            assumed_beta.at(s as f64),
+            fit.t_sigma
+        );
+        points.push((s as f64, fit.beta_eff));
+        t_sigma_fit = t_sigma_fit.max(fit.t_sigma);
+        overhead_fit = overhead_fit.max(fit.overhead_o);
+    }
+    let (fitted, sse) = streamprof::fit_beta_curve(&points);
+    println!(
+        "\nfitted   beta(S): beta_min = {:.3}, S0 = {:.3e} B (sse {:.2e})",
+        fitted.beta_min, fitted.s0, sse
+    );
+    println!(
+        "assumed  beta(S): beta_min = {:.3}, S0 = {:.3e} B",
+        assumed_beta.beta_min, assumed_beta.s0
+    );
+    println!(
+        "fitted   T_sigma = {:.3e} s (assumed {:.3e}), o = {:.3e} s/elem (assumed {:.3e})",
+        t_sigma_fit, scn.t_sigma, overhead_fit, scn.overhead_o
     );
 }

@@ -9,12 +9,19 @@
 //! cargo run --release --example quickstart_native -- --backend native
 //! cargo run --release --example quickstart_native -- --backend sim
 //! cargo run --release --example quickstart_native -- --backend both
+//! cargo run --release --example quickstart_native -- --trace out.trace.json
 //! ```
 //!
 //! In `both` mode the per-consumer payload fingerprints from the two
 //! backends are compared: the program streams only deterministic values
 //! over static routing, so each analysis rank must consume the same
 //! multiset of updates no matter which backend delivered them.
+//!
+//! `--trace <path>` records the run through `streamprof` and writes a
+//! Chrome-trace JSON (open in `chrome://tracing` or Perfetto) — on the
+//! sim backend the spans carry virtual time, on the native backend wall
+//! clock, same file format either way. In `both` mode the backend name
+//! is suffixed onto the path (`out.sim.trace.json`, `out.native.trace.json`).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -24,6 +31,7 @@ use mpisim::{MachineConfig, World};
 use mpistream::Transport;
 use native::NativeWorld;
 use parking_lot::Mutex;
+use streamprof::{Clock, ProfSink, Profiled};
 
 const RANKS: usize = 16;
 const STEPS: usize = 50;
@@ -31,26 +39,46 @@ const EVERY: usize = 8; // one analysis rank per 8
 
 type Reports = BTreeMap<usize, PortableReport>;
 
-fn run_sim() -> Reports {
+fn write_trace(path: &str, sink: ProfSink) {
+    let trace = sink.take();
+    std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+    println!("wrote {path} ({} spans, {} clock)", trace.spans().len(), trace.clock().label());
+}
+
+fn run_sim(trace: Option<&str>) -> Reports {
     let reports: Arc<Mutex<Reports>> = Arc::new(Mutex::new(BTreeMap::new()));
     let sink = reports.clone();
+    let prof = trace.map(|_| ProfSink::new(Clock::Virtual));
+    let prof2 = prof.clone();
     let world = World::new(MachineConfig::default()).with_seed(42);
     let outcome = world.run_expect(RANKS, move |rank| {
-        let rep = quickstart(rank, STEPS, EVERY);
-        sink.lock().insert(rank.world_rank(), rep);
+        let me = rank.world_rank();
+        let rep = match &prof2 {
+            Some(p) => quickstart(&mut Profiled::new(rank, p.clone()), STEPS, EVERY),
+            None => quickstart(rank, STEPS, EVERY),
+        };
+        sink.lock().insert(me, rep);
     });
     println!("sim:    virtual makespan {:.6} s", outcome.elapsed_secs());
+    if let (Some(path), Some(p)) = (trace, prof) {
+        write_trace(path, p);
+    }
     Arc::try_unwrap(reports).expect("world joined").into_inner()
 }
 
-fn run_native() -> Reports {
+fn run_native(trace: Option<&str>) -> Reports {
     let reports: Arc<Mutex<Reports>> = Arc::new(Mutex::new(BTreeMap::new()));
     let sink = reports.clone();
+    let prof = trace.map(|_| ProfSink::new(Clock::Wall));
+    let prof2 = prof.clone();
     // Modelled compute is milliseconds per rank; sleep it at full scale.
     let world = NativeWorld::new(RANKS);
     let outcome = world.run(move |rank| {
         let me = rank.world_rank();
-        let rep = quickstart(rank, STEPS, EVERY);
+        let rep = match &prof2 {
+            Some(p) => quickstart(&mut Profiled::new(rank, p.clone()), STEPS, EVERY),
+            None => quickstart(rank, STEPS, EVERY),
+        };
         sink.lock().insert(me, rep);
     });
     println!(
@@ -58,6 +86,9 @@ fn run_native() -> Reports {
         outcome.elapsed.as_secs_f64(),
         outcome.nprocs
     );
+    if let (Some(path), Some(p)) = (trace, prof) {
+        write_trace(path, p);
+    }
     Arc::try_unwrap(reports).expect("threads joined").into_inner()
 }
 
@@ -76,6 +107,17 @@ fn show(label: &str, reports: &Reports) {
     }
 }
 
+/// `out.trace.json` + `sim` -> `out.sim.trace.json` (suffix before the
+/// conventional `.trace.json` double extension, else before `.json`).
+fn suffixed(path: &str, backend: &str) -> String {
+    for ext in [".trace.json", ".json"] {
+        if let Some(stem) = path.strip_suffix(ext) {
+            return format!("{stem}.{backend}{ext}");
+        }
+    }
+    format!("{path}.{backend}")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let backend = args
@@ -85,13 +127,16 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("both")
         .to_string();
+    let trace = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
 
     match backend.as_str() {
-        "sim" => show("sim:   ", &run_sim()),
-        "native" => show("native:", &run_native()),
+        "sim" => show("sim:   ", &run_sim(trace.as_deref())),
+        "native" => show("native:", &run_native(trace.as_deref())),
         "both" => {
-            let sim = run_sim();
-            let native = run_native();
+            let sim_trace = trace.as_deref().map(|p| suffixed(p, "sim"));
+            let native_trace = trace.as_deref().map(|p| suffixed(p, "native"));
+            let sim = run_sim(sim_trace.as_deref());
+            let native = run_native(native_trace.as_deref());
             show("sim:   ", &sim);
             show("native:", &native);
             let same = consumer_fingerprints(&sim) == consumer_fingerprints(&native);

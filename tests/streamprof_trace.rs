@@ -1,0 +1,91 @@
+//! streamprof end-to-end: a golden Chrome trace on the simulator
+//! (byte-compared — the sim is deterministic, so the exporter must be
+//! too), structural validation of the native backend's trace (wall-clock
+//! timings differ run to run, but the shape must not), and exporter
+//! equivalence between `desim`'s original trace renderers and the
+//! `streamprof` adapters fig2 now routes through.
+//!
+//! To refresh the golden after an intentional format change:
+//! `STREAMPROF_UPDATE_GOLDEN=1 cargo test -p integration --test streamprof_trace`
+//! (then re-run without the variable to confirm).
+
+use apps::pic::{run_comm_decoupled_traced, PicConfig};
+use apps::portable::quickstart;
+use mpisim::{MachineConfig, NoiseModel, World};
+use native::NativeWorld;
+use streamprof::{validate_chrome, Clock, ProfSink, Profiled, Trace};
+
+const RANKS: usize = 8;
+const STEPS: usize = 12;
+const EVERY: usize = 4;
+
+const GOLDEN: &str = include_str!("golden/quickstart_sim.trace.json");
+
+fn sim_chrome_trace() -> String {
+    let sink = ProfSink::new(Clock::Virtual);
+    let s2 = sink.clone();
+    let machine = MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() };
+    let world = World::new(machine).with_seed(7);
+    world.run_expect(RANKS, move |rank| {
+        let mut rank = Profiled::new(rank, s2.clone());
+        let _ = quickstart(&mut rank, STEPS, EVERY);
+    });
+    sink.take().to_chrome_json()
+}
+
+#[test]
+fn sim_quickstart_chrome_trace_matches_golden() {
+    let json = sim_chrome_trace();
+    if std::env::var_os("STREAMPROF_UPDATE_GOLDEN").is_some() {
+        let path =
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/quickstart_sim.trace.json");
+        std::fs::write(path, &json).expect("write golden");
+        return;
+    }
+    // The golden must itself be a valid Chrome trace before we demand
+    // byte-equality with it.
+    validate_chrome(GOLDEN).expect("golden is structurally valid");
+    assert_eq!(
+        json, GOLDEN,
+        "sim Chrome trace drifted from tests/golden/quickstart_sim.trace.json; \
+         if the change is intentional, refresh with STREAMPROF_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn native_quickstart_chrome_trace_is_structurally_valid() {
+    let sink = ProfSink::new(Clock::Wall);
+    let s2 = sink.clone();
+    let world = NativeWorld::new(RANKS).with_compute_scale(0.05);
+    world.run(move |rank| {
+        let mut rank = Profiled::new(rank, s2.clone());
+        let _ = quickstart(&mut rank, STEPS, EVERY);
+    });
+    let trace = sink.take();
+    let json = trace.to_chrome_json();
+    let stats = validate_chrome(&json).expect("native trace is structurally valid");
+    assert_eq!(stats.metadata, RANKS, "one thread_name record per rank");
+    assert_eq!(stats.spans, trace.spans().len());
+    assert_eq!(stats.streams, trace.streams().len());
+    // Same program, same instrumentation: both backends must report the
+    // same stream totals even though the clocks differ.
+    let golden_streams = validate_chrome(GOLDEN).unwrap().streams;
+    assert_eq!(stats.streams, golden_streams);
+}
+
+#[test]
+fn desim_and_streamprof_exporters_agree_on_fig2_spans() {
+    let cfg = PicConfig {
+        actual_per_rank: 64,
+        iterations: 2,
+        alpha_every: 7,
+        dt: 0.3,
+        ..PicConfig::default()
+    };
+    let run = run_comm_decoupled_traced(7, &cfg);
+    let adapted = Trace::from_desim(&run.outcome.sim.trace, Clock::Virtual);
+    // fig2 renders through the adapter; its CSV and Gantt output must be
+    // byte-identical to what desim's own renderers produced before.
+    assert_eq!(adapted.to_csv(), run.outcome.sim.trace.to_csv());
+    assert_eq!(adapted.to_gantt(100), run.outcome.sim.trace.to_gantt(100));
+}
