@@ -47,6 +47,32 @@ cargo run --release --offline -q -p bench-harness --bin fig2 -- --chrome-trace \
 timeout 180 cargo test -q --release --offline -p integration \
     --test streamprof_trace
 
+echo "== native stress battery (reduced iterations, watchdog-bounded) =="
+# The concurrency battery behind the lock-free mailbox and the tree
+# collectives: MPSC hammering, lost-wakeup polling races, deadline
+# recompute under spurious wakes, a credit-window audit at several ack
+# batch sizes, and randomized interleavings. NATIVE_STRESS_ITERS=1 keeps
+# CI fast; hang-prone tests abort themselves via an internal watchdog,
+# the timeout is the backstop. See DESIGN.md §13.
+NATIVE_STRESS_ITERS=1 timeout 300 cargo test -q --release --offline \
+    -p native --test native_stress
+
+echo "== native perf smoke (quick gate vs committed baseline) =="
+# Wall-clock throughput of the native backend on the bench scenarios
+# (incast/pingpong/fanin/coll/stream) against the committed quick-mode
+# capture: message and element counts must match exactly, wall time may
+# not exceed NATIVE_BENCH_MAX_RATIO (default 4x) of the baseline's, and
+# the quick baseline's embedded pre-overhaul capture must show a clear
+# incast win (quick-mode bar 1.5x: the small CI incast is spawn-bound).
+# The real acceptance bar — full-workload incast >= 3x over the
+# pre-overhaul backend — is audited from the committed full artifact
+# below, which costs nothing and holds on any host. See DESIGN.md §13.
+timeout 300 cargo run --release --offline -q -p bench-harness --bin native_bench -- \
+    --quick --check --baseline results/native_quick_baseline.json \
+    --out target/BENCH_native_quick.json
+cargo run --release --offline -q -p bench-harness --bin native_bench -- \
+    --audit results/BENCH_native.json
+
 echo "== engine perf smoke (quick gate vs committed baseline) =="
 # Virtual times and message counts must match the committed quick-mode
 # capture exactly (the timing model is deterministic — drift means a

@@ -277,6 +277,7 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                 aggregation: 1,
                 credits: None,
                 route: mpistream::RoutePolicy::Static,
+                credit_batch: 1,
                 failure_timeout: None,
             },
         );
@@ -298,6 +299,7 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                     aggregation: 1, // deliberately unaggregated (the paper)
                     credits: None,
                     route: mpistream::RoutePolicy::Static,
+                    credit_batch: 1,
                     failure_timeout: None,
                 },
             ))

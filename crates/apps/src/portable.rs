@@ -52,6 +52,24 @@ pub struct PortableReport {
 /// `i % n_consumers`), so each analysis rank's received *multiset* is
 /// identical on every backend.
 pub fn quickstart<TP: Transport>(rank: &mut TP, steps: usize, every: usize) -> PortableReport {
+    quickstart_with(
+        rank,
+        steps,
+        every,
+        ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
+    )
+}
+
+/// [`quickstart`] with an explicit [`ChannelConfig`] — the hook the
+/// cross-backend tests use to drive the same program through different
+/// flow-control regimes (credit windows, batched acknowledgements,
+/// aggregation) and assert the consumed multisets stay identical.
+pub fn quickstart_with<TP: Transport>(
+    rank: &mut TP,
+    steps: usize,
+    every: usize,
+    config: ChannelConfig,
+) -> PortableReport {
     let comm = rank.world_group();
     let spec = GroupSpec { every };
     let my_role = spec.role_of(rank.world_rank());
@@ -61,7 +79,7 @@ pub fn quickstart<TP: Transport>(rank: &mut TP, steps: usize, every: usize) -> P
         rank,
         &comm,
         spec,
-        ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
+        config,
         // --- computation group ---
         |rank, p| {
             let me = rank.world_rank();
@@ -105,11 +123,23 @@ pub struct MiniMrConfig {
     pub chunks_per_mapper: usize,
     /// Tokens hashed into each chunk.
     pub tokens_per_chunk: usize,
+    /// Credit window applied to both stream channels (`None` = unbounded,
+    /// the original configuration).
+    pub credits: Option<usize>,
+    /// Credit acknowledgement batch applied to both stream channels.
+    pub credit_batch: usize,
 }
 
 impl Default for MiniMrConfig {
     fn default() -> Self {
-        MiniMrConfig { every: 4, vocab: 97, chunks_per_mapper: 8, tokens_per_chunk: 64 }
+        MiniMrConfig {
+            every: 4,
+            vocab: 97,
+            chunks_per_mapper: 8,
+            tokens_per_chunk: 64,
+            credits: None,
+            credit_batch: 1,
+        }
     }
 }
 
@@ -157,12 +187,13 @@ pub fn mini_mapreduce<TP: Transport>(rank: &mut TP, cfg: &MiniMrConfig) -> Optio
         Role::Consumer => Role::Consumer,
         Role::Bystander => unreachable!(),
     };
-    let ch1 = StreamChannel::create(
-        rank,
-        &comm,
-        ch1_role,
-        ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
-    );
+    let stream_config = ChannelConfig {
+        element_bytes: 1 << 10,
+        credits: cfg.credits,
+        credit_batch: cfg.credit_batch,
+        ..ChannelConfig::default()
+    };
+    let ch1 = StreamChannel::create(rank, &comm, ch1_role, stream_config.clone());
     // Channel 2: local reducers -> master (absent when solo).
     let ch2 = if solo_reducer {
         None
@@ -172,12 +203,7 @@ pub fn mini_mapreduce<TP: Transport>(rank: &mut TP, cfg: &MiniMrConfig) -> Optio
             Role::Consumer => Role::Producer,
             _ => Role::Bystander,
         };
-        Some(StreamChannel::create(
-            rank,
-            &comm,
-            ch2_role,
-            ChannelConfig { element_bytes: 1 << 10, ..ChannelConfig::default() },
-        ))
+        Some(StreamChannel::create(rank, &comm, ch2_role, stream_config))
     };
 
     match ch1_role {

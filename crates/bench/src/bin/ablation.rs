@@ -31,6 +31,7 @@ fn pipeline_time(aggregation: usize, credits: Option<usize>, adaptive: bool) -> 
                     aggregation,
                     credits,
                     route: RoutePolicy::Static,
+                    credit_batch: 1,
                     failure_timeout: None,
                 },
                 move |rank, pc| {

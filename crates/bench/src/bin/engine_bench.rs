@@ -185,6 +185,7 @@ fn chaos_throughput(per_producer: u64, seeds: u64) -> Metrics {
                 aggregation: 2,
                 credits: Some(32),
                 route: RoutePolicy::RoundRobin,
+                credit_batch: 1,
                 failure_timeout: None,
             };
             let processed = Arc::new(AtomicU64::new(0));

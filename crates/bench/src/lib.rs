@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 pub mod plot;
+pub mod scenarios;
 
 /// Standard weak-scaling sweep: powers of two from 32 to `max`.
 pub fn proc_sweep(max: usize) -> Vec<usize> {

@@ -41,6 +41,19 @@ pub struct ChannelConfig {
     pub credits: Option<usize>,
     /// Default routing of `Stream::isend`.
     pub route: RoutePolicy,
+    /// Elements' worth of credit a consumer accumulates per producer
+    /// before acknowledging with a single credit message. `1` (the
+    /// default) keeps the original protocol — one credit message per
+    /// data batch received. Raising it amortizes the per-message cost of
+    /// the return path (one wire message *and*, on the native backend,
+    /// one producer wake-up per `credit_batch` elements instead of one
+    /// per batch — the same amortization the simulator's wake-hint
+    /// protocol applies to receiver wake-ups). Bounded by the credit
+    /// window: a batch larger than `credits - aggregation + 1` could
+    /// withhold the credit a stalled producer is waiting for
+    /// ([`ConfigError::CreditBatchAboveWindow`]). Ignored (no credits
+    /// flow at all) when `credits` is `None`.
+    pub credit_batch: usize,
     /// Failure-detection timeout. `None` (the default) keeps the original
     /// infallible protocol: endpoints wait forever and a crashed peer
     /// deadlocks the stream. `Some(t)`: a consumer that hears nothing from
@@ -58,6 +71,7 @@ impl Default for ChannelConfig {
             aggregation: 1,
             credits: None,
             route: RoutePolicy::Static,
+            credit_batch: 1,
             failure_timeout: None,
         }
     }
@@ -84,6 +98,15 @@ pub enum ConfigError {
     /// `failure_timeout == Some(0)`: every peer would be declared dead the
     /// instant the endpoint first waits, partitioning a healthy stream.
     ZeroFailureTimeout,
+    /// `credit_batch == 0`: the consumer would accumulate credit forever
+    /// and never acknowledge anything.
+    ZeroCreditBatch,
+    /// `credit_batch > credits - aggregation + 1`: a producer can stall
+    /// with as few as `credits - aggregation + 1` elements outstanding,
+    /// all of which the consumer may already have processed — if the
+    /// accumulation threshold lies above that, the acknowledgement never
+    /// flushes and the stream deadlocks.
+    CreditBatchAboveWindow { batch: usize, credits: usize, aggregation: usize },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -106,6 +129,15 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroFailureTimeout => {
                 write!(f, "failure_timeout is Some(0): every peer would be declared dead instantly")
             }
+            ConfigError::ZeroCreditBatch => {
+                write!(f, "credit_batch is 0: accumulated credit would never be acknowledged")
+            }
+            ConfigError::CreditBatchAboveWindow { batch, credits, aggregation } => write!(
+                f,
+                "credit_batch ({batch}) exceeds credits - aggregation + 1 \
+                 ({credits} - {aggregation} + 1): a producer stalled on the window \
+                 could wait forever for a credit flush that never triggers"
+            ),
         }
     }
 }
@@ -135,6 +167,18 @@ impl ChannelConfig {
         }
         if self.failure_timeout == Some(SimDuration::ZERO) {
             return Err(ConfigError::ZeroFailureTimeout);
+        }
+        if self.credit_batch == 0 {
+            return Err(ConfigError::ZeroCreditBatch);
+        }
+        if let Some(c) = self.credits {
+            if self.credit_batch > c - self.aggregation + 1 {
+                return Err(ConfigError::CreditBatchAboveWindow {
+                    batch: self.credit_batch,
+                    credits: c,
+                    aggregation: self.aggregation,
+                });
+            }
         }
         Ok(())
     }

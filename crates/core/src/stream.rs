@@ -133,6 +133,12 @@ pub struct Stream<T> {
     claimed: u64,
     /// Elements received but not yet handed out by [`Stream::recv_one`].
     pending: std::collections::VecDeque<T>,
+    /// Credit not yet acknowledged, per producer world rank: flushed as
+    /// one credit message once `config.credit_batch` elements accumulate
+    /// (see [`ChannelConfig::credit_batch`]).
+    ///
+    /// [`ChannelConfig::credit_batch`]: crate::ChannelConfig::credit_batch
+    pending_credit: std::collections::HashMap<usize, u64>,
     stats: StreamStats,
 }
 
@@ -141,9 +147,13 @@ impl<T: Send + 'static> Stream<T> {
     /// the role of the MPI derived datatype).
     pub fn attach(channel: StreamChannel) -> Stream<T> {
         let nc = channel.consumers.len();
+        // Aggregation buffers are allocated at full batch capacity once
+        // and swapped for an equally-sized buffer on every flush, so the
+        // element push path never grows a Vec (see `flush_one`).
+        let cap = channel.config.aggregation;
         Stream {
+            agg: (0..nc).map(|_| Vec::with_capacity(cap)).collect(),
             channel,
-            agg: (0..nc).map(|_| Vec::new()).collect(),
             rr_next: 0,
             outstanding: vec![0; nc],
             sent_per_consumer: vec![0; nc],
@@ -153,6 +163,7 @@ impl<T: Send + 'static> Stream<T> {
             dead_producers: Vec::new(),
             claimed: 0,
             pending: std::collections::VecDeque::new(),
+            pending_credit: std::collections::HashMap::new(),
             stats: StreamStats::default(),
         }
     }
@@ -228,7 +239,11 @@ impl<T: Send + 'static> Stream<T> {
     }
 
     fn flush_one<TP: Transport>(&mut self, rank: &mut TP, consumer: usize) {
-        let batch = std::mem::take(&mut self.agg[consumer]);
+        // The outgoing batch keeps its allocation (it travels to the
+        // consumer inside the wire message); the slot gets a fresh
+        // full-capacity buffer so subsequent pushes never reallocate.
+        let cap = self.channel.config.aggregation;
+        let batch = std::mem::replace(&mut self.agg[consumer], Vec::with_capacity(cap));
         debug_assert!(!batch.is_empty());
         self.send_batch(rank, consumer, batch);
     }
@@ -268,9 +283,13 @@ impl<T: Send + 'static> Stream<T> {
             let bytes = n * self.channel.config.element_bytes;
             let dst = self.channel.consumers[consumer];
             let tag = self.channel.data_tag();
+            // Report to the sanitizer *before* injecting: on a threaded
+            // backend the consumer can observe the message (and ack it)
+            // the instant `send` returns, so a post-send report would
+            // race any cross-rank ledger built on these hooks.
+            rank.check_data_sent(self.channel.id, dst, n);
             rank.send(dst, tag, bytes, Wire::Data(batch));
             self.outstanding[consumer] += n;
-            rank.check_data_sent(self.channel.id, dst, n);
             rank.prof_stream_send(self.channel.id, n, bytes);
             if let Some(window) = self.channel.config.credits {
                 rank.prof_credit_occupancy(
@@ -376,6 +395,40 @@ impl<T: Send + 'static> Stream<T> {
     // ------------------------------------------------------------------
     // Consumer side
     // ------------------------------------------------------------------
+
+    /// Acknowledge `n` consumed elements towards producer `src`,
+    /// accumulating up to `config.credit_batch` elements per producer
+    /// before flushing one credit message. With the default batch of 1
+    /// this is exactly the original protocol: one credit message per
+    /// data batch, sent immediately.
+    fn grant_credit<TP: Transport>(&mut self, rank: &mut TP, src: usize, n: u64) {
+        debug_assert!(self.channel.config.credits.is_some());
+        let batch = self.channel.config.credit_batch as u64;
+        let tag = self.channel.credit_tag();
+        if batch <= 1 {
+            // Sanitizer report before the send, as on the data path: the
+            // producer absorbs the credit as soon as it is observable.
+            rank.check_credit_issued(self.channel.id, src, n);
+            rank.send(src, tag, 8, n);
+            return;
+        }
+        let pending = self.pending_credit.entry(src).or_insert(0);
+        *pending += n;
+        if *pending >= batch {
+            let acked = std::mem::take(pending);
+            rank.check_credit_issued(self.channel.id, src, acked);
+            rank.send(src, tag, 8, acked);
+        }
+    }
+
+    /// A producer terminated (or died): drop its accumulated credit
+    /// rather than acknowledging into the void. Its `Term` is the last
+    /// message on the data tag (non-overtaking per `(src, tag)`), so the
+    /// producer can never again block on the window — a flush here would
+    /// only send a message nobody is waiting for.
+    fn credit_on_closed(&mut self, src: usize) {
+        self.pending_credit.remove(&src);
+    }
 
     /// Apply `op` to every arriving element, first-come-first-served over
     /// all producers, until every producer has terminated
@@ -501,8 +554,7 @@ impl<T: Send + 'static> Stream<T> {
                                 }
                             }
                             if self.channel.config.credits.is_some() {
-                                rank.send(info.src, self.channel.credit_tag(), 8, n);
-                                rank.check_credit_issued(self.channel.id, info.src, n);
+                                self.grant_credit(rank, info.src, n);
                             }
                         }
                         Wire::Term { sent } => {
@@ -510,6 +562,7 @@ impl<T: Send + 'static> Stream<T> {
                             self.claimed += sent;
                             terminated[pi] = true;
                             claimed[pi] = Some(sent);
+                            self.credit_on_closed(info.src);
                         }
                     }
                 }
@@ -654,13 +707,13 @@ impl<T: Send + 'static> Stream<T> {
                     rank.prof_stream_recv(self.channel.id, n, info.bytes);
                     self.pending.extend(batch);
                     if self.channel.config.credits.is_some() {
-                        rank.send(info.src, self.channel.credit_tag(), 8, n);
-                        rank.check_credit_issued(self.channel.id, info.src, n);
+                        self.grant_credit(rank, info.src, n);
                     }
                 }
                 Wire::Term { sent } => {
                     self.terms_seen += 1;
                     self.claimed += sent;
+                    self.credit_on_closed(info.src);
                 }
             }
         }
@@ -691,15 +744,16 @@ impl<T: Send + 'static> Stream<T> {
                     op(rank, elem);
                 }
                 if self.channel.config.credits.is_some() {
-                    // Acknowledge the whole batch in one small message.
-                    rank.send(info.src, self.channel.credit_tag(), 8, n);
-                    rank.check_credit_issued(self.channel.id, info.src, n);
+                    // Acknowledge the whole batch (or accumulate towards
+                    // one credit_batch-sized acknowledgement).
+                    self.grant_credit(rank, info.src, n);
                 }
                 n
             }
             Wire::Term { sent } => {
                 self.terms_seen += 1;
                 self.claimed += sent;
+                self.credit_on_closed(info.src);
                 0
             }
         }

@@ -46,6 +46,7 @@ proptest! {
                     aggregation,
                     credits,
                     route,
+                    credit_batch: 1,
                     failure_timeout: None,
                 },
             );
@@ -159,6 +160,7 @@ proptest! {
                         aggregation,
                         credits: Some(64),
                         route: RoutePolicy::Static,
+                        credit_batch: 1,
                         failure_timeout: timeout,
                     },
                 );

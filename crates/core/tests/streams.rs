@@ -740,3 +740,72 @@ fn try_create_rejects_invalid_config_on_every_rank() {
         assert_eq!(err, ConfigError::ZeroCreditWindow);
     });
 }
+
+/// `credit_batch` validation: zero is rejected, a batch above the credit
+/// window's stall margin (`credits - aggregation + 1`) is rejected, and the
+/// margin itself is the largest accepted value.
+#[test]
+fn credit_batch_validation_bounds() {
+    use mpistream::ConfigError;
+    let base = ChannelConfig { credits: Some(8), aggregation: 2, ..ChannelConfig::default() };
+
+    let err = ChannelConfig { credit_batch: 0, ..base.clone() }.validate().unwrap_err();
+    assert_eq!(err, ConfigError::ZeroCreditBatch);
+
+    // Stall margin: 8 - 2 + 1 = 7. Eight must be rejected, seven accepted.
+    let err = ChannelConfig { credit_batch: 8, ..base.clone() }.validate().unwrap_err();
+    assert_eq!(err, ConfigError::CreditBatchAboveWindow { batch: 8, credits: 8, aggregation: 2 });
+    ChannelConfig { credit_batch: 7, ..base }.validate().expect("margin itself is valid");
+
+    // Without credits no acknowledgement flows at all, so any batch is fine.
+    ChannelConfig { credits: None, credit_batch: 1_000_000, ..ChannelConfig::default() }
+        .validate()
+        .expect("credit_batch is ignored when credits are unbounded");
+}
+
+/// A credit-batched stream delivers exactly the same elements as an
+/// unbatched one and terminates cleanly — the sim sanitizer (orphan scan +
+/// credit audit) stays silent even though the consumer now accumulates
+/// acknowledgements and drops the remainder at `Term`.
+#[test]
+fn credit_batching_conserves_elements_on_sim() {
+    for batch in [1usize, 3, 7] {
+        let received: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let rcv = received.clone();
+        ideal().run_expect(4, move |rank| {
+            let comm = rank.comm_world();
+            let spec = GroupSpec { every: 2 };
+            let role = spec.role_of(rank.world_rank());
+            let ch = StreamChannel::create(
+                rank,
+                &comm,
+                role,
+                ChannelConfig {
+                    credits: Some(8),
+                    aggregation: 2,
+                    credit_batch: batch,
+                    ..ChannelConfig::default()
+                },
+            );
+            let mut stream: Stream<u32> = Stream::attach(ch);
+            match role {
+                Role::Producer => {
+                    let me = rank.world_rank() as u32;
+                    for i in 0..50u32 {
+                        stream.isend(rank, me * 1000 + i);
+                    }
+                    stream.terminate(rank);
+                }
+                Role::Consumer => {
+                    stream.operate(rank, |_, e| rcv.lock().push(e));
+                }
+                Role::Bystander => unreachable!(),
+            }
+        });
+        let mut got = received.lock().clone();
+        got.sort_unstable();
+        // Producers are world ranks 0 and 2 under every=2.
+        let want: Vec<u32> = (0..50u32).chain((0..50u32).map(|i| 2000 + i)).collect();
+        assert_eq!(got, want, "credit_batch={batch} lost or duplicated elements");
+    }
+}

@@ -163,6 +163,7 @@ fn run_chaos(seed: u64) -> (Schedule, Fingerprint) {
         aggregation: s.aggregation,
         credits: s.credits,
         route: s.route,
+        credit_batch: 1,
         failure_timeout: Some(SimDuration::from_millis(FAILURE_TIMEOUT_MS)),
     };
     let clean: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));

@@ -26,17 +26,21 @@
 //!   it will wait until then — bound native runs with an external timeout
 //!   (as `ci.sh` does).
 //!
-//! ## Mailboxes
+//! ## Mailboxes and collectives
 //!
 //! Each rank owns an indexed mailbox mirroring the simulator's PR-3
-//! design — per-tag ordered index for wildcard matches, per-`(src, tag)`
-//! FIFO for directed ones — minus the in-flight layer (a native message
-//! is available the instant it is pushed). Parked receivers wake via
-//! condvar notification, and a version counter — snapshotted once per
-//! polling round, inside `wait_for_mail` itself, never by individual
-//! polls — makes the park race-free against pushes that land anywhere
-//! between two waits, including between polls of different streams in
-//! one multiplexing pass.
+//! matching structure — per-tag ordered index for wildcard matches,
+//! per-`(src, tag)` FIFO for directed ones — fed through a lock-free
+//! MPSC staging stack so N producers never serialize on the consumer's
+//! index (see [`mailbox`] for the full design: Treiber staging, an
+//! eventcount park protocol that cannot lose wake-ups, and a version
+//! counter snapshotted once per polling round inside `wait_for_mail`).
+//!
+//! Collectives run as binomial trees over those mailboxes — reduce to
+//! rank 0 and broadcast back down, `2(size-1)` directed messages per
+//! operation — instead of the old global gather-all rendezvous, whose
+//! single registry mutex and `notify_all` thundering herd serialized
+//! every collective in the world (see DESIGN.md §13).
 //!
 //! ```
 //! use mpistream::{run_decoupled, ChannelConfig, GroupSpec, Transport};
@@ -64,16 +68,15 @@
 //! assert_eq!(outcome.nprocs, 8);
 //! ```
 
-use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use desim::SimTime;
 use mpistream::{Group, MsgInfo, Src, Tag, Transport};
 
-mod mailbox;
+pub mod mailbox;
 
 use mailbox::{Env, Mailbox};
 
@@ -81,6 +84,8 @@ use mailbox::{Env, Mailbox};
 const WORLD_ID: u64 = 0;
 /// Group id marking metadata-only groups (never collective targets).
 const META_ID: u64 = u64::MAX;
+/// Internal tag namespace for collective traffic (streams use ns 2).
+const NS_COLL: u8 = 3;
 
 /// An ordered set of world ranks on the native backend — plain metadata
 /// plus an id the collective rendezvous keys on.
@@ -112,15 +117,6 @@ impl Group for NativeGroup {
     }
 }
 
-/// One collective rendezvous: everyone deposits, the last arrival builds
-/// the group-rank-ordered vector and publishes one clone per member.
-#[derive(Default)]
-struct CollSlot {
-    deposits: HashMap<usize, Box<dyn Any + Send>>,
-    results: Option<HashMap<usize, Box<dyn Any + Send>>>,
-    taken: usize,
-}
-
 #[derive(Default)]
 struct GroupRegistry {
     /// `(parent_id, collective_seq, color) -> id` — every member of one
@@ -136,8 +132,6 @@ struct SharedState {
     compute_scale: f64,
     mailboxes: Vec<Mailbox>,
     world: NativeGroup,
-    colls: Mutex<HashMap<(u64, u32), CollSlot>>,
-    coll_cv: Condvar,
     groups: Mutex<GroupRegistry>,
     channel_ids: AtomicU32,
 }
@@ -187,8 +181,6 @@ impl NativeWorld {
             compute_scale: self.compute_scale,
             mailboxes: (0..self.nprocs).map(|_| Mailbox::new()).collect(),
             world: NativeGroup { id: WORLD_ID, ranks: Arc::new((0..self.nprocs).collect()) },
-            colls: Mutex::new(HashMap::new()),
-            coll_cv: Condvar::new(),
             groups: Mutex::new(GroupRegistry { ids: HashMap::new(), next: 1 }),
             channel_ids: AtomicU32::new(0),
         });
@@ -232,49 +224,96 @@ impl NativeRank {
         s
     }
 
-    /// The one rendezvous every collective reduces to: gather each
-    /// member's `value` into a group-rank-ordered vector, delivered to
-    /// everyone.
-    fn gather_all<T: Clone + Send + 'static>(
+    /// My group rank on `group` (collectives only make sense for members).
+    fn my_group_rank(&self, group: &NativeGroup) -> usize {
+        group.rank_of(self.rank).expect("collective on a group we are not in")
+    }
+
+    /// Children of virtual rank `v` in a binomial tree over `size` ranks,
+    /// ascending: `v + 2^k` for every `2^k` below `v`'s lowest set bit
+    /// (all of them for the root) that stays inside the group.
+    fn tree_children(v: usize, size: usize) -> impl Iterator<Item = usize> {
+        let lsb = if v == 0 { usize::MAX } else { v & v.wrapping_neg() };
+        std::iter::successors(Some(1usize), |k| k.checked_mul(2))
+            .take_while(move |&k| k < lsb && v + k < size)
+            .map(move |k| v + k)
+    }
+
+    /// Parent of virtual rank `v != 0`: clear the lowest set bit.
+    fn tree_parent(v: usize) -> usize {
+        v & (v - 1)
+    }
+
+    /// Reduce up the binomial tree to virtual rank 0: fold the children's
+    /// partial accumulators (ascending, a fixed deterministic order) into
+    /// ours, then forward to the parent. Returns `Some(total)` at the
+    /// tree root, `None` elsewhere. `op` must be associative and
+    /// commutative (the Transport contract); for floats the tree order
+    /// may differ bitwise from a linear fold (DESIGN.md §11).
+    fn tree_reduce<T: Send + 'static>(
         &mut self,
-        group: &NativeGroup,
-        seq: u32,
+        tree: &Tree<'_>,
+        bytes: u64,
         value: T,
-    ) -> Vec<T> {
-        let my_gr = group.rank_of(self.rank).expect("collective on a group we are not in");
-        let size = group.size();
-        let key = (group.id, seq);
-        let mut colls = self.shared.colls.lock().unwrap();
-        let slot = colls.entry(key).or_default();
-        slot.deposits.insert(my_gr, Box::new(value));
-        if slot.deposits.len() == size {
-            let mut vals: Vec<T> = Vec::with_capacity(size);
-            for r in 0..size {
-                let b = slot.deposits.remove(&r).expect("every member deposited");
-                vals.push(*b.downcast::<T>().expect("uniform collective payload type"));
-            }
-            slot.results = Some(
-                (0..size).map(|r| (r, Box::new(vals.clone()) as Box<dyn Any + Send>)).collect(),
-            );
-            self.shared.coll_cv.notify_all();
+        op: &impl Fn(&mut T, &T),
+    ) -> Option<T> {
+        let mut acc = value;
+        for c in Self::tree_children(tree.my_v, tree.size) {
+            let (child, _info) = self.recv::<T>(Src::Rank((tree.to_world)(c)), tree.tag);
+            op(&mut acc, &child);
         }
-        loop {
-            let slot = colls.get_mut(&key).expect("slot lives until the last member takes");
-            if let Some(results) = slot.results.as_mut() {
-                let mine = results.remove(&my_gr).expect("my result is present");
-                slot.taken += 1;
-                if slot.taken == size {
-                    colls.remove(&key);
-                }
-                return *mine.downcast::<Vec<T>>().expect("uniform collective payload type");
-            }
-            colls = self.shared.coll_cv.wait(colls).unwrap();
+        if tree.my_v == 0 {
+            Some(acc)
+        } else {
+            self.send((tree.to_world)(Self::tree_parent(tree.my_v)), tree.tag, bytes, acc);
+            None
         }
+    }
+
+    /// Broadcast down the binomial tree from virtual rank 0: receive from
+    /// the parent, then forward to each child. `value` must be `Some` at
+    /// the root. Safe on the same tag as a preceding [`Self::tree_reduce`]
+    /// over the same tree: between any rank pair the two phases flow in
+    /// opposite directions, so directed receives cannot cross-match.
+    fn tree_bcast<T: Clone + Send + 'static>(
+        &mut self,
+        tree: &Tree<'_>,
+        bytes: u64,
+        value: Option<T>,
+    ) -> T {
+        let val = if tree.my_v == 0 {
+            value.expect("tree root supplies the broadcast value")
+        } else {
+            self.recv::<T>(Src::Rank((tree.to_world)(Self::tree_parent(tree.my_v))), tree.tag).0
+        };
+        for c in Self::tree_children(tree.my_v, tree.size) {
+            self.send((tree.to_world)(c), tree.tag, bytes, val.clone());
+        }
+        val
     }
 
     fn deadline_instant(&self, deadline: SimTime) -> Instant {
         self.shared.epoch + Duration::from_nanos(deadline.0)
     }
+}
+
+/// One collective's binomial-tree geometry: its tag, this rank's virtual
+/// rank in the (possibly root-rotated) tree, the tree size, and the map
+/// from virtual ranks back to world ranks.
+struct Tree<'a> {
+    tag: Tag,
+    to_world: &'a dyn Fn(usize) -> usize,
+    my_v: usize,
+    size: usize,
+}
+
+/// Tag for collective `seq` on `group` — unique among *concurrently
+/// outstanding* messages: collectives on one group are totally ordered on
+/// every member (the MPI call-order contract), matching is directed, and
+/// per-`(src, tag)` delivery is FIFO, so a truncated group id cannot
+/// cause cross-matching even if two group ids alias in the low 16 bits.
+fn coll_tag(group_id: u64, seq: u32) -> Tag {
+    Tag::internal(NS_COLL, group_id as u16, seq)
 }
 
 impl Transport for NativeRank {
@@ -352,59 +391,101 @@ impl Transport for NativeRank {
 
     fn barrier(&mut self, group: &NativeGroup) {
         let seq = self.next_seq(group);
-        let _: Vec<()> = self.gather_all(group, seq, ());
+        let tag = coll_tag(group.id, seq);
+        let my_gr = self.my_group_rank(group);
+        let size = group.size();
+        let ranks = Arc::clone(&group.ranks);
+        let to_world = move |v: usize| ranks[v];
+        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size };
+        let done = self.tree_reduce(&tree, 1, (), &|_, _| {});
+        let () = self.tree_bcast(&tree, 1, done);
     }
 
     fn allreduce<T: Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
-        _bytes: u64,
+        bytes: u64,
         value: T,
         op: impl Fn(&mut T, &T),
     ) -> T {
         let seq = self.next_seq(group);
-        let all = self.gather_all(group, seq, value);
-        // Fold in group-rank order on every member; `op` must be
-        // associative and commutative (the Transport contract), so the
-        // linear order is as good as the simulator's binomial tree —
-        // except for floats, whose addition is only approximately
-        // associative: an f64 reduction may differ bitwise from the
-        // simulator's tree order (see DESIGN.md §11).
-        let mut it = all.into_iter();
-        let mut acc = it.next().expect("group is non-empty");
-        for v in it {
-            op(&mut acc, &v);
-        }
-        acc
+        let tag = coll_tag(group.id, seq);
+        let my_gr = self.my_group_rank(group);
+        let size = group.size();
+        let ranks = Arc::clone(&group.ranks);
+        let to_world = move |v: usize| ranks[v];
+        // Reduce to group rank 0, then broadcast the total back down the
+        // same tree: 2(size-1) directed messages instead of the old
+        // global gather-all rendezvous (one mutex, thundering-herd
+        // wake-ups). `op` must be associative and commutative (the
+        // Transport contract) — for floats the tree fold may differ
+        // bitwise from a linear one (see DESIGN.md §11).
+        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size };
+        let total = self.tree_reduce(&tree, bytes, value, &op);
+        self.tree_bcast(&tree, bytes, total)
     }
 
     fn allgatherv<T: Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
-        _bytes: u64,
+        bytes: u64,
         value: T,
     ) -> Vec<T> {
         let seq = self.next_seq(group);
-        self.gather_all(group, seq, value)
+        let tag = coll_tag(group.id, seq);
+        let my_gr = self.my_group_rank(group);
+        let size = group.size();
+        let ranks = Arc::clone(&group.ranks);
+        let to_world = move |v: usize| ranks[v];
+        // Gather up the tree: child `v + 2^k` owns the contiguous
+        // group-rank range [v + 2^k, v + 2^(k+1)) (clipped to size), so
+        // appending children ascending keeps the accumulator contiguous
+        // and group-rank-ordered; rank 0 ends up with the full vector.
+        let mut acc: Vec<T> = vec![value];
+        for c in Self::tree_children(my_gr, size) {
+            let (mut sub, _info) = self.recv::<Vec<T>>(Src::Rank(to_world(c)), tag);
+            acc.append(&mut sub);
+        }
+        let gathered = if my_gr == 0 {
+            Some(acc)
+        } else {
+            let n = acc.len() as u64;
+            self.send(to_world(Self::tree_parent(my_gr)), tag, bytes * n, acc);
+            None
+        };
+        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size };
+        self.tree_bcast(&tree, bytes * size as u64, gathered)
     }
 
     fn bcast<T: Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
         root: usize,
-        _bytes: u64,
+        bytes: u64,
         value: Option<T>,
     ) -> T {
         let seq = self.next_seq(group);
-        let mut all = self.gather_all(group, seq, value);
-        all.swap_remove(root).expect("root supplied the broadcast value")
+        let tag = coll_tag(group.id, seq);
+        let my_gr = self.my_group_rank(group);
+        let size = group.size();
+        let ranks = Arc::clone(&group.ranks);
+        assert!(root < size, "bcast root {root} out of range for group of {size}");
+        // Rotate the tree so the root sits at virtual rank 0.
+        let my_v = (my_gr + size - root) % size;
+        let to_world = move |v: usize| ranks[(v + root) % size];
+        if my_v == 0 {
+            assert!(value.is_some(), "root supplied the broadcast value");
+        }
+        let tree = Tree { tag, to_world: &to_world, my_v, size };
+        self.tree_bcast(&tree, bytes, value)
     }
 
     fn split(&mut self, group: &NativeGroup, color: Option<i64>, key: i64) -> Option<NativeGroup> {
-        let seq = self.next_seq(group);
-        // Gather the Option itself — no sentinel, so every i64 (including
-        // i64::MIN) is a legal color, distinct from non-participation.
-        let mut entries = self.gather_all(group, seq, (color, key, self.rank));
+        // Gather the Option itself (via the tree allgatherv) — no
+        // sentinel, so every i64 (including i64::MIN) is a legal color,
+        // distinct from non-participation.
+        let mut entries = self.allgatherv(group, 24, (color, key, self.rank));
+        let seq = self.coll_seq[&group.id] - 1; // the allgatherv's seq
         let my_color = color?;
         // Members with my color, ordered by (key, world_rank) — the
         // MPI_Comm_split contract. `None` entries match no Some color.

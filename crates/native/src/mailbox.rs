@@ -1,16 +1,63 @@
 //! Per-rank mailboxes for the native backend.
 //!
-//! The structure mirrors the simulator's indexed mailbox (`mpisim::msg`):
-//! envelopes live in a store keyed by arrival sequence, with a per-tag
-//! ordered index for `Src::Any` matching and a per-`(src, tag)` FIFO for
-//! directed receives. The simulator's in-flight machinery (messages whose
-//! availability lies in the virtual future) has no native counterpart —
-//! here a message is available the moment `push` lands it — so that whole
-//! layer disappears and FCFS order *is* arrival order.
+//! The matching structure mirrors the simulator's indexed mailbox
+//! (`mpisim::msg`): envelopes live in a store keyed by arrival sequence,
+//! with a per-tag ordered index for `Src::Any` matching and a
+//! per-`(src, tag)` FIFO for directed receives. The simulator's in-flight
+//! machinery (messages whose availability lies in the virtual future) has
+//! no native counterpart — a message is available the moment `push` lands
+//! it — so that whole layer disappears and FCFS order *is* arrival order.
 //!
-//! Blocking is a `Mutex` + `Condvar` pair per mailbox: senders push under
-//! the lock and `notify_all`; parked receivers re-check their match on
-//! every wake. A monotone `version` counter (bumped on every push) lets
+//! ## The MPSC split
+//!
+//! A mailbox has many producers (any rank may `push`) but exactly **one
+//! consumer** — the owning rank thread is the only caller of
+//! `take`/`try_take`/`take_deadline`/`probe`/`wait_change`. That asymmetry
+//! shapes the whole design:
+//!
+//! - **Producers** push onto a lock-free Treiber stack (one
+//!   `compare_exchange` on the staging head) and never touch the match
+//!   index. N producers hammering one rank — the incast pattern — contend
+//!   only on a single cache line, not on a mutex serializing the whole
+//!   index.
+//! - **The consumer** owns the index mutex outright (it is uncontended by
+//!   construction), takes from the index first — staged envelopes are
+//!   always *younger* than indexed ones, so index-first preserves FCFS —
+//!   and drains the staging stack only on an index miss, with one atomic
+//!   `swap` plus a list reversal to restore arrival order.
+//!
+//! The linearization point of arrival is the staging CAS; drains preserve
+//! that order, so wildcard matching remains exactly FCFS.
+//!
+//! ## The index, sized for the per-message budget
+//!
+//! Arrival ids are consecutive, so the envelope store is a sliding window
+//! of slots (`Slab`) indexed by `id - base` — no hashing at all on the
+//! store. The per-tag and per-`(src, tag)` orders are plain `VecDeque`s of
+//! ids behind a cheap multiplicative hasher; a take through one order
+//! leaves a tombstone in the other, popped lazily when it reaches the
+//! front and compacted outright when tombstones hit half a queue. And a
+//! receive that misses the index entirely takes its match *straight off
+//! the drain* — the first staged envelope in arrival order that matches is
+//! handed to the caller without ever touching the index, which is the
+//! common case for directed receives on an otherwise-empty mailbox
+//! (credit waits, pingpong turnarounds, tree-collective hops).
+//!
+//! ## Parking, without lost wake-ups
+//!
+//! Blocking waits use an eventcount-style protocol instead of sleeping
+//! under the index lock. The consumer publishes `parked = true` (while
+//! holding the small park mutex), then re-checks its wake condition —
+//! staging non-empty for `take`, version moved for `wait_change` — and
+//! only then waits on the condvar. A producer makes its push visible
+//! first, then checks `parked` and notifies under the park mutex. All
+//! four accesses are `SeqCst`, which closes the store-buffering race: the
+//! producer sees `parked` or the consumer sees the push — never neither.
+//! Taking the park mutex around `notify_all` closes the other gap: a
+//! notification cannot fire between the consumer's re-check and its wait,
+//! because the consumer holds the mutex across both.
+//!
+//! A monotone `version` counter (bumped on every push) lets
 //! `wait_for_mail` detect "something changed since I last looked". The
 //! caller's snapshot of the counter advances *only* inside
 //! [`Mailbox::wait_change`] — never on individual polls — so a push that
@@ -18,144 +65,471 @@
 //! streams in turn) still wakes the next wait instead of being absorbed
 //! into a later poll's observation. The cost is at most one spurious
 //! re-poll; the benefit is that the wake-up cannot be lost.
+//!
+//! Deadline takes recompute the remaining time from the caller's absolute
+//! `deadline` on every pass around the wait loop, so a spurious condvar
+//! wake can neither extend the wait (the deadline is a fixed instant)
+//! nor truncate it (the loop keeps waiting until the instant passes).
+//!
+//! This module is public so the crate's stress-test battery can hammer a
+//! bare mailbox from many real threads; it is not a stable API.
 
 use std::any::Any;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use mpistream::{MsgInfo, Src, Tag};
 
-pub(crate) struct Env {
+pub struct Env {
     pub src: usize,
     pub tag: Tag,
     pub bytes: u64,
     pub payload: Box<dyn Any + Send>,
 }
 
+/// One staged envelope on the producers' Treiber stack.
+struct Node {
+    env: Env,
+    next: *mut Node,
+}
+
+/// Multiplicative hasher for the small integer keys the index uses (tags
+/// and `(src, tag)` pairs). SipHash dominated the per-message profile;
+/// one multiply plus a high-to-low fold is plenty for keys we pick
+/// ourselves. The fold matters: hashbrown derives the bucket from the low
+/// bits, and internal tags that differ only in the channel bits (32..48)
+/// would otherwise collide into one bucket chain.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// The envelope store. Arrival ids are consecutive, so this is a sliding
+/// window over id space: slot `id - base` holds the envelope, `None` once
+/// taken, and the window's fully-consumed prefix is popped as it forms.
+/// No hashing, O(1) everything.
+#[derive(Default)]
+struct Slab {
+    base: u64,
+    slots: VecDeque<Option<Env>>,
+}
+
+impl Slab {
+    fn insert(&mut self, env: Env) -> u64 {
+        let id = self.base + self.slots.len() as u64;
+        self.slots.push_back(Some(env));
+        id
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        id.checked_sub(self.base)
+            .and_then(|i| usize::try_from(i).ok())
+            .and_then(|i| self.slots.get(i))
+            .is_some_and(Option::is_some)
+    }
+
+    fn get(&self, id: u64) -> Option<&Env> {
+        let i = usize::try_from(id.checked_sub(self.base)?).ok()?;
+        self.slots.get(i)?.as_ref()
+    }
+
+    fn remove(&mut self, id: u64) -> Option<Env> {
+        let i = usize::try_from(id.checked_sub(self.base)?).ok()?;
+        let env = self.slots.get_mut(i)?.take()?;
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        Some(env)
+    }
+}
+
+/// Arrival-ordered ids for one tag (or one `(src, tag)`). A take through
+/// the *other* index leaves the id here as a tombstone: dead entries are
+/// popped lazily when they surface at the front, and the whole queue is
+/// compacted when they reach half its length, so space stays linear in
+/// the live count even for queues only ever consumed from the other side
+/// (a credit tag drained purely by directed receives, say).
+#[derive(Default)]
+struct TagQueue {
+    q: VecDeque<u64>,
+    dead: usize,
+}
+
+impl TagQueue {
+    /// First id still alive in `slab`, popping the dead prefix.
+    fn front_alive(&mut self, slab: &Slab) -> Option<u64> {
+        while let Some(&id) = self.q.front() {
+            if slab.contains(id) {
+                return Some(id);
+            }
+            self.q.pop_front();
+            self.dead -= 1;
+        }
+        None
+    }
+
+    /// `id` (somewhere in the queue) was taken through the other index.
+    fn note_dead(&mut self, id: u64, slab: &Slab) {
+        if self.q.front() == Some(&id) {
+            self.q.pop_front();
+            return;
+        }
+        self.dead += 1;
+        if self.dead * 2 > self.q.len() {
+            self.q.retain(|&i| slab.contains(i));
+            self.dead = 0;
+        }
+    }
+}
+
+/// The match index, with each side materialized only on first use: a
+/// mailbox drained purely by wildcard receives (an incast sink) never
+/// maintains the `(src, tag)` mirror, and one drained purely by directed
+/// receives (a producer waiting on credits, a pingpong turnaround) never
+/// maintains the per-tag side. Building a side on demand is one pass over
+/// the live slab — amortized against never paying for it at all on the
+/// per-message hot path.
 #[derive(Default)]
 struct Inner {
-    /// Arrival sequence of the next push (also the FCFS order key).
-    next_seq: u64,
-    /// Bumped on every push; `wait_for_mail`'s change signal.
-    version: u64,
-    envs: HashMap<u64, Env>,
-    /// Arrival-ordered ids per tag (kept exact: ids are removed on take).
-    by_tag: HashMap<Tag, BTreeSet<u64>>,
-    /// FIFO ids per (src, tag). Lazily compacted: a take through `by_tag`
-    /// leaves a tombstone here, skipped on the next directed match.
-    by_src_tag: HashMap<(usize, Tag), VecDeque<u64>>,
+    slab: Slab,
+    by_tag: Option<FxMap<Tag, TagQueue>>,
+    by_src_tag: Option<FxMap<(usize, Tag), TagQueue>>,
 }
 
 impl Inner {
-    fn push(&mut self, env: Env) {
-        let id = self.next_seq;
-        self.next_seq += 1;
-        self.version += 1;
-        self.by_tag.entry(env.tag).or_default().insert(id);
-        self.by_src_tag.entry((env.src, env.tag)).or_default().push_back(id);
-        self.envs.insert(id, env);
+    fn index(&mut self, env: Env) {
+        let (src, tag) = (env.src, env.tag);
+        let id = self.slab.insert(env);
+        if let Some(bt) = &mut self.by_tag {
+            bt.entry(tag).or_default().q.push_back(id);
+        }
+        if let Some(bst) = &mut self.by_src_tag {
+            bst.entry((src, tag)).or_default().q.push_back(id);
+        }
+    }
+
+    fn build_by_tag(slab: &Slab) -> FxMap<Tag, TagQueue> {
+        let mut m = FxMap::<Tag, TagQueue>::default();
+        for (i, slot) in slab.slots.iter().enumerate() {
+            if let Some(env) = slot {
+                m.entry(env.tag).or_default().q.push_back(slab.base + i as u64);
+            }
+        }
+        m
+    }
+
+    fn build_by_src_tag(slab: &Slab) -> FxMap<(usize, Tag), TagQueue> {
+        let mut m = FxMap::<(usize, Tag), TagQueue>::default();
+        for (i, slot) in slab.slots.iter().enumerate() {
+            if let Some(env) = slot {
+                m.entry((env.src, env.tag)).or_default().q.push_back(slab.base + i as u64);
+            }
+        }
+        m
     }
 
     /// Id of the first available message matching `(src, tag)`.
     fn find(&mut self, src: Src, tag: Tag) -> Option<u64> {
+        let slab = &self.slab;
         match src {
-            Src::Any => self.by_tag.get(&tag).and_then(|ids| ids.first().copied()),
-            Src::Rank(r) => {
-                let q = self.by_src_tag.get_mut(&(r, tag))?;
-                // Skip tombstones left by wildcard takes.
-                while let Some(&id) = q.front() {
-                    if self.envs.contains_key(&id) {
-                        return Some(id);
+            Src::Any => {
+                let bt = self.by_tag.get_or_insert_with(|| Self::build_by_tag(slab));
+                let tq = bt.get_mut(&tag)?;
+                match tq.front_alive(slab) {
+                    Some(id) => Some(id),
+                    None => {
+                        bt.remove(&tag);
+                        None
                     }
-                    q.pop_front();
                 }
-                None
+            }
+            Src::Rank(r) => {
+                let bst = self.by_src_tag.get_or_insert_with(|| Self::build_by_src_tag(slab));
+                let tq = bst.get_mut(&(r, tag))?;
+                match tq.front_alive(slab) {
+                    Some(id) => Some(id),
+                    None => {
+                        bst.remove(&(r, tag));
+                        None
+                    }
+                }
             }
         }
     }
 
     fn take(&mut self, src: Src, tag: Tag) -> Option<Env> {
         let id = self.find(src, tag)?;
-        let env = self.envs.remove(&id).expect("indexed id has an envelope");
-        if let Some(ids) = self.by_tag.get_mut(&tag) {
-            ids.remove(&id);
-            if ids.is_empty() {
-                self.by_tag.remove(&tag);
+        let env = self.slab.remove(id).expect("found id has an envelope");
+        // Pop the matched queue (find materialized it and left `id` at its
+        // front); tombstone or pop the mirror queue if it exists.
+        match src {
+            Src::Any => {
+                let bt = self.by_tag.as_mut().expect("find materialized by_tag");
+                let tq = bt.get_mut(&tag).expect("matched queue exists");
+                tq.q.pop_front();
+                if tq.q.is_empty() {
+                    bt.remove(&tag);
+                }
+                if let Some(bst) = &mut self.by_src_tag {
+                    if let Some(st) = bst.get_mut(&(env.src, tag)) {
+                        st.note_dead(id, &self.slab);
+                        if st.q.is_empty() {
+                            bst.remove(&(env.src, tag));
+                        }
+                    }
+                }
             }
-        }
-        // `by_src_tag` keeps a tombstone unless the id is already at the
-        // front (the common directed-receive case).
-        if let Some(q) = self.by_src_tag.get_mut(&(env.src, tag)) {
-            if q.front() == Some(&id) {
-                q.pop_front();
-            }
-            if q.is_empty() {
-                self.by_src_tag.remove(&(env.src, tag));
+            Src::Rank(r) => {
+                let bst = self.by_src_tag.as_mut().expect("find materialized by_src_tag");
+                let tq = bst.get_mut(&(r, tag)).expect("matched queue exists");
+                tq.q.pop_front();
+                if tq.q.is_empty() {
+                    bst.remove(&(r, tag));
+                }
+                if let Some(bt) = &mut self.by_tag {
+                    if let Some(tq) = bt.get_mut(&tag) {
+                        tq.note_dead(id, &self.slab);
+                        if tq.q.is_empty() {
+                            bt.remove(&tag);
+                        }
+                    }
+                }
             }
         }
         Some(env)
     }
 }
 
-pub(crate) struct Mailbox {
+pub struct Mailbox {
+    /// Producers' staging stack: newest envelope at the head.
+    stage: AtomicPtr<Node>,
+    /// Bumped on every push; `wait_for_mail`'s change signal.
+    version: AtomicU64,
+    /// The owning consumer's match index. Uncontended by construction —
+    /// producers never lock it.
     inner: Mutex<Inner>,
+    /// Eventcount state: `parked` is only trusted when the consumer set it
+    /// under `park`; producers notify under `park` too.
+    parked: AtomicBool,
+    park: Mutex<()>,
     cv: Condvar,
+}
+
+// SAFETY: the raw `Node` pointers are only ever created from `Box`es and
+// traverse threads through the atomic head; every node is owned by exactly
+// one side at a time (producers until the CAS lands, then the staging
+// stack, then the drainer). `Env` is `Send` (its payload is
+// `Box<dyn Any + Send>`), so moving nodes across threads is sound.
+unsafe impl Send for Mailbox {}
+unsafe impl Sync for Mailbox {}
+
+impl Default for Mailbox {
+    fn default() -> Mailbox {
+        Mailbox::new()
+    }
 }
 
 impl Mailbox {
     pub fn new() -> Mailbox {
-        Mailbox { inner: Mutex::new(Inner::default()), cv: Condvar::new() }
-    }
-
-    pub fn push(&self, env: Env) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.push(env);
-        self.cv.notify_all();
-    }
-
-    /// Non-blocking take. Deliberately does *not* report the mailbox
-    /// version: polls must not advance the caller's `wait_change`
-    /// snapshot, or a push landing between two polls of one multiplexing
-    /// round would be absorbed and the subsequent park could sleep
-    /// forever (lost wake-up).
-    pub fn try_take(&self, src: Src, tag: Tag) -> Option<Env> {
-        self.inner.lock().unwrap().take(src, tag)
-    }
-
-    /// Blocking take.
-    pub fn take(&self, src: Src, tag: Tag) -> Env {
-        let mut inner = self.inner.lock().unwrap();
-        loop {
-            if let Some(env) = inner.take(src, tag) {
-                return env;
-            }
-            inner = self.cv.wait(inner).unwrap();
+        Mailbox {
+            stage: AtomicPtr::new(ptr::null_mut()),
+            version: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+            parked: AtomicBool::new(false),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
         }
     }
 
-    /// Blocking take that gives up at the wall-clock `deadline`.
+    /// Land an envelope (any thread). Lock-free except for the notify path,
+    /// which takes the (tiny) park mutex only when the consumer is parked.
+    pub fn push(&self, env: Env) {
+        let node = Box::into_raw(Box::new(Node { env, next: ptr::null_mut() }));
+        let mut head = self.stage.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is ours until the CAS succeeds.
+            unsafe { (*node).next = head };
+            match self.stage.compare_exchange_weak(head, node, Ordering::SeqCst, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        self.version.fetch_add(1, Ordering::SeqCst);
+        if self.parked.load(Ordering::SeqCst) {
+            // Locking (then releasing) the park mutex makes the notify
+            // atomic with respect to the consumer's park-or-recheck
+            // decision: the consumer holds the mutex from publishing
+            // `parked` through entering the wait, so our acquisition
+            // serializes either before its re-check (which then sees the
+            // push) or after it is waiting (so the notify lands). Dropping
+            // the guard *before* notifying keeps the woken thread from
+            // immediately blocking on a mutex we still hold.
+            drop(self.park.lock().unwrap());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Detach the staged chain and restore arrival order (the stack is
+    /// LIFO; reversal yields the CAS linearization order).
+    fn drain_reversed(&self) -> *mut Node {
+        let mut head = self.stage.swap(ptr::null_mut(), Ordering::SeqCst);
+        let mut prev: *mut Node = ptr::null_mut();
+        while !head.is_null() {
+            // SAFETY: the swap gave us exclusive ownership of the chain.
+            let next = unsafe { (*head).next };
+            unsafe { (*head).next = prev };
+            prev = head;
+            head = next;
+        }
+        prev
+    }
+
+    /// Move everything staged into the index.
+    fn drain_into(&self, inner: &mut Inner) {
+        let mut head = self.drain_reversed();
+        while !head.is_null() {
+            // SAFETY: each node is consumed exactly once.
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next;
+            inner.index(node.env);
+        }
+    }
+
+    /// Drain staging, handing the first match for `(src, tag)` straight to
+    /// the caller and indexing everything else. Only sound when the index
+    /// holds no match (the caller's `Inner::take` just missed): staged
+    /// envelopes are younger than indexed ones, so the oldest match overall
+    /// is the first match in the drained chain. The hot receive path —
+    /// waiter already posted, message arrives — thus skips the index
+    /// entirely.
+    fn drain_match(&self, inner: &mut Inner, src: Src, tag: Tag) -> Option<Env> {
+        let mut head = self.drain_reversed();
+        let mut hit: Option<Env> = None;
+        while !head.is_null() {
+            // SAFETY: each node is consumed exactly once.
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next;
+            let env = node.env;
+            let matches = hit.is_none()
+                && env.tag == tag
+                && match src {
+                    Src::Any => true,
+                    Src::Rank(r) => env.src == r,
+                };
+            if matches {
+                hit = Some(env);
+            } else {
+                inner.index(env);
+            }
+        }
+        hit
+    }
+
+    /// Non-blocking take (owning rank only). Deliberately does *not*
+    /// report the mailbox version: polls must not advance the caller's
+    /// `wait_change` snapshot, or a push landing between two polls of one
+    /// multiplexing round would be absorbed and the subsequent park could
+    /// sleep forever (lost wake-up).
+    pub fn try_take(&self, src: Src, tag: Tag) -> Option<Env> {
+        let mut inner = self.inner.lock().unwrap();
+        // Index first: staged envelopes are younger than indexed ones, so
+        // this preserves FCFS and keeps the hot path off the shared
+        // staging cache line entirely.
+        if let Some(env) = inner.take(src, tag) {
+            return Some(env);
+        }
+        self.drain_match(&mut inner, src, tag)
+    }
+
+    /// Blocking take (owning rank only).
+    pub fn take(&self, src: Src, tag: Tag) -> Env {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(env) = inner.take(src, tag) {
+            return env;
+        }
+        // The index holds no match from here on: only our own drains feed
+        // it, and `drain_match` indexes non-matching envelopes only. So
+        // the loop needs just drain + park.
+        loop {
+            if let Some(env) = self.drain_match(&mut inner, src, tag) {
+                return env;
+            }
+            // Eventcount park: publish intent, re-check for a push that
+            // raced the drain, then sleep. Producers never need `inner`,
+            // so holding it across the wait starves nobody.
+            let mut g = self.park.lock().unwrap();
+            self.parked.store(true, Ordering::SeqCst);
+            if self.stage.load(Ordering::SeqCst).is_null() {
+                g = self.cv.wait(g).unwrap();
+            }
+            self.parked.store(false, Ordering::SeqCst);
+            drop(g);
+        }
+    }
+
+    /// Blocking take that gives up at the wall-clock `deadline` (owning
+    /// rank only). The remaining wait is recomputed from the absolute
+    /// deadline on every pass, so spurious wakes neither extend nor
+    /// truncate the timeout.
     pub fn take_deadline(&self, src: Src, tag: Tag, deadline: Instant) -> Option<Env> {
         let mut inner = self.inner.lock().unwrap();
+        if let Some(env) = inner.take(src, tag) {
+            return Some(env);
+        }
         loop {
-            if let Some(env) = inner.take(src, tag) {
+            if let Some(env) = self.drain_match(&mut inner, src, tag) {
                 return Some(env);
             }
             let now = Instant::now();
             if now >= deadline {
                 return None;
             }
-            let (guard, _timeout) = self.cv.wait_timeout(inner, deadline - now).unwrap();
-            inner = guard;
+            let mut g = self.park.lock().unwrap();
+            self.parked.store(true, Ordering::SeqCst);
+            if self.stage.load(Ordering::SeqCst).is_null() {
+                let (guard, _timeout) = self.cv.wait_timeout(g, deadline - now).unwrap();
+                g = guard;
+            }
+            self.parked.store(false, Ordering::SeqCst);
+            drop(g);
         }
     }
 
-    /// Metadata of the first available match, without consuming it. Like
-    /// [`Mailbox::try_take`], this never exposes the version counter.
+    /// Metadata of the first available match, without consuming it (owning
+    /// rank only). Like [`Mailbox::try_take`], never exposes the version.
     pub fn probe(&self, src: Src, tag: Tag) -> Option<MsgInfo> {
         let mut inner = self.inner.lock().unwrap();
+        if inner.find(src, tag).is_none() {
+            self.drain_into(&mut inner);
+        }
         inner.find(src, tag).map(|id| {
-            let env = &inner.envs[&id];
+            let env = inner.slab.get(id).expect("found id has an envelope");
             MsgInfo { src: env.src, tag: env.tag, bytes: env.bytes }
         })
     }
@@ -168,18 +542,37 @@ impl Mailbox {
     /// cannot be lost between a failed poll and the park; at worst the
     /// caller re-polls once for a message it already consumed.
     pub fn wait_change(&self, seen: u64) -> u64 {
-        let mut inner = self.inner.lock().unwrap();
-        while inner.version == seen {
-            inner = self.cv.wait(inner).unwrap();
+        loop {
+            let v = self.version.load(Ordering::SeqCst);
+            if v != seen {
+                return v;
+            }
+            let mut g = self.park.lock().unwrap();
+            self.parked.store(true, Ordering::SeqCst);
+            if self.version.load(Ordering::SeqCst) == seen {
+                g = self.cv.wait(g).unwrap();
+            }
+            self.parked.store(false, Ordering::SeqCst);
+            drop(g);
         }
-        inner.version
     }
 
     /// Current version, as a round-start snapshot (tests only; ranks get
     /// theirs from `wait_change`, starting from the shared initial 0).
-    #[cfg(test)]
-    fn version(&self) -> u64 {
-        self.inner.lock().unwrap().version
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Mailbox {
+    fn drop(&mut self) {
+        // Free anything still staged (undrained pushes at teardown).
+        let mut head = *self.stage.get_mut();
+        while !head.is_null() {
+            // SAFETY: drop has exclusive access; each node freed once.
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next;
+        }
     }
 }
 
@@ -267,5 +660,24 @@ mod tests {
         let new = mb.wait_change(seen);
         assert!(new > seen);
         assert_eq!(val(mb.take(Src::Any, tb)), 7);
+    }
+
+    /// Index-first matching must not reorder a staged-but-undrained
+    /// envelope ahead of an older indexed one (FCFS across the drain
+    /// boundary).
+    #[test]
+    fn fcfs_holds_across_the_staging_boundary() {
+        let mb = Mailbox::new();
+        let t = Tag::user(3);
+        mb.push(env(0, t, 1));
+        // Force a drain: the first take moves everything into the index.
+        assert_eq!(val(mb.take(Src::Any, t)), 1);
+        mb.push(env(1, t, 2)); // indexed on next miss
+        mb.push(env(0, t, 3));
+        assert_eq!(val(mb.take(Src::Any, t)), 2);
+        // 3 is now indexed; a fresh push stages 4 behind it.
+        mb.push(env(1, t, 4));
+        assert_eq!(val(mb.take(Src::Any, t)), 3);
+        assert_eq!(val(mb.take(Src::Any, t)), 4);
     }
 }

@@ -231,6 +231,14 @@ fn lint_config(ch: &ChannelDecl, findings: &mut Vec<Finding>) {
             ConfigError::ZeroFailureTimeout => {
                 "failure_timeout is 0: every peer is declared dead instantly".to_string()
             }
+            ConfigError::ZeroCreditBatch => {
+                "credit_batch is 0: accumulated credit is never acknowledged".to_string()
+            }
+            ConfigError::CreditBatchAboveWindow { batch, credits, aggregation } => format!(
+                "credit_batch ({batch}) exceeds the credit window's stall margin \
+                 ({credits} - {aggregation} + 1): a producer blocked on the window \
+                 could wait forever for a credit flush"
+            ),
         };
         findings.push(Finding {
             code: "SC005",

@@ -433,6 +433,7 @@ proptest! {
             // Keep the window at least one batch so the base is valid.
             credits: if credits_raw == 0 { None } else { Some(credits_raw * aggregation.max(8)) },
             route: if round_robin { RoutePolicy::RoundRobin } else { RoutePolicy::Static },
+            credit_batch: 1,
             failure_timeout: None,
         };
         let spec = GroupSpec { every };

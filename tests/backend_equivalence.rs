@@ -8,19 +8,20 @@
 //! (sorted) payloads and their fingerprints.
 //!
 //! Keep reductions in this suite integer-valued (or order-insensitive):
-//! native `allreduce` folds linearly in group-rank order while the
-//! simulator reduces along a binomial tree, so an f64 sum can legally be
-//! bitwise-different across backends even on fault-free plans
-//! (DESIGN.md §11).
+//! both backends now reduce along binomial trees, but the two trees'
+//! combine orders are an implementation detail with no cross-backend
+//! agreement, so an f64 sum can legally be bitwise-different across
+//! backends even on fault-free plans (DESIGN.md §11).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use apps::portable::{
-    fingerprint, mini_mapreduce, mini_mapreduce_oracle, quickstart, MiniMrConfig, PortableReport,
+    fingerprint, mini_mapreduce, mini_mapreduce_oracle, quickstart, quickstart_with, MiniMrConfig,
+    PortableReport,
 };
 use mpisim::{MachineConfig, World};
-use mpistream::{ChannelConfig, GroupSpec, Role, StreamChannel, Transport};
+use mpistream::{ChannelConfig, Group, GroupSpec, Role, StreamChannel, Transport};
 use native::NativeWorld;
 use parking_lot::Mutex;
 
@@ -97,6 +98,133 @@ fn mini_mapreduce_histogram_matches_oracle_on_both_backends() {
         }
     });
     assert_eq!(*native_hist.lock(), oracle, "native master histogram != oracle");
+}
+
+/// The flow-control regime the batched-credit equivalence tests run
+/// under: a real window plus a mid-window acknowledgement batch, so the
+/// consumer's credit return path actually exercises the accumulate/flush
+/// logic on both backends.
+fn batched_config() -> ChannelConfig {
+    ChannelConfig {
+        element_bytes: 1 << 10,
+        aggregation: 2,
+        credits: Some(8),
+        credit_batch: 4,
+        ..ChannelConfig::default()
+    }
+}
+
+#[test]
+fn quickstart_with_batched_credits_matches_across_backends() {
+    let run_sim = || {
+        let reports: Arc<Mutex<Reports>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let sink = reports.clone();
+        World::new(MachineConfig::default()).with_seed(43).run_expect(RANKS, move |rank| {
+            let rep = quickstart_with(rank, STEPS, EVERY, batched_config());
+            sink.lock().insert(rank.world_rank(), rep);
+        });
+        Arc::try_unwrap(reports).expect("world joined").into_inner()
+    };
+    let run_native = || {
+        let reports: Arc<Mutex<Reports>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let sink = reports.clone();
+        NativeWorld::new(RANKS).with_compute_scale(0.01).run(move |rank| {
+            let me = rank.world_rank();
+            let rep = quickstart_with(rank, STEPS, EVERY, batched_config());
+            sink.lock().insert(me, rep);
+        });
+        Arc::try_unwrap(reports).expect("threads joined").into_inner()
+    };
+    let (sim, native) = (run_sim(), run_native());
+    for rank in 0..RANKS {
+        let (s, n) = (&sim[&rank], &native[&rank]);
+        assert_eq!(s.sent, n.sent, "rank {rank}: streamed element count differs");
+        assert_eq!(s.received, n.received, "rank {rank}: consumed payload multiset differs");
+        if !s.received.is_empty() {
+            assert_eq!(fingerprint(&s.received), fingerprint(&n.received));
+        }
+    }
+    // The credited run consumed exactly what the uncredited run would:
+    // flow control changes pacing, never content.
+    let produced: u64 = sim.values().map(|r| r.sent).sum();
+    assert_eq!(produced, (RANKS - RANKS / EVERY) as u64 * STEPS as u64);
+}
+
+#[test]
+fn mini_mapreduce_with_batched_credits_matches_oracle_on_both_backends() {
+    const N: usize = 8;
+    let cfg = MiniMrConfig { credits: Some(8), credit_batch: 4, ..MiniMrConfig::default() };
+    let oracle = mini_mapreduce_oracle(N, &cfg);
+
+    let sim_hist: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = sim_hist.clone();
+    let cfg2 = cfg.clone();
+    World::new(MachineConfig::default()).with_seed(11).run_expect(N, move |rank| {
+        if let Some(hist) = mini_mapreduce(rank, &cfg2) {
+            *sink.lock() = hist;
+        }
+    });
+    assert_eq!(*sim_hist.lock(), oracle, "simulator master histogram != oracle");
+
+    let native_hist: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = native_hist.clone();
+    NativeWorld::new(N).with_compute_scale(0.01).run(move |rank| {
+        if let Some(hist) = mini_mapreduce(rank, &cfg) {
+            *sink.lock() = hist;
+        }
+    });
+    assert_eq!(*native_hist.lock(), oracle, "native master histogram != oracle");
+}
+
+/// One round of every collective in the Transport subset, observed as a
+/// flat integer vector — a pure function of `(world size, round)`, so the
+/// vector a rank sees must agree across backends exactly.
+fn collective_observations<TP: Transport>(rank: &mut TP, rounds: u64) -> Vec<u64> {
+    let world = rank.world_group();
+    let me = rank.world_rank() as u64;
+    let n = rank.world_size() as u64;
+    // Reversed-key split: members ordered by descending world rank, so
+    // group rank != world-rank order and any backend confusing the two
+    // shows up in the allgather below.
+    let sub = rank
+        .split(&world, Some((rank.world_rank() % 2) as i64), -(me as i64))
+        .expect("every rank has a color");
+    let mut obs = Vec::new();
+    for r in 0..rounds {
+        rank.barrier(&world);
+        obs.push(rank.allreduce(&world, 8, me + r, |a, b| *a += b));
+        obs.extend(rank.allgatherv(&world, 8, me * 1000 + r));
+        let root = (r % n) as usize;
+        obs.push(rank.bcast(&world, root, 8, (rank.world_rank() == root).then_some(r * 7)));
+        obs.push(rank.allreduce(&sub, 8, me, |a, b| *a = (*a).max(*b)));
+        obs.extend(rank.allgatherv(&sub, 8, me));
+        obs.push(sub.rank_of(rank.world_rank()).expect("member") as u64);
+    }
+    obs
+}
+
+#[test]
+fn tree_collectives_agree_across_backends() {
+    const ROUNDS: u64 = 5;
+    type ObsMap = BTreeMap<usize, Vec<u64>>;
+    let sim_obs: Arc<Mutex<ObsMap>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = sim_obs.clone();
+    World::new(MachineConfig::default()).with_seed(3).run_expect(RANKS, move |rank| {
+        let obs = collective_observations(rank, ROUNDS);
+        sink.lock().insert(rank.world_rank(), obs);
+    });
+    let native_obs: Arc<Mutex<ObsMap>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = native_obs.clone();
+    NativeWorld::new(RANKS).run(move |rank| {
+        let me = rank.world_rank();
+        let obs = collective_observations(rank, ROUNDS);
+        sink.lock().insert(me, obs);
+    });
+    let (sim, native) = (sim_obs.lock(), native_obs.lock());
+    assert_eq!(sim.len(), RANKS);
+    for rank in 0..RANKS {
+        assert_eq!(sim[&rank], native[&rank], "rank {rank}: collective observations diverge");
+    }
 }
 
 #[test]

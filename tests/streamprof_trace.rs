@@ -10,8 +10,9 @@
 //! (then re-run without the variable to confirm).
 
 use apps::pic::{run_comm_decoupled_traced, PicConfig};
-use apps::portable::quickstart;
+use apps::portable::{quickstart, quickstart_with};
 use mpisim::{MachineConfig, NoiseModel, World};
+use mpistream::{ChannelConfig, GroupSpec, Role};
 use native::NativeWorld;
 use streamprof::{validate_chrome, Clock, ProfSink, Profiled, Trace};
 
@@ -71,6 +72,79 @@ fn native_quickstart_chrome_trace_is_structurally_valid() {
     // same stream totals even though the clocks differ.
     let golden_streams = validate_chrome(GOLDEN).unwrap().streams;
     assert_eq!(stats.streams, golden_streams);
+}
+
+/// The native backend under profiling, with a credit window and *batched*
+/// acknowledgements: wall-clock timings and interleavings differ run to
+/// run, but every counter the profiler keeps is an exact function of the
+/// program, so this pins them all — including that credit occupancy is
+/// sampled once per credited send, no more, no less, regardless of how
+/// the consumer batches its acks.
+#[test]
+fn native_stream_metrics_are_exact_under_batched_credits() {
+    const WINDOW: u64 = 8;
+    const AGG: u64 = 2;
+    let sink = ProfSink::new(Clock::Wall);
+    let s2 = sink.clone();
+    NativeWorld::new(RANKS).with_compute_scale(0.01).run(move |rank| {
+        let mut rank = Profiled::new(rank, s2.clone());
+        let _ = quickstart_with(
+            &mut rank,
+            STEPS,
+            EVERY,
+            ChannelConfig {
+                element_bytes: 1 << 10,
+                aggregation: AGG as usize,
+                credits: Some(WINDOW as usize),
+                credit_batch: 4,
+                ..ChannelConfig::default()
+            },
+        );
+    });
+    let trace = sink.take();
+    let streams = trace.streams();
+    assert_eq!(streams.len(), RANKS, "every rank touched the one channel");
+    let channel = streams.keys().next().expect("non-empty").1;
+    assert!(streams.keys().all(|&(_, ch)| ch == channel), "a single channel in play");
+
+    let spec = GroupSpec { every: EVERY };
+    let n_consumers = spec.consumers_in(RANKS) as u64;
+    let producers = RANKS as u64 - n_consumers;
+    // STEPS divides by the aggregation factor, so no partial flush at
+    // terminate and the batch math below is exact.
+    assert_eq!(STEPS as u64 % AGG, 0);
+    let batches = STEPS as u64 / AGG;
+    for rank in 0..RANKS {
+        let m = &streams[&(rank, channel)];
+        match spec.role_of(rank) {
+            Role::Producer => {
+                assert_eq!(m.elems_sent, STEPS as u64, "rank {rank}: elems sent");
+                assert_eq!(m.batches_sent, batches, "rank {rank}: batches sent");
+                assert_eq!(m.bytes_sent, STEPS as u64 * (1 << 10), "rank {rank}: bytes sent");
+                assert_eq!((m.elems_recv, m.batches_recv, m.bytes_recv), (0, 0, 0));
+                // One occupancy sample per credited send; each records
+                // between `AGG` (the batch just sent) and the full window.
+                assert_eq!(m.credit_samples, batches, "rank {rank}: one sample per send");
+                assert_eq!(m.credit_window, WINDOW);
+                assert!(m.credit_outstanding_sum >= AGG * batches, "rank {rank}: samples too low");
+                assert!(
+                    m.credit_outstanding_sum <= WINDOW * batches,
+                    "rank {rank}: occupancy above the window"
+                );
+            }
+            Role::Consumer => {
+                // Static routing spreads the producers evenly over the
+                // consumers (producers divide evenly here).
+                let feeders = producers / n_consumers;
+                assert_eq!(m.elems_recv, feeders * STEPS as u64, "rank {rank}: elems recv");
+                assert_eq!(m.batches_recv, feeders * batches, "rank {rank}: batches recv");
+                assert_eq!(m.bytes_recv, feeders * STEPS as u64 * (1 << 10));
+                assert_eq!((m.elems_sent, m.batches_sent, m.bytes_sent), (0, 0, 0));
+                assert_eq!((m.credit_samples, m.credit_outstanding_sum), (0, 0));
+            }
+            Role::Bystander => unreachable!("quickstart has no bystanders"),
+        }
+    }
 }
 
 #[test]
