@@ -47,6 +47,24 @@ cargo run --release --offline -q -p bench-harness --bin fig2 -- --chrome-trace \
 timeout 180 cargo test -q --release --offline -p integration \
     --test streamprof_trace
 
+echo "== schedcheck model checking (bounded exhaustive interleavings) =="
+# The native backend's lock-free core — mailbox push/drain, eventcount
+# park, deadline receives, batched credit returns, a small tree
+# collective — re-compiled against schedcheck's shadow primitives
+# (--cfg schedcheck switches the native::sync facade) and explored
+# exhaustively up to a preemption bound: every clean model must cover
+# >= 1,000 distinct schedules with zero SC201-SC203 violations, and the
+# seeded known-bad tests (including PR 6's real lost-wakeup bug,
+# reintroduced locally) must be caught with replayable traces. The
+# separate target dir keeps the cfg'd build from thrashing the normal
+# cache. See DESIGN.md §14.
+SCHEDCHECK_PREEMPTIONS=2 RUSTFLAGS='--cfg schedcheck' \
+    CARGO_TARGET_DIR=target/schedcheck \
+    timeout 600 cargo test -q --release --offline -p schedcheck
+SCHEDCHECK_PREEMPTIONS=2 RUSTFLAGS='--cfg schedcheck' \
+    CARGO_TARGET_DIR=target/schedcheck \
+    timeout 600 cargo test -q --release --offline -p native --test schedcheck_models
+
 echo "== native stress battery (reduced iterations, watchdog-bounded) =="
 # The concurrency battery behind the lock-free mailbox and the tree
 # collectives: MPSC hammering, lost-wakeup polling races, deadline

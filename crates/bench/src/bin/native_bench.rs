@@ -107,6 +107,37 @@ fn coll(ranks: usize, iters: u64) -> Metrics {
     measure(sc::coll_shape(ranks, iters), move |rank| sc::coll_rank(rank, iters))
 }
 
+/// Time the coll scenario with the flat/tree threshold pinned (0 forces
+/// binomial trees everywhere, `usize::MAX` forces the flat star).
+fn coll_threshold(ranks: usize, iters: u64, threshold: usize) -> Metrics {
+    let shape = sc::coll_shape(ranks, iters);
+    let t0 = Instant::now();
+    NativeWorld::new(shape.nprocs)
+        .with_coll_flat_threshold(threshold)
+        .run(move |rank| sc::coll_rank(rank, iters));
+    Metrics { wall_secs: t0.elapsed().as_secs_f64(), msgs: shape.msgs, elems: shape.elems }
+}
+
+/// `--coll-sweep`: both collective geometries across group sizes — the
+/// measurement behind the default flat threshold (DESIGN.md §13). Both
+/// geometries send the same 2(size-1) messages per op; what differs is
+/// the critical path (star: one hub; tree: log2(size) levels of context
+/// switches), so wall time is the whole story.
+fn coll_sweep(iters: u64) {
+    println!("coll geometry sweep: {iters} barrier+allreduce+allgatherv rounds per cell");
+    println!("  ranks   flat ms   tree ms   flat/tree");
+    for &ranks in &[2usize, 4, 8, 16, 32, 64] {
+        let flat = coll_threshold(ranks, iters, usize::MAX);
+        let tree = coll_threshold(ranks, iters, 0);
+        println!(
+            "  {ranks:>5} {:>9.1} {:>9.1} {:>10.2}",
+            flat.wall_secs * 1e3,
+            tree.wall_secs * 1e3,
+            flat.wall_secs / tree.wall_secs
+        );
+    }
+}
+
 fn stream(producers: usize, consumers: usize, per_producer: u64, credit_batch: usize) -> Metrics {
     let shape = sc::stream_shape(producers, consumers, per_producer);
     let processed = Arc::new(AtomicU64::new(0));
@@ -258,25 +289,33 @@ fn main() {
     let mut baseline_path: Option<std::path::PathBuf> = None;
     let mut pre_path: Option<std::path::PathBuf> = None;
     let mut audit_path: Option<std::path::PathBuf> = None;
+    let mut notes: Option<String> = None;
+    let mut sweep = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
+            "--coll-sweep" => sweep = true,
             "--out" => out_path = Some(args.next().expect("--out needs a path").into()),
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline needs a path").into())
             }
             "--pre" => pre_path = Some(args.next().expect("--pre needs a path").into()),
             "--audit" => audit_path = Some(args.next().expect("--audit needs a path").into()),
+            "--notes" => notes = Some(args.next().expect("--notes needs a string")),
             other => {
                 eprintln!(
-                    "unknown flag {other} \
-                     (expected --quick/--check/--out <p>/--baseline <p>/--pre <p>/--audit <p>)"
+                    "unknown flag {other} (expected --quick/--check/--coll-sweep/--out <p>\
+                     /--baseline <p>/--pre <p>/--audit <p>/--notes <s>)"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if sweep {
+        coll_sweep(if quick { 50 } else { 200 });
+        return;
     }
     if let Some(ap) = &audit_path {
         let artifact = match std::fs::read_to_string(ap) {
@@ -331,6 +370,12 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"schema\": \"native_bench/v1\",\n  \"mode\": \"{mode}\",\n"));
+    if let Some(n) = &notes {
+        json.push_str(&format!(
+            "  \"notes\": \"{}\",\n",
+            n.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
     json.push_str("  \"scenarios\": {\n");
     for (i, (name, m)) in scenarios.iter().enumerate() {
         let sep = if i + 1 < scenarios.len() { "," } else { "" };

@@ -36,11 +36,18 @@
 //! eventcount park protocol that cannot lose wake-ups, and a version
 //! counter snapshotted once per polling round inside `wait_for_mail`).
 //!
-//! Collectives run as binomial trees over those mailboxes — reduce to
-//! rank 0 and broadcast back down, `2(size-1)` directed messages per
-//! operation — instead of the old global gather-all rendezvous, whose
-//! single registry mutex and `notify_all` thundering herd serialized
-//! every collective in the world (see DESIGN.md §13).
+//! Collectives run over those mailboxes with a **rank-threshold hybrid
+//! geometry**: groups at or below the flat threshold use a star (every
+//! member exchanges directly with group rank 0 — the fewest total hops,
+//! which wins when ranks outnumber cores and every tree level costs a
+//! context switch), larger groups use a binomial tree (reduce to rank 0
+//! and broadcast back down, `2(size-1)` directed messages but only
+//! `O(log size)` levels on the critical path). The threshold comes from
+//! [`NativeWorld::with_coll_flat_threshold`] or the
+//! `NATIVE_COLL_FLAT_THRESHOLD` env var (see DESIGN.md §13 for the
+//! measured crossover). Either geometry replaces the old global
+//! gather-all rendezvous, whose single registry mutex and `notify_all`
+//! thundering herd serialized every collective in the world.
 //!
 //! ```
 //! use mpistream::{run_decoupled, ChannelConfig, GroupSpec, Transport};
@@ -69,16 +76,18 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use desim::SimTime;
 use mpistream::{Group, MsgInfo, Src, Tag, Transport};
 
 pub mod mailbox;
+pub mod sync;
 
 use mailbox::{Env, Mailbox};
+use sync::atomic::{AtomicU32, Ordering};
+use sync::{thread, Instant, Mutex};
 
 /// Group id of the world group.
 const WORLD_ID: u64 = 0;
@@ -130,6 +139,9 @@ struct SharedState {
     nprocs: usize,
     epoch: Instant,
     compute_scale: f64,
+    /// Groups at or below this size use the flat (star) collective
+    /// geometry; larger ones use the binomial tree.
+    flat_threshold: usize,
     mailboxes: Vec<Mailbox>,
     world: NativeGroup,
     groups: Mutex<GroupRegistry>,
@@ -145,17 +157,29 @@ pub struct NativeOutcome {
     pub elapsed: Duration,
 }
 
+/// Default flat-collective threshold: group sizes at or below this use
+/// the star geometry. Set from the `native_bench --coll-sweep`
+/// measurement on the CI host (flat beat the tree at every size up to
+/// 64, ratio 0.41–0.76 — with ranks far outnumbering cores, every tree
+/// level is a forced context switch while the star's hub drains its one
+/// mailbox in arrival order; see DESIGN.md §13). Sizes past the
+/// measured range fall back to the tree's `O(log n)` critical path.
+/// Override per-world with [`NativeWorld::with_coll_flat_threshold`] or
+/// globally with the `NATIVE_COLL_FLAT_THRESHOLD` env var.
+const DEFAULT_FLAT_THRESHOLD: usize = 64;
+
 /// A native world: `nprocs` ranks, each on its own OS thread.
 pub struct NativeWorld {
     nprocs: usize,
     compute_scale: f64,
+    coll_flat_threshold: Option<usize>,
 }
 
 impl NativeWorld {
     /// A world of `nprocs` ranks.
     pub fn new(nprocs: usize) -> NativeWorld {
         assert!(nprocs > 0, "a world needs at least one rank");
-        NativeWorld { nprocs, compute_scale: 1.0 }
+        NativeWorld { nprocs, compute_scale: 1.0, coll_flat_threshold: None }
     }
 
     /// Wall-clock seconds slept per modelled compute second (default 1.0).
@@ -167,6 +191,16 @@ impl NativeWorld {
         self
     }
 
+    /// Largest group size that uses the flat (star) collective geometry;
+    /// bigger groups switch to the binomial tree. `0` forces trees
+    /// everywhere, `usize::MAX` forces flat everywhere. Defaults to the
+    /// `NATIVE_COLL_FLAT_THRESHOLD` env var, else the measured crossover
+    /// baked into the crate.
+    pub fn with_coll_flat_threshold(mut self, threshold: usize) -> NativeWorld {
+        self.coll_flat_threshold = Some(threshold);
+        self
+    }
+
     /// Run `body` once per rank, each on its own thread, and join them
     /// all. A panicking rank propagates after every thread has exited —
     /// peers blocked on the dead rank block the join, so bound native
@@ -175,17 +209,24 @@ impl NativeWorld {
     where
         F: Fn(&mut NativeRank) + Send + Sync,
     {
+        let flat_threshold = self.coll_flat_threshold.unwrap_or_else(|| {
+            std::env::var("NATIVE_COLL_FLAT_THRESHOLD")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(DEFAULT_FLAT_THRESHOLD)
+        });
         let shared = Arc::new(SharedState {
             nprocs: self.nprocs,
             epoch: Instant::now(),
             compute_scale: self.compute_scale,
+            flat_threshold,
             mailboxes: (0..self.nprocs).map(|_| Mailbox::new()).collect(),
             world: NativeGroup { id: WORLD_ID, ranks: Arc::new((0..self.nprocs).collect()) },
             groups: Mutex::new(GroupRegistry { ids: HashMap::new(), next: 1 }),
             channel_ids: AtomicU32::new(0),
         });
         let start = Instant::now();
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             let body = &body;
             for r in 0..self.nprocs {
                 let shared = Arc::clone(&shared);
@@ -244,12 +285,20 @@ impl NativeRank {
         v & (v - 1)
     }
 
-    /// Reduce up the binomial tree to virtual rank 0: fold the children's
-    /// partial accumulators (ascending, a fixed deterministic order) into
-    /// ours, then forward to the parent. Returns `Some(total)` at the
-    /// tree root, `None` elsewhere. `op` must be associative and
-    /// commutative (the Transport contract); for floats the tree order
-    /// may differ bitwise from a linear fold (DESIGN.md §11).
+    /// Whether collectives on a group of `size` members use the flat
+    /// (star) geometry. Every member computes this from the shared
+    /// threshold, so the whole group always agrees.
+    fn coll_flat(&self, size: usize) -> bool {
+        size <= self.shared.flat_threshold
+    }
+
+    /// Reduce up to virtual rank 0: fold the children's partial
+    /// accumulators (ascending, a fixed deterministic order) into ours,
+    /// then forward to the parent. Returns `Some(total)` at the root,
+    /// `None` elsewhere. `op` must be associative and commutative (the
+    /// Transport contract); for floats the fold order — linear in the
+    /// flat geometry, tree-shaped otherwise — may differ bitwise from
+    /// another geometry's (DESIGN.md §11).
     fn tree_reduce<T: Send + 'static>(
         &mut self,
         tree: &Tree<'_>,
@@ -258,23 +307,23 @@ impl NativeRank {
         op: &impl Fn(&mut T, &T),
     ) -> Option<T> {
         let mut acc = value;
-        for c in Self::tree_children(tree.my_v, tree.size) {
+        for c in tree.children(tree.my_v) {
             let (child, _info) = self.recv::<T>(Src::Rank((tree.to_world)(c)), tree.tag);
             op(&mut acc, &child);
         }
         if tree.my_v == 0 {
             Some(acc)
         } else {
-            self.send((tree.to_world)(Self::tree_parent(tree.my_v)), tree.tag, bytes, acc);
+            self.send((tree.to_world)(tree.parent(tree.my_v)), tree.tag, bytes, acc);
             None
         }
     }
 
-    /// Broadcast down the binomial tree from virtual rank 0: receive from
-    /// the parent, then forward to each child. `value` must be `Some` at
-    /// the root. Safe on the same tag as a preceding [`Self::tree_reduce`]
-    /// over the same tree: between any rank pair the two phases flow in
-    /// opposite directions, so directed receives cannot cross-match.
+    /// Broadcast down from virtual rank 0: receive from the parent, then
+    /// forward to each child. `value` must be `Some` at the root. Safe on
+    /// the same tag as a preceding [`Self::tree_reduce`] over the same
+    /// tree: between any rank pair the two phases flow in opposite
+    /// directions, so directed receives cannot cross-match.
     fn tree_bcast<T: Clone + Send + 'static>(
         &mut self,
         tree: &Tree<'_>,
@@ -284,9 +333,9 @@ impl NativeRank {
         let val = if tree.my_v == 0 {
             value.expect("tree root supplies the broadcast value")
         } else {
-            self.recv::<T>(Src::Rank((tree.to_world)(Self::tree_parent(tree.my_v))), tree.tag).0
+            self.recv::<T>(Src::Rank((tree.to_world)(tree.parent(tree.my_v))), tree.tag).0
         };
-        for c in Self::tree_children(tree.my_v, tree.size) {
+        for c in tree.children(tree.my_v) {
             self.send((tree.to_world)(c), tree.tag, bytes, val.clone());
         }
         val
@@ -297,14 +346,44 @@ impl NativeRank {
     }
 }
 
-/// One collective's binomial-tree geometry: its tag, this rank's virtual
-/// rank in the (possibly root-rotated) tree, the tree size, and the map
-/// from virtual ranks back to world ranks.
+/// One collective's geometry: its tag, this rank's virtual rank in the
+/// (possibly root-rotated) overlay, the group size, the map from virtual
+/// ranks back to world ranks, and the shape — flat star (small groups)
+/// or binomial tree (large ones). Both shapes share the reduce/bcast
+/// drivers: only `children`/`parent` differ.
 struct Tree<'a> {
     tag: Tag,
     to_world: &'a dyn Fn(usize) -> usize,
     my_v: usize,
     size: usize,
+    flat: bool,
+}
+
+impl Tree<'_> {
+    /// Children of virtual rank `v`, ascending (the deterministic fold
+    /// and gather order). Flat: the root owns everyone. The `Vec` is at
+    /// most `log2(size)` entries on the tree path and `size - 1` on the
+    /// flat one — noise next to the per-child envelope allocations.
+    fn children(&self, v: usize) -> Vec<usize> {
+        if self.flat {
+            if v == 0 {
+                (1..self.size).collect()
+            } else {
+                Vec::new()
+            }
+        } else {
+            NativeRank::tree_children(v, self.size).collect()
+        }
+    }
+
+    /// Parent of virtual rank `v != 0`.
+    fn parent(&self, v: usize) -> usize {
+        if self.flat {
+            0
+        } else {
+            NativeRank::tree_parent(v)
+        }
+    }
 }
 
 /// Tag for collective `seq` on `group` — unique among *concurrently
@@ -338,7 +417,7 @@ impl Transport for NativeRank {
     fn compute(&mut self, secs: f64) {
         let scaled = secs * self.shared.compute_scale;
         if scaled.is_finite() && scaled > 0.0 {
-            std::thread::sleep(Duration::from_secs_f64(scaled));
+            thread::sleep(Duration::from_secs_f64(scaled));
         }
     }
 
@@ -396,7 +475,7 @@ impl Transport for NativeRank {
         let size = group.size();
         let ranks = Arc::clone(&group.ranks);
         let to_world = move |v: usize| ranks[v];
-        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size };
+        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size, flat: self.coll_flat(size) };
         let done = self.tree_reduce(&tree, 1, (), &|_, _| {});
         let () = self.tree_bcast(&tree, 1, done);
     }
@@ -415,12 +494,12 @@ impl Transport for NativeRank {
         let ranks = Arc::clone(&group.ranks);
         let to_world = move |v: usize| ranks[v];
         // Reduce to group rank 0, then broadcast the total back down the
-        // same tree: 2(size-1) directed messages instead of the old
+        // same overlay: 2(size-1) directed messages instead of the old
         // global gather-all rendezvous (one mutex, thundering-herd
         // wake-ups). `op` must be associative and commutative (the
-        // Transport contract) — for floats the tree fold may differ
-        // bitwise from a linear one (see DESIGN.md §11).
-        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size };
+        // Transport contract) — for floats the fold order depends on the
+        // geometry (see DESIGN.md §11).
+        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size, flat: self.coll_flat(size) };
         let total = self.tree_reduce(&tree, bytes, value, &op);
         self.tree_bcast(&tree, bytes, total)
     }
@@ -437,23 +516,24 @@ impl Transport for NativeRank {
         let size = group.size();
         let ranks = Arc::clone(&group.ranks);
         let to_world = move |v: usize| ranks[v];
-        // Gather up the tree: child `v + 2^k` owns the contiguous
-        // group-rank range [v + 2^k, v + 2^(k+1)) (clipped to size), so
-        // appending children ascending keeps the accumulator contiguous
-        // and group-rank-ordered; rank 0 ends up with the full vector.
+        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size, flat: self.coll_flat(size) };
+        // Gather upward: in the tree, child `v + 2^k` owns the contiguous
+        // group-rank range [v + 2^k, v + 2^(k+1)) (clipped to size); in
+        // the flat star each child owns just itself. Either way appending
+        // children ascending keeps the accumulator contiguous and
+        // group-rank-ordered; rank 0 ends up with the full vector.
         let mut acc: Vec<T> = vec![value];
-        for c in Self::tree_children(my_gr, size) {
-            let (mut sub, _info) = self.recv::<Vec<T>>(Src::Rank(to_world(c)), tag);
+        for c in tree.children(my_gr) {
+            let (mut sub, _info) = self.recv::<Vec<T>>(Src::Rank((tree.to_world)(c)), tag);
             acc.append(&mut sub);
         }
         let gathered = if my_gr == 0 {
             Some(acc)
         } else {
             let n = acc.len() as u64;
-            self.send(to_world(Self::tree_parent(my_gr)), tag, bytes * n, acc);
+            self.send((tree.to_world)(tree.parent(my_gr)), tag, bytes * n, acc);
             None
         };
-        let tree = Tree { tag, to_world: &to_world, my_v: my_gr, size };
         self.tree_bcast(&tree, bytes * size as u64, gathered)
     }
 
@@ -470,13 +550,13 @@ impl Transport for NativeRank {
         let size = group.size();
         let ranks = Arc::clone(&group.ranks);
         assert!(root < size, "bcast root {root} out of range for group of {size}");
-        // Rotate the tree so the root sits at virtual rank 0.
+        // Rotate the overlay so the root sits at virtual rank 0.
         let my_v = (my_gr + size - root) % size;
         let to_world = move |v: usize| ranks[(v + root) % size];
         if my_v == 0 {
             assert!(value.is_some(), "root supplied the broadcast value");
         }
-        let tree = Tree { tag, to_world: &to_world, my_v, size };
+        let tree = Tree { tag, to_world: &to_world, my_v, size, flat: self.coll_flat(size) };
         self.tree_bcast(&tree, bytes, value)
     }
 
@@ -561,6 +641,27 @@ mod tests {
             assert_eq!(from_root, 99);
             rank.barrier(&world);
         });
+    }
+
+    /// The two collective geometries are interchangeable: force flat
+    /// everywhere (`usize::MAX`) and trees everywhere (`0`) on the same
+    /// world and demand identical results from every collective.
+    #[test]
+    fn flat_and_tree_collectives_agree() {
+        for threshold in [0, usize::MAX] {
+            NativeWorld::new(6).with_coll_flat_threshold(threshold).run(|rank| {
+                let world = rank.world_group();
+                let sum = rank.allreduce(&world, 8, rank.world_rank() as u64, |a, b| *a += b);
+                assert_eq!(sum, 15);
+                let all = rank.allgatherv(&world, 8, rank.world_rank());
+                assert_eq!(all, (0..6).collect::<Vec<_>>());
+                let v = rank.bcast(&world, 4, 8, (rank.world_rank() == 4).then_some(7u8));
+                assert_eq!(v, 7);
+                rank.barrier(&world);
+                let g = rank.split(&world, Some((rank.world_rank() % 2) as i64), 0).unwrap();
+                assert_eq!(g.size(), 3);
+            });
+        }
     }
 
     #[test]

@@ -78,9 +78,11 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+
+use crate::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use crate::sync::boxed;
+use crate::sync::cell::RaceCell;
+use crate::sync::{Condvar, Instant, Mutex};
 
 use mpistream::{MsgInfo, Src, Tag};
 
@@ -91,10 +93,16 @@ pub struct Env {
     pub payload: Box<dyn Any + Send>,
 }
 
-/// One staged envelope on the producers' Treiber stack.
+/// One staged envelope on the producers' Treiber stack. The `next` link
+/// is a [`RaceCell`]: it is written without synchronization of its own
+/// (by the pushing producer before the CAS publishes the node, and by
+/// the draining consumer during reversal), with the happens-before
+/// argument carried entirely by the staging head's atomics — exactly
+/// what the model checker's race detector verifies under
+/// `--cfg schedcheck`.
 struct Node {
     env: Env,
-    next: *mut Node,
+    next: RaceCell<*mut Node>,
 }
 
 /// Multiplicative hasher for the small integer keys the index uses (tags
@@ -369,11 +377,11 @@ impl Mailbox {
     /// Land an envelope (any thread). Lock-free except for the notify path,
     /// which takes the (tiny) park mutex only when the consumer is parked.
     pub fn push(&self, env: Env) {
-        let node = Box::into_raw(Box::new(Node { env, next: ptr::null_mut() }));
+        let node = boxed::into_raw(Box::new(Node { env, next: RaceCell::new(ptr::null_mut()) }));
         let mut head = self.stage.load(Ordering::Relaxed);
         loop {
             // SAFETY: `node` is ours until the CAS succeeds.
-            unsafe { (*node).next = head };
+            unsafe { (*node).next.set(head) };
             match self.stage.compare_exchange_weak(head, node, Ordering::SeqCst, Ordering::Relaxed)
             {
                 Ok(_) => break,
@@ -402,8 +410,8 @@ impl Mailbox {
         let mut prev: *mut Node = ptr::null_mut();
         while !head.is_null() {
             // SAFETY: the swap gave us exclusive ownership of the chain.
-            let next = unsafe { (*head).next };
-            unsafe { (*head).next = prev };
+            let next = unsafe { (*head).next.get() };
+            unsafe { (*head).next.set(prev) };
             prev = head;
             head = next;
         }
@@ -415,8 +423,8 @@ impl Mailbox {
         let mut head = self.drain_reversed();
         while !head.is_null() {
             // SAFETY: each node is consumed exactly once.
-            let node = unsafe { Box::from_raw(head) };
-            head = node.next;
+            let node = unsafe { boxed::from_raw(head) };
+            head = node.next.get();
             inner.index(node.env);
         }
     }
@@ -433,8 +441,8 @@ impl Mailbox {
         let mut hit: Option<Env> = None;
         while !head.is_null() {
             // SAFETY: each node is consumed exactly once.
-            let node = unsafe { Box::from_raw(head) };
-            head = node.next;
+            let node = unsafe { boxed::from_raw(head) };
+            head = node.next.get();
             let env = node.env;
             let matches = hit.is_none()
                 && env.tag == tag
@@ -566,12 +574,16 @@ impl Mailbox {
 
 impl Drop for Mailbox {
     fn drop(&mut self) {
-        // Free anything still staged (undrained pushes at teardown).
-        let mut head = *self.stage.get_mut();
+        // Free anything still staged (undrained pushes at teardown). A
+        // `swap` rather than `get_mut` so the same code type-checks
+        // against the schedcheck shadow `AtomicPtr`, which has no
+        // `get_mut`; under the model this is also what proves to the
+        // SC203 leak tracker that every staged node is reclaimed.
+        let mut head = self.stage.swap(ptr::null_mut(), Ordering::SeqCst);
         while !head.is_null() {
             // SAFETY: drop has exclusive access; each node freed once.
-            let node = unsafe { Box::from_raw(head) };
-            head = node.next;
+            let node = unsafe { boxed::from_raw(head) };
+            head = node.next.get();
         }
     }
 }
@@ -660,6 +672,53 @@ mod tests {
         let new = mb.wait_change(seen);
         assert!(new > seen);
         assert_eq!(val(mb.take(Src::Any, tb)), 7);
+    }
+
+    /// Teardown regression (PR 6): envelopes still sitting in the
+    /// staging stack when the mailbox is dropped — pushed, never drained
+    /// — must have their payloads freed, wherever they ended up (staged,
+    /// indexed, or handed out). The schedcheck model proves this for
+    /// every interleaving; this test pins the std build by counting
+    /// payload drops directly.
+    #[test]
+    fn drop_frees_staged_and_indexed_envelopes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let counted = |drops: &Arc<AtomicUsize>| Env {
+            src: 0,
+            tag: Tag::user(1),
+            bytes: 1,
+            payload: Box::new(Counted(Arc::clone(drops))),
+        };
+
+        // All three staged, none drained: Drop's swap loop frees them.
+        let mb = Mailbox::new();
+        for _ in 0..3 {
+            mb.push(counted(&drops));
+        }
+        drop(mb);
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "staged envelopes leaked at teardown");
+
+        // Mixed fates: one consumed by the taker, two left behind in the
+        // index (the take drained them), all freed by the end.
+        drops.store(0, Ordering::SeqCst);
+        let mb = Mailbox::new();
+        for _ in 0..3 {
+            mb.push(counted(&drops));
+        }
+        let taken = mb.take(Src::Any, Tag::user(1));
+        drop(taken);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(mb);
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "indexed envelopes leaked at teardown");
     }
 
     /// Index-first matching must not reorder a staged-but-undrained

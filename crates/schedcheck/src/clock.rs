@@ -1,0 +1,39 @@
+//! Vector clocks — the happens-before lattice underneath the data-race
+//! detector and the modeled Acquire/Release orderings.
+//!
+//! A clock maps thread ids to epochs. Thread `t`'s own component is
+//! bumped at every granted schedule point, so each visible operation has
+//! a unique `(tid, epoch)` identity; synchronizing operations (mutex
+//! hand-offs, Acquire loads of Release stores, spawn/join/notify edges)
+//! join clocks, which is exactly the happens-before relation of the
+//! explored schedule.
+
+/// A grow-on-demand vector clock over thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// Thread `t`'s component (0 if never touched).
+    pub(crate) fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Bump thread `t`'s component and return the new epoch.
+    pub(crate) fn inc(&mut self, t: usize) -> u64 {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+        self.0[t]
+    }
+
+    /// Pointwise maximum: everything `other` has seen, we have now seen.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(&other.0) {
+            *s = (*s).max(o);
+        }
+    }
+}

@@ -1,0 +1,754 @@
+//! The execution engine: one *execution* runs the model closure on real
+//! OS threads, but every shadow-sync operation is a *schedule point*
+//! where the running thread hands a decision to the engine. Exactly one
+//! model thread holds the logical token at any instant, so an execution
+//! is a deterministic function of the sequence of decisions — which is
+//! what makes DFS exploration and trace replay possible.
+//!
+//! Scheduling is *distributed*: there is no separate scheduler thread.
+//! Whichever thread reaches a schedule point (or finishes, or arrives at
+//! its start point) computes the enabled set under the engine lock and,
+//! if no thread currently holds the token, consumes the next DFS/replay
+//! decision. Choosing itself means it simply keeps running — a
+//! straight-line execution costs zero context switches.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
+
+use crate::clock::VClock;
+use crate::{codes, Violation};
+
+pub(crate) type Tid = usize;
+pub(crate) type ObjId = u64;
+
+/// Panic payload used to unwind model threads when an execution is
+/// being torn down (violation found, or exploration aborted).
+pub(crate) struct AbortUnwind;
+
+/// Why a parked thread is not currently runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Waiting to (re)acquire a shadow mutex.
+    Lock(ObjId),
+    /// Waiting inside `Condvar::wait[_timeout]`; leaves only via a
+    /// notify (→ `Lock(mutex)`) or, if `timeout_ns` is set, via an
+    /// always-enabled `Timeout` pseudo-transition.
+    Condvar { cv: ObjId, mutex: ObjId, timeout_ns: Option<u64> },
+    /// Waiting for another model thread to finish.
+    Join(Tid),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Spawned but has not yet arrived at its start point.
+    Nascent,
+    /// Holds the logical token; the only thread executing user code.
+    Running,
+    /// Parked at a schedule point, runnable whenever chosen.
+    AtPoint,
+    Blocked(Blocked),
+    Finished,
+}
+
+/// A schedulable decision: run a thread, or fire a `wait_timeout`
+/// expiry on one (which advances virtual time and moves the waiter to
+/// the mutex queue without giving anyone the token).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Transition {
+    Run(Tid),
+    Timeout(Tid),
+}
+
+pub(crate) struct ThreadSt {
+    pub(crate) status: Status,
+    pub(crate) clock: VClock,
+    /// Description of the operation this thread is parked at (or last
+    /// granted) — used for traces and deadlock reports.
+    pub(crate) desc: &'static str,
+    /// Set by a `Timeout` transition, consumed by `wait_timeout`'s
+    /// grant to build its `WaitTimeoutResult`.
+    pub(crate) timed_out: bool,
+}
+
+impl ThreadSt {
+    fn new() -> Self {
+        ThreadSt {
+            status: Status::Nascent,
+            clock: VClock::default(),
+            desc: "spawn",
+            timed_out: false,
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct MutexSt {
+    pub(crate) held_by: Option<Tid>,
+    /// Clock released by the last unlocker; joined by the next locker.
+    pub(crate) clock: VClock,
+}
+
+#[derive(Default)]
+pub(crate) struct AtomSt {
+    /// Release clock of the last Release-or-stronger store (extended by
+    /// Relaxed RMWs, which continue the release sequence; cleared by a
+    /// plain Relaxed store).
+    pub(crate) release: VClock,
+}
+
+/// Per-`RaceCell` access history, FastTrack-style: last write epoch and
+/// the read epochs since that write.
+#[derive(Default)]
+pub(crate) struct CellSt {
+    pub(crate) write: Option<(Tid, u64)>,
+    pub(crate) reads: Vec<(Tid, u64)>,
+}
+
+pub(crate) struct AllocSite {
+    pub(crate) ty: &'static str,
+    pub(crate) step: usize,
+}
+
+/// One DFS decision: the options that were enabled and which one we
+/// took this time round.
+#[derive(Clone)]
+pub(crate) struct Choice {
+    pub(crate) options: Vec<Transition>,
+    pub(crate) cur: usize,
+}
+
+pub(crate) enum Mode {
+    /// DFS exploration: replay the prefix in `path`, extend with
+    /// first-choice (index 0 = keep the last thread running) beyond it.
+    Dfs,
+    /// Trace replay: take the given decision indices verbatim.
+    Forced(Vec<usize>),
+}
+
+pub(crate) struct TraceEntry {
+    pub(crate) choice: usize,
+    pub(crate) n_options: usize,
+    pub(crate) tr: Transition,
+    pub(crate) desc: &'static str,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadSt>,
+    pub(crate) nascent: usize,
+    pub(crate) last_run: Option<Tid>,
+    pub(crate) preemptions: usize,
+    pub(crate) preemption_bound: usize,
+    pub(crate) max_steps: usize,
+    pub(crate) step: usize,
+    /// Virtual nanosecond clock backing the shadow `Instant`.
+    pub(crate) clock_ns: u64,
+    pub(crate) next_obj: ObjId,
+    pub(crate) mutexes: HashMap<ObjId, MutexSt>,
+    pub(crate) atomics: HashMap<ObjId, AtomSt>,
+    pub(crate) cells: HashMap<ObjId, CellSt>,
+    pub(crate) allocs: HashMap<usize, AllocSite>,
+    pub(crate) mode: Mode,
+    pub(crate) path: Vec<Choice>,
+    pub(crate) pos: usize,
+    pub(crate) trace: Vec<TraceEntry>,
+    pub(crate) violation: Option<Violation>,
+    pub(crate) abort: bool,
+}
+
+impl ExecState {
+    fn new(preemption_bound: usize, max_steps: usize, mode: Mode, path: Vec<Choice>) -> Self {
+        ExecState {
+            threads: Vec::new(),
+            nascent: 0,
+            last_run: None,
+            preemptions: 0,
+            preemption_bound,
+            max_steps,
+            step: 0,
+            clock_ns: 0,
+            next_obj: 0,
+            mutexes: HashMap::new(),
+            atomics: HashMap::new(),
+            cells: HashMap::new(),
+            allocs: HashMap::new(),
+            mode,
+            path,
+            pos: 0,
+            trace: Vec::new(),
+            violation: None,
+            abort: false,
+        }
+    }
+
+    pub(crate) fn fresh_obj(&mut self) -> ObjId {
+        self.next_obj += 1;
+        self.next_obj
+    }
+
+    /// Record a violation (first one wins) and put the execution into
+    /// abort mode so every thread unwinds at its next schedule point.
+    pub(crate) fn report(&mut self, code: &'static str, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                code,
+                message,
+                trace: self.trace_string(),
+                log: self.log_string(),
+            });
+        }
+        self.abort = true;
+    }
+
+    pub(crate) fn trace_string(&self) -> String {
+        let v: Vec<String> = self.trace.iter().map(|e| e.choice.to_string()).collect();
+        v.join(",")
+    }
+
+    fn log_string(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.trace.iter().enumerate() {
+            let what = match e.tr {
+                Transition::Run(t) => format!("t{t} {}", e.desc),
+                Transition::Timeout(t) => format!("t{t} timeout fires ({})", e.desc),
+            };
+            out.push_str(&format!("  {i:4}: {what} [choice {}/{}]\n", e.choice, e.n_options));
+        }
+        out
+    }
+
+    fn enabled(&self) -> Vec<Transition> {
+        let mut runs: Vec<Tid> = Vec::new();
+        let mut timeouts: Vec<Tid> = Vec::new();
+        for (t, th) in self.threads.iter().enumerate() {
+            match th.status {
+                Status::AtPoint => runs.push(t),
+                Status::Blocked(Blocked::Lock(m))
+                    if self.mutexes.get(&m).is_none_or(|ms| ms.held_by.is_none()) =>
+                {
+                    runs.push(t);
+                }
+                Status::Blocked(Blocked::Join(u))
+                    if matches!(self.threads[u].status, Status::Finished) =>
+                {
+                    runs.push(t);
+                }
+                Status::Blocked(Blocked::Condvar { timeout_ns: Some(_), .. }) => {
+                    timeouts.push(t);
+                }
+                _ => {}
+            }
+        }
+        // Order matters: index 0 must be "keep the last thread going"
+        // so the first DFS path through any subtree is preemption-free.
+        if let Some(l) = self.last_run {
+            if let Some(p) = runs.iter().position(|&t| t == l) {
+                runs.remove(p);
+                runs.insert(0, l);
+            }
+        }
+        let mut out: Vec<Transition> = runs.into_iter().map(Transition::Run).collect();
+        out.extend(timeouts.into_iter().map(Transition::Timeout));
+        out
+    }
+
+    /// Consume the next decision (DFS path extension or forced replay).
+    fn decide(&mut self, options: &[Transition]) -> usize {
+        let pos = self.pos;
+        self.pos += 1;
+        match &self.mode {
+            Mode::Dfs => {
+                if pos < self.path.len() {
+                    if self.path[pos].options != options {
+                        self.report(
+                            codes::INTERNAL,
+                            format!(
+                                "non-deterministic model: replaying decision {pos} saw options \
+                                 {:?} but recorded {:?}; model code must not branch on anything \
+                                 outside shadow-sync state (e.g. real time, hash iteration order)",
+                                options, self.path[pos].options
+                            ),
+                        );
+                        return 0;
+                    }
+                    self.path[pos].cur
+                } else {
+                    self.path.push(Choice { options: options.to_vec(), cur: 0 });
+                    0
+                }
+            }
+            Mode::Forced(v) => {
+                let i = v.get(pos).copied().unwrap_or(0);
+                i.min(options.len() - 1)
+            }
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        !self.threads.is_empty()
+            && self.threads.iter().all(|t| matches!(t.status, Status::Finished))
+    }
+
+    fn deadlock_report(&mut self) {
+        let mut lines = Vec::new();
+        let mut lost_wakeup = false;
+        for (t, th) in self.threads.iter().enumerate() {
+            let why = match th.status {
+                Status::Finished => continue,
+                Status::Blocked(Blocked::Lock(m)) => format!("blocked locking mutex #{m}"),
+                Status::Blocked(Blocked::Condvar { cv, timeout_ns: None, .. }) => {
+                    lost_wakeup = true;
+                    format!("waiting on condvar #{cv} with no pending notify (lost wakeup?)")
+                }
+                Status::Blocked(Blocked::Condvar { cv, .. }) => {
+                    format!("waiting on condvar #{cv}")
+                }
+                Status::Blocked(Blocked::Join(u)) => format!("joining t{u}"),
+                s => format!("{s:?}"),
+            };
+            lines.push(format!("t{t} at `{}`: {why}", th.desc));
+        }
+        let kind = if lost_wakeup { "lost wakeup / deadlock" } else { "deadlock" };
+        self.report(codes::SC202, format!("{kind}: no enabled transition; {}", lines.join("; ")));
+    }
+
+    /// If no thread holds the token and nothing is still materialising,
+    /// consume decisions until some thread is Running (or the execution
+    /// is over / aborted). Called under the engine lock by whichever
+    /// thread just changed scheduler-visible state.
+    pub(crate) fn try_schedule(&mut self) {
+        loop {
+            if self.abort || self.nascent > 0 {
+                return;
+            }
+            if self.threads.iter().any(|t| matches!(t.status, Status::Running)) {
+                return;
+            }
+            if self.all_finished() {
+                return;
+            }
+            let enabled = self.enabled();
+            if enabled.is_empty() {
+                self.deadlock_report();
+                return;
+            }
+            // Preemption bounding: once the budget is spent, a thread
+            // that can keep running must keep running.
+            let options = match self.last_run {
+                Some(l)
+                    if self.preemptions >= self.preemption_bound
+                        && enabled.first() == Some(&Transition::Run(l)) =>
+                {
+                    vec![Transition::Run(l)]
+                }
+                _ => enabled,
+            };
+            let idx = self.decide(&options);
+            if self.abort {
+                return;
+            }
+            let tr = options[idx];
+            self.step += 1;
+            if self.step > self.max_steps {
+                self.report(
+                    codes::INTERNAL,
+                    format!(
+                        "execution exceeded {} schedule points — livelock in the model, or \
+                         raise Checker::max_steps",
+                        self.max_steps
+                    ),
+                );
+                return;
+            }
+            if let Some(l) = self.last_run {
+                let could_continue = options.first() == Some(&Transition::Run(l));
+                let switched = !matches!(tr, Transition::Run(t) if t == l);
+                if could_continue && switched {
+                    self.preemptions += 1;
+                }
+            }
+            let desc = match tr {
+                Transition::Run(t) | Transition::Timeout(t) => self.threads[t].desc,
+            };
+            self.trace.push(TraceEntry { choice: idx, n_options: options.len(), tr, desc });
+            match tr {
+                Transition::Run(t) => {
+                    self.threads[t].status = Status::Running;
+                    self.last_run = Some(t);
+                    return;
+                }
+                Transition::Timeout(t) => {
+                    if let Status::Blocked(Blocked::Condvar {
+                        mutex, timeout_ns: Some(d), ..
+                    }) = self.threads[t].status
+                    {
+                        self.clock_ns = self.clock_ns.saturating_add(d);
+                        self.threads[t].timed_out = true;
+                        self.threads[t].status = Status::Blocked(Blocked::Lock(mutex));
+                    }
+                    // No token granted; loop for the next decision.
+                }
+            }
+        }
+    }
+
+    // --- race detection on RaceCell accesses -------------------------
+
+    pub(crate) fn cell_read(&mut self, id: ObjId, tid: Tid, what: &'static str) {
+        // Cell accesses are not schedule points, but they must still be
+        // distinguishable from the thread's last sync op — otherwise an
+        // access *after* a spawn/release would wear the epoch of the
+        // spawn itself and be invisible to the detector.
+        let e = self.threads[tid].clock.inc(tid);
+        let clock = self.threads[tid].clock.clone();
+        let cst = self.cells.entry(id).or_default();
+        if let Some((w, we)) = cst.write {
+            if w != tid && clock.get(w) < we {
+                self.report(
+                    codes::SC201,
+                    format!(
+                        "data race on {what}: read by t{tid} is concurrent with write by t{w} \
+                         (no happens-before edge)"
+                    ),
+                );
+                return;
+            }
+        }
+        let cst = self.cells.entry(id).or_default();
+        match cst.reads.iter_mut().find(|(t, _)| *t == tid) {
+            Some(slot) => slot.1 = e,
+            None => cst.reads.push((tid, e)),
+        }
+    }
+
+    pub(crate) fn cell_write(&mut self, id: ObjId, tid: Tid, what: &'static str) {
+        let e = self.threads[tid].clock.inc(tid);
+        let clock = self.threads[tid].clock.clone();
+        let cst = self.cells.entry(id).or_default();
+        if let Some((w, we)) = cst.write {
+            if w != tid && clock.get(w) < we {
+                self.report(
+                    codes::SC201,
+                    format!(
+                        "data race on {what}: write by t{tid} is concurrent with write by t{w} \
+                         (no happens-before edge)"
+                    ),
+                );
+                return;
+            }
+        }
+        let racy_reader =
+            cst.reads.iter().find(|(t, re)| *t != tid && clock.get(*t) < *re).map(|(t, _)| *t);
+        if let Some(r) = racy_reader {
+            self.report(
+                codes::SC201,
+                format!(
+                    "data race on {what}: write by t{tid} is concurrent with read by t{r} \
+                     (no happens-before edge)"
+                ),
+            );
+            return;
+        }
+        let cst = self.cells.entry(id).or_default();
+        cst.write = Some((tid, e));
+        cst.reads.clear();
+    }
+
+    // --- modeled memory orderings on atomics -------------------------
+
+    pub(crate) fn atomic_load_effects(&mut self, id: ObjId, tid: Tid, ord: Ordering) {
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            let rel = self.atomics.entry(id).or_default().release.clone();
+            self.threads[tid].clock.join(&rel);
+        }
+    }
+
+    pub(crate) fn atomic_store_effects(&mut self, id: ObjId, tid: Tid, ord: Ordering) {
+        let clock = self.threads[tid].clock.clone();
+        let a = self.atomics.entry(id).or_default();
+        if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+            a.release = clock;
+        } else {
+            // A Relaxed store starts a fresh (empty) release sequence.
+            a.release = VClock::default();
+        }
+    }
+
+    pub(crate) fn atomic_rmw_effects(&mut self, id: ObjId, tid: Tid, ord: Ordering) {
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            let rel = self.atomics.entry(id).or_default().release.clone();
+            self.threads[tid].clock.join(&rel);
+        }
+        if matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst) {
+            let clock = self.threads[tid].clock.clone();
+            self.atomics.entry(id).or_default().release = clock;
+        }
+        // A Relaxed RMW leaves the release clock in place: it continues
+        // the release sequence headed by the previous Release store.
+    }
+}
+
+pub(crate) use std::sync::atomic::Ordering;
+
+/// The shared engine: state + the single condvar every parked model
+/// thread (and the controller) waits on.
+pub(crate) struct Exec {
+    pub(crate) st: OsMutex<ExecState>,
+    pub(crate) cv: OsCondvar,
+    handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Exec {
+    /// Poison-tolerant lock: a model-thread panic while holding the
+    /// engine lock must not cascade into every other thread.
+    pub(crate) fn lock(&self) -> OsGuard<'_, ExecState> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+// --- per-thread context ----------------------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: Tid,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Ctx {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("schedcheck shadow type used outside Checker::model (or from a std thread)")
+    })
+}
+
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// A schedule point. `arrive` records why the thread is parking (and
+/// applies entry effects such as a condvar wait releasing its mutex);
+/// once the engine grants the token back, `grant` applies the
+/// operation's effects and produces its result — all under the lock.
+pub(crate) fn sync_op<R>(
+    desc: &'static str,
+    arrive: impl FnOnce(&mut ExecState, Tid) -> Status,
+    grant: impl FnOnce(&mut ExecState, Tid) -> R,
+) -> R {
+    let ctx = ctx();
+    let mut st = ctx.exec.lock();
+    if st.abort || std::thread::panicking() {
+        // Teardown / unwinding: apply the effect without scheduling so
+        // destructors of model types still run to completion.
+        if st.abort && !std::thread::panicking() {
+            drop(st);
+            panic::panic_any(AbortUnwind);
+        }
+        let r = grant(&mut st, ctx.tid);
+        drop(st);
+        ctx.exec.cv.notify_all();
+        return r;
+    }
+    let status = arrive(&mut st, ctx.tid);
+    st.threads[ctx.tid].status = status;
+    st.threads[ctx.tid].desc = desc;
+    st.try_schedule();
+    let granted_inline = matches!(st.threads[ctx.tid].status, Status::Running);
+    if !granted_inline {
+        ctx.exec.cv.notify_all();
+        loop {
+            if matches!(st.threads[ctx.tid].status, Status::Running) {
+                break;
+            }
+            if st.abort {
+                drop(st);
+                ctx.exec.cv.notify_all();
+                panic::panic_any(AbortUnwind);
+            }
+            st = ctx.exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    st.threads[ctx.tid].clock.inc(ctx.tid);
+    let r = grant(&mut st, ctx.tid);
+    drop(st);
+    r
+}
+
+/// A non-point operation: touches engine state under the lock without
+/// yielding the token (used by `RaceCell` accesses, `Instant::now`,
+/// allocation tracking). `f`'s third argument says whether the
+/// execution is degraded (teardown/unwinding) — detection must be
+/// skipped then, effects still applied. If `f` reports a violation the
+/// calling thread unwinds immediately.
+pub(crate) fn direct_op<R>(f: impl FnOnce(&mut ExecState, Tid, bool) -> R) -> R {
+    let ctx = ctx();
+    let mut st = ctx.exec.lock();
+    let degraded = st.abort || std::thread::panicking();
+    let had_violation = st.violation.is_some();
+    let r = f(&mut st, ctx.tid, degraded);
+    let tripped = !degraded && !had_violation && st.violation.is_some();
+    drop(st);
+    if tripped {
+        ctx.exec.cv.notify_all();
+        panic::panic_any(AbortUnwind);
+    }
+    r
+}
+
+/// Spawn a model thread: allocate its Tid and seed its clock from the
+/// parent under the lock, then start the OS thread. The child parks at
+/// a "thread start" point before running `f`.
+pub(crate) fn spawn_model(
+    st: &mut ExecState,
+    exec: &Arc<Exec>,
+    parent: Option<Tid>,
+    f: Box<dyn FnOnce() + Send>,
+) -> Tid {
+    let tid = st.threads.len();
+    let mut th = ThreadSt::new();
+    if let Some(p) = parent {
+        th.clock = st.threads[p].clock.clone();
+    }
+    th.clock.inc(tid);
+    st.threads.push(th);
+    st.nascent += 1;
+    let exec2 = Arc::clone(exec);
+    let h = std::thread::Builder::new()
+        .name(format!("schedcheck-t{tid}"))
+        .spawn(move || thread_main(exec2, tid, f))
+        .expect("schedcheck: OS thread spawn failed");
+    exec.handles.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+    tid
+}
+
+fn thread_main(exec: Arc<Exec>, tid: Tid, f: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx { exec: Arc::clone(&exec), tid }));
+    // Arrive at the start point and wait for the first grant.
+    let mut run_body = true;
+    {
+        let mut st = exec.lock();
+        st.nascent -= 1;
+        st.threads[tid].status = Status::AtPoint;
+        st.threads[tid].desc = "thread start";
+        st.try_schedule();
+        if !matches!(st.threads[tid].status, Status::Running) {
+            exec.cv.notify_all();
+            loop {
+                if matches!(st.threads[tid].status, Status::Running) {
+                    break;
+                }
+                if st.abort {
+                    run_body = false;
+                    break;
+                }
+                st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        if run_body {
+            st.threads[tid].clock.inc(tid);
+        }
+    }
+    // Whether the body ran or not, the closure (and everything it
+    // captured) must be dropped *before* this thread reports Finished:
+    // scoped spawns are allowed to resume unwinding — invalidating
+    // borrows — once every child is Finished.
+    if run_body {
+        let res = panic::catch_unwind(AssertUnwindSafe(f));
+        if let Err(p) = res {
+            if !p.is::<AbortUnwind>() {
+                let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "model thread panicked".to_string()
+                };
+                let mut st = exec.lock();
+                st.report(codes::PANIC, format!("t{tid} panicked: {msg}"));
+            }
+        }
+    } else {
+        drop(f);
+    }
+    let mut st = exec.lock();
+    st.threads[tid].status = Status::Finished;
+    st.threads[tid].clock.inc(tid);
+    st.try_schedule();
+    drop(st);
+    exec.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Outcome of a single execution.
+pub(crate) struct RunResult {
+    pub(crate) path: Vec<Choice>,
+    pub(crate) violation: Option<Violation>,
+}
+
+/// Run the model closure once under the given decision mode. Blocks
+/// until every model thread has finished (normally or by unwinding).
+pub(crate) fn run_once(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    preemption_bound: usize,
+    max_steps: usize,
+    mode: Mode,
+    path: Vec<Choice>,
+) -> RunResult {
+    let exec = Arc::new(Exec {
+        st: OsMutex::new(ExecState::new(preemption_bound, max_steps, mode, path)),
+        cv: OsCondvar::new(),
+        handles: OsMutex::new(Vec::new()),
+    });
+    {
+        let mut st = exec.lock();
+        let f = Arc::clone(f);
+        spawn_model(&mut st, &exec, None, Box::new(move || f()));
+    }
+    exec.cv.notify_all();
+    // Controller: wait for quiescence (all model threads finished).
+    let mut st = exec.lock();
+    while !st.all_finished() || st.nascent > 0 {
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    // A clean execution with live allocations is a leak.
+    if st.violation.is_none() && !st.allocs.is_empty() {
+        let mut sites: Vec<String> = st
+            .allocs
+            .values()
+            .map(|a| format!("{} (allocated at step {})", a.ty, a.step))
+            .collect();
+        sites.sort();
+        sites.truncate(4);
+        let n = st.allocs.len();
+        st.report(
+            codes::SC203,
+            format!("{n} allocation(s) from boxed::into_raw never reclaimed: {}", sites.join(", ")),
+        );
+    }
+    let violation = st.violation.clone();
+    let path = std::mem::take(&mut st.path);
+    drop(st);
+    let handles = std::mem::take(&mut *exec.handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    RunResult { path, violation }
+}
+
+/// Advance the DFS path to the next unexplored schedule. Returns false
+/// when the tree is exhausted.
+pub(crate) fn backtrack(path: &mut Vec<Choice>) -> bool {
+    while let Some(c) = path.last_mut() {
+        c.cur += 1;
+        if c.cur < c.options.len() {
+            return true;
+        }
+        path.pop();
+    }
+    false
+}

@@ -1,0 +1,153 @@
+//! Exploration-shape tests: the DFS must be deterministic, the
+//! preemption bound must be monotone, the schedule cap must report
+//! itself, and clean protocols must stay clean across every explored
+//! schedule.
+
+use std::sync::Arc;
+
+use schedcheck::atomic::{AtomicU64, Ordering};
+use schedcheck::{thread, Checker, Condvar, Mutex};
+
+/// Two incrementers racing on an atomic: correct under every schedule.
+fn counter_model() {
+    let n = Arc::new(AtomicU64::new(0));
+    let n2 = Arc::clone(&n);
+    let t = thread::spawn(move || {
+        n2.fetch_add(1, Ordering::AcqRel);
+        n2.fetch_add(1, Ordering::AcqRel);
+    });
+    n.fetch_add(1, Ordering::AcqRel);
+    n.fetch_add(1, Ordering::AcqRel);
+    t.join().unwrap();
+    assert_eq!(n.load(Ordering::Acquire), 4);
+}
+
+#[test]
+fn single_threaded_model_has_exactly_one_schedule() {
+    let out = Checker::new().preemptions(2).model(|| {
+        let n = AtomicU64::new(0);
+        n.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    });
+    out.expect_clean(1);
+    assert_eq!(out.schedules, 1);
+    assert!(!out.capped);
+}
+
+#[test]
+fn deterministic_schedule_counts() {
+    let a = Checker::new().preemptions(2).max_schedules(10_000).model(counter_model);
+    let b = Checker::new().preemptions(2).max_schedules(10_000).model(counter_model);
+    a.expect_clean(2);
+    assert_eq!(a.schedules, b.schedules, "DFS must be deterministic");
+}
+
+#[test]
+fn preemption_bound_is_monotone() {
+    let mut last = 0;
+    for bound in 0..=3 {
+        let out = Checker::new().preemptions(bound).max_schedules(50_000).model(counter_model);
+        out.expect_clean(1);
+        assert!(!out.capped, "bound {bound} should exhaust the tree");
+        assert!(
+            out.schedules >= last,
+            "raising the bound to {bound} lost schedules ({} < {last})",
+            out.schedules
+        );
+        last = out.schedules;
+    }
+    // Hand count: the child has 3 schedulable ops (start, 2 adds), the
+    // main thread 2, so there are C(5,2) = 10 interleavings; only the
+    // full alternation needs 4 preemptions, so bound 3 reaches 9.
+    assert_eq!(last, 9, "bound 3 must explore exactly 9 of the 10 interleavings");
+}
+
+/// With a generous bound the DFS enumerates *exactly* the set of
+/// observable interleavings — no duplicates, no gaps.
+#[test]
+fn exact_interleaving_count() {
+    let out = Checker::new().preemptions(16).max_schedules(50_000).model(counter_model);
+    out.expect_clean(1);
+    assert!(!out.capped);
+    assert_eq!(out.schedules, 10, "C(5,2) interleavings of 2 main ops among 5");
+}
+
+#[test]
+fn schedule_cap_reports_itself() {
+    let out = Checker::new().preemptions(3).max_schedules(3).model(counter_model);
+    assert!(out.violation.is_none());
+    assert_eq!(out.schedules, 3);
+    assert!(out.capped, "hitting max_schedules must set `capped`");
+}
+
+/// A correct park/notify handshake (predicate re-checked under the
+/// lock, wait atomic with the check) is clean under every schedule.
+#[test]
+fn correct_condvar_handshake_is_clean() {
+    let out = Checker::new().preemptions(2).max_schedules(20_000).model(|| {
+        let m = Arc::new(Mutex::new(0u32));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            *g += 1;
+            drop(g);
+            cv2.notify_all();
+        });
+        let mut g = m.lock().unwrap();
+        while *g == 0 {
+            g = cv.wait(g).unwrap();
+        }
+        assert_eq!(*g, 1);
+        drop(g);
+        t.join().unwrap();
+    });
+    out.expect_clean(3);
+}
+
+/// `scope` joins children at the model level; their effects are
+/// ordered before everything after the scope.
+#[test]
+fn scoped_threads_join_and_synchronize() {
+    let out = Checker::new().preemptions(2).max_schedules(20_000).model(|| {
+        let n = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    n.fetch_add(1, Ordering::AcqRel);
+                });
+            }
+        });
+        // Relaxed is enough: scope join ordered the children's writes.
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    out.expect_clean(5);
+}
+
+/// `wait_timeout` must always be able to fire, so a notify that never
+/// comes is a timeout, not a deadlock.
+#[test]
+fn wait_timeout_never_deadlocks() {
+    let out = Checker::new().preemptions(2).max_schedules(20_000).model(|| {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = m.lock().unwrap();
+        let (_g, res) = cv.wait_timeout(g, std::time::Duration::from_millis(5)).unwrap();
+        assert!(res.timed_out());
+    });
+    out.expect_clean(1);
+}
+
+/// Virtual time: sleeps and timeouts advance `Instant`.
+#[test]
+fn virtual_clock_advances() {
+    use schedcheck::time::{Duration, Instant};
+    let out = Checker::new().preemptions(2).model(|| {
+        let t0 = Instant::now();
+        thread::sleep(Duration::from_millis(2));
+        let t1 = Instant::now();
+        assert!(t1 >= t0 + Duration::from_millis(2));
+        assert!(t1.elapsed() == Duration::ZERO);
+    });
+    out.expect_clean(1);
+}

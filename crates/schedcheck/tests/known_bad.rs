@@ -1,0 +1,197 @@
+//! Seeded known-bad primitives: every detector must fire with the
+//! right SC2xx code and a replayable trace. These run in the tier-1
+//! test pass (the shadow types are always compiled; only `native`'s
+//! facade is cfg-gated), so the checker itself is regression-tested on
+//! every build.
+
+use std::sync::Arc;
+
+use schedcheck::atomic::{AtomicBool, Ordering};
+use schedcheck::cell::RaceCell;
+use schedcheck::{boxed, codes, thread, Checker, Condvar, Mutex};
+
+fn checker() -> Checker {
+    Checker::new().preemptions(2).max_schedules(5_000)
+}
+
+// ---------------------------------------------------------------------
+// SC201 — data races
+// ---------------------------------------------------------------------
+
+#[test]
+fn racy_counter_is_sc201() {
+    let out = checker().model(|| {
+        let n = Arc::new(RaceCell::new(0u64));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            let v = n2.get();
+            n2.set(v + 1);
+        });
+        let v = n.get();
+        n.set(v + 1);
+        t.join().unwrap();
+    });
+    let v = out.violation.expect("racy counter must be detected");
+    assert_eq!(v.code, codes::SC201, "wrong code: {v}");
+    assert!(!v.trace.is_empty(), "violation must carry a replayable trace");
+}
+
+#[test]
+fn relaxed_publication_is_sc201_and_release_acquire_is_clean() {
+    fn publish(store_ord: Ordering) -> schedcheck::Outcome {
+        checker().model(move || {
+            let flag = Arc::new(AtomicBool::new(false));
+            let data = Arc::new(RaceCell::new(0u64));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.set(42);
+                f2.store(true, store_ord);
+            });
+            if flag.load(Ordering::Acquire) {
+                // Consumer believes the flag publishes `data`.
+                assert_eq!(data.get(), 42);
+            }
+            t.join().unwrap();
+        })
+    }
+
+    let racy = publish(Ordering::Relaxed);
+    let v = racy.violation.expect("relaxed publication must race");
+    assert_eq!(v.code, codes::SC201, "wrong code: {v}");
+
+    let clean = publish(Ordering::Release);
+    clean.expect_clean(3);
+}
+
+// ---------------------------------------------------------------------
+// SC202 — lost wakeups and deadlocks
+// ---------------------------------------------------------------------
+
+/// The classic lost wakeup: the waiter re-locks between checking the
+/// predicate and calling `wait`, so the notify can land in the gap.
+#[test]
+fn lost_wakeup_condvar_is_sc202() {
+    let out = checker().model(|| {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            *m2.lock().unwrap() = true;
+            cv2.notify_all();
+        });
+        let ready = *m.lock().unwrap();
+        if !ready {
+            // BUG: predicate check and wait are not atomic.
+            let g = m.lock().unwrap();
+            let _g = cv.wait(g).unwrap();
+        }
+        t.join().unwrap();
+    });
+    let v = out.violation.expect("lost wakeup must be detected");
+    assert_eq!(v.code, codes::SC202, "wrong code: {v}");
+    assert!(v.message.contains("lost wakeup"), "message should name the bug: {v}");
+}
+
+#[test]
+fn ab_ba_deadlock_is_sc202() {
+    let out = checker().model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _gb = b2.lock().unwrap();
+            let _ga = a2.lock().unwrap();
+        });
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+        t.join().unwrap();
+    });
+    let v = out.violation.expect("AB/BA deadlock must be detected");
+    assert_eq!(v.code, codes::SC202, "wrong code: {v}");
+}
+
+// ---------------------------------------------------------------------
+// SC203 — leaks and double frees
+// ---------------------------------------------------------------------
+
+#[test]
+fn leaked_node_is_sc203() {
+    let out = checker().model(|| {
+        let p = boxed::into_raw(Box::new(7u64));
+        // BUG: never reclaimed.
+        let _ = p;
+    });
+    let v = out.violation.expect("leak must be detected");
+    assert_eq!(v.code, codes::SC203, "wrong code: {v}");
+    assert!(v.message.contains("never reclaimed"), "{v}");
+}
+
+#[test]
+fn double_free_is_sc203() {
+    let out = checker().model(|| {
+        let p = boxed::into_raw(Box::new(1u64));
+        drop(unsafe { boxed::from_raw(p) });
+        // BUG: reclaimed twice (the checker aborts before the second
+        // real free, so the test process itself stays sound).
+        drop(unsafe { boxed::from_raw(p) });
+    });
+    let v = out.violation.expect("double free must be detected");
+    assert_eq!(v.code, codes::SC203, "wrong code: {v}");
+    assert!(v.message.contains("double free"), "{v}");
+}
+
+#[test]
+fn balanced_into_from_raw_is_clean() {
+    checker()
+        .model(|| {
+            let p = boxed::into_raw(Box::new(9u64));
+            let b = unsafe { boxed::from_raw(p) };
+            assert_eq!(*b, 9);
+        })
+        .expect_clean(1);
+}
+
+// ---------------------------------------------------------------------
+// assertion failures and replay
+// ---------------------------------------------------------------------
+
+#[test]
+fn model_assertion_failure_is_reported_with_schedule() {
+    let out = checker().model(|| {
+        let n = Arc::new(schedcheck::atomic::AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.store(1, Ordering::Release);
+        });
+        // BUG: asserts a value another thread may still change.
+        assert_eq!(n.load(Ordering::Acquire), 0);
+        t.join().unwrap();
+    });
+    let v = out.violation.expect("assertion failure must surface");
+    assert_eq!(v.code, codes::PANIC, "wrong code: {v}");
+}
+
+#[test]
+fn violation_trace_replays_to_the_same_code() {
+    let model = || {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            *m2.lock().unwrap() = true;
+            cv2.notify_all();
+        });
+        let ready = *m.lock().unwrap();
+        if !ready {
+            let g = m.lock().unwrap();
+            let _g = cv.wait(g).unwrap();
+        }
+        t.join().unwrap();
+    };
+    let out = checker().model(model);
+    let v = out.violation.expect("lost wakeup must be detected");
+    let replayed = checker()
+        .replay(&v.trace, model)
+        .expect("replaying the trace must reproduce the violation");
+    assert_eq!(replayed.code, v.code);
+}

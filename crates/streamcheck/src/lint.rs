@@ -10,10 +10,13 @@
 //! | SC003 | termination reachability: every consumer eventually hears `Term` from every producer under the drain discipline |
 //! | SC004 | routing totality: keyed maps cover their key domain and stay in range; endpoint sets non-empty |
 //! | SC005 | config validity: zero granularity / aggregation / credit window / timeout, window below one batch, t/2t patience hierarchy |
+//! | SC006 | batched credit flush fits the window's stall margin: `credit_batch ≤ credits - aggregation + 1`, or a stalled producer waits forever for a flush that never triggers |
 //!
 //! The dynamic sanitizer's findings use the same namespace one hundred up:
 //! SC101 wildcard race, SC102 orphan message, SC103 credit overrun (see
-//! `mpisim::check`).
+//! `mpisim::check`); the native backend's model checker uses two hundred
+//! up: SC201 data race, SC202 deadlock/lost wakeup, SC203 leak/double
+//! free (see `schedcheck` and DESIGN.md §14).
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -40,7 +43,7 @@ impl std::fmt::Display for Severity {
 /// One lint finding.
 #[derive(Clone, Debug)]
 pub struct Finding {
-    /// Catalogue code (`SC001`..`SC005`).
+    /// Catalogue code (`SC001`..`SC006`).
     pub code: &'static str,
     pub severity: Severity,
     /// What the finding is about — a channel or group name, or `topology`.
@@ -142,6 +145,7 @@ pub fn check(topo: &Topology) -> Report {
     lint_groups(topo, &mut findings);
     for ch in &topo.channels {
         lint_config(ch, &mut findings);
+        lint_credit_batch(ch, &mut findings);
         lint_routing(ch, &mut findings);
         lint_termination(ch, &mut findings);
     }
@@ -234,11 +238,11 @@ fn lint_config(ch: &ChannelDecl, findings: &mut Vec<Finding>) {
             ConfigError::ZeroCreditBatch => {
                 "credit_batch is 0: accumulated credit is never acknowledged".to_string()
             }
-            ConfigError::CreditBatchAboveWindow { batch, credits, aggregation } => format!(
-                "credit_batch ({batch}) exceeds the credit window's stall margin \
-                 ({credits} - {aggregation} + 1): a producer blocked on the window \
-                 could wait forever for a credit flush"
-            ),
+            // Promoted to its own lint (SC006, `lint_credit_batch`): it
+            // is a relation between tuning knobs, not a degenerate value,
+            // and is checked from the fields directly so it fires even
+            // when validate() short-circuits on an earlier error.
+            ConfigError::CreditBatchAboveWindow { .. } => return,
         };
         findings.push(Finding {
             code: "SC005",
@@ -260,6 +264,39 @@ fn lint_config(ch: &ChannelDecl, findings: &mut Vec<Finding>) {
                 ),
             });
         }
+    }
+}
+
+/// SC006: the batched credit flush must fit inside the credit window's
+/// stall margin. A producer can stall with as few as
+/// `credits - aggregation + 1` elements outstanding, all of which the
+/// consumer may already have processed; if the accumulation threshold
+/// `credit_batch` lies above that, the acknowledgement never flushes and
+/// the stream deadlocks. Unlike the SC005 value checks this is a
+/// relation between three healthy-looking knobs, so it gets its own
+/// code — and it is computed from the fields directly (not from
+/// `validate()`, which short-circuits on the first error), so topology
+/// extraction flags it even in configs with other defects.
+fn lint_credit_batch(ch: &ChannelDecl, findings: &mut Vec<Finding>) {
+    let Some(credits) = ch.config.credits else {
+        return; // no credit flow at all: credit_batch is ignored
+    };
+    let (batch, aggregation) = (ch.config.credit_batch, ch.config.aggregation);
+    if credits == 0 || aggregation == 0 || batch == 0 || credits < aggregation {
+        return; // degenerate values are SC005's findings, not a relation
+    }
+    let margin = credits - aggregation + 1;
+    if batch > margin {
+        findings.push(Finding {
+            code: "SC006",
+            severity: Severity::Error,
+            subject: ch.name.clone(),
+            message: format!(
+                "credit_batch ({batch}) exceeds the credit window's stall margin \
+                 ({credits} - {aggregation} + 1 = {margin}): a producer blocked on the \
+                 window could wait forever for a credit flush"
+            ),
+        });
     }
 }
 

@@ -235,6 +235,45 @@ fn sc005_patience_below_twice_timeout_is_error() {
     assert!(check(&ok).is_clean());
 }
 
+// ---- SC006: batched credit flush vs the window's stall margin ----
+
+#[test]
+fn sc006_credit_batch_above_stall_margin_is_error() {
+    // Window 8, aggregation 2 → stall margin 8 - 2 + 1 = 7; a batch of 8
+    // can withhold the flush a stalled producer is waiting for.
+    let bad = ChannelConfig {
+        credits: Some(8),
+        aggregation: 2,
+        credit_batch: 8,
+        ..ChannelConfig::default()
+    };
+    let topo = Topology::new(2).channel(ChannelDecl::new("bad", vec![0], vec![1], bad.clone()));
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC006"), 1, "{}", report.to_text());
+    assert_eq!(errors_with(&report, "SC005"), 0, "promoted out of SC005:\n{}", report.to_text());
+
+    // Exactly the margin is legal.
+    let ok = ChannelConfig { credit_batch: 7, ..bad };
+    let topo = Topology::new(2).channel(ChannelDecl::new("ok", vec![0], vec![1], ok));
+    assert!(check(&topo).is_clean(), "{}", check(&topo).to_text());
+}
+
+/// `validate()` short-circuits on its first error; the SC006 relation is
+/// computed from the fields directly, so both must be reported at once.
+#[test]
+fn sc006_fires_alongside_other_config_errors() {
+    let config = ChannelConfig {
+        credits: Some(8),
+        credit_batch: 9,
+        failure_timeout: Some(SimDuration::ZERO),
+        ..ChannelConfig::default()
+    };
+    let topo = Topology::new(2).channel(ChannelDecl::new("bad", vec![0], vec![1], config));
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC005"), 1, "{}", report.to_text());
+    assert_eq!(errors_with(&report, "SC006"), 1, "{}", report.to_text());
+}
+
 // ---- Mutation battery: one clean base, every seeded defect flagged ----
 
 /// The Fig. 5 mapreduce shape: mappers -> reducers (keyed) -> master.
@@ -343,6 +382,14 @@ fn mutation_battery_every_defect_is_flagged() {
                 let d = SimDuration::from_millis(10);
                 t.channels[0].config.failure_timeout = Some(d);
                 t.channels[0].consumer_patience = Some(d);
+                t
+            }),
+        ),
+        (
+            "credit batch above the window's stall margin",
+            Box::new(|mut t| {
+                // fig5's window is 64 with aggregation 1: margin 64.
+                t.channels[0].config.credit_batch = 65;
                 t
             }),
         ),
