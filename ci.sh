@@ -97,9 +97,23 @@ echo "== engine perf smoke (quick gate vs committed baseline) =="
 # behaviour change); wall time may not exceed ENGINE_BENCH_MAX_RATIO
 # (default 3x) of the baseline's. This also gates the streamprof hooks:
 # with no Profiled wrapper attached they must cost nothing, so the
-# virtual-time capture may not drift. See DESIGN.md §10, §12.
+# virtual-time capture may not drift. Both this gate and the native one
+# above include the agg_incast scenario (tree_reduce over 512 virtual /
+# 64 real ranks), so the aggregation operators' timing and message
+# counts are pinned by the committed baselines. See DESIGN.md §10, §15.
 cargo run --release --offline -q -p bench-harness --bin engine_bench -- \
     --quick --check --baseline results/engine_quick_baseline.json \
     --out target/BENCH_engine_quick.json
+
+echo "== extended-scale fig5 smoke (tree aggregation vs flat incast) =="
+# One point of the FIG5_EXTENDED sweep (coarse granularity, 1,024 ranks,
+# fixed seed) — enough to prove the aggregated master drain collapses
+# versus the flat pipeline without paying for the full 16K sweep. The
+# binary prints both drains; the committed 16K artifacts are
+# results/fig5_extended.* and fig5_master_drain.*. Time-boxed because a
+# weak-scaling point is thread-per-rank on the host; RESULTS_DIR keeps
+# the partial sweep away from the committed artifacts. See DESIGN.md §15.
+FIG5_EXTENDED=1 MAX_PROCS=1024 RESULTS_DIR=target/ci_results timeout 600 \
+    cargo run --release --offline -q -p bench-harness --bin fig5
 
 echo "== ci.sh: all green =="

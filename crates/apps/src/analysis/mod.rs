@@ -223,6 +223,76 @@ pub fn run_profiled_analysis(
     (outcome.elapsed_secs(), sink.take())
 }
 
+/// The granularity-sweep run of [`run_profiled_analysis`] with a
+/// producer-side [`Combiner`](mpistream::Combiner) in front of the update
+/// stream: `combine_every` per-step updates destined for the same
+/// consumer are merged into one batch element before it enters the
+/// channel, so the per-element overhead `o` of Eq. 4 is paid once per
+/// batch instead of once per update. `combine_every = 1` is the
+/// degenerate no-combining case (identical message count to pushing each
+/// update straight into the stream), which makes the two fits directly
+/// comparable: same routing, same bytes, only the fold factor differs.
+///
+/// Returns the virtual makespan, the recorded trace, and the combiner
+/// counters summed over the producers (fold factor ≈ `combine_every`).
+pub fn run_profiled_combined_analysis(
+    nprocs: usize,
+    cfg: &AnalysisConfig,
+    element_bytes: u64,
+    combine_every: usize,
+) -> (f64, streamprof::Trace, mpistream::CombinerStats) {
+    use mpistream::Combiner;
+    let world = World::new(cfg.machine.clone()).with_seed(cfg.seed);
+    let sink = streamprof::ProfSink::new(streamprof::Clock::Virtual);
+    let s2 = sink.clone();
+    let cfg2 = cfg.clone();
+    let stats: Arc<Mutex<mpistream::CombinerStats>> =
+        Arc::new(Mutex::new(mpistream::CombinerStats::default()));
+    let st2 = stats.clone();
+    let outcome = world.run_expect(nprocs, move |rank| {
+        let mut rank = streamprof::Profiled::new(rank, s2.clone());
+        let comm = rank.world_group();
+        let spec = GroupSpec { every: cfg2.alpha_every };
+        let steps = cfg2.steps;
+        let secs_per_unit = cfg2.secs_per_unit;
+        let st3 = st2.clone();
+        run_decoupled::<Vec<WorkloadUpdate>, _, _, _>(
+            &mut rank,
+            &comm,
+            spec,
+            ChannelConfig { element_bytes, ..ChannelConfig::default() },
+            move |rank, p| {
+                let me = rank.world_rank();
+                let nc = p.stream.channel().consumers().len();
+                let mut comb = Combiner::new(p.stream, combine_every);
+                for step in 0..steps {
+                    let w = workload_at(me, step);
+                    rank.compute(w as f64 * secs_per_unit);
+                    let update = vec![WorkloadUpdate { rank: me, step, work_units: w }];
+                    comb.push(rank, p.stream, me % nc, update, |acc, mut e| {
+                        acc.append(&mut e);
+                    });
+                }
+                let s = comb.finish(rank, p.stream);
+                let mut sum = st3.lock();
+                sum.folded += s.folded;
+                sum.emitted += s.emitted;
+            },
+            move |rank, c| {
+                let fan_in = (cfg2.alpha_every - 1).max(1) as f64;
+                let per_update = secs_per_unit / fan_in;
+                c.stream.operate(rank, |rank, batch| {
+                    for u in batch {
+                        rank.compute(u.work_units as f64 * per_update);
+                    }
+                });
+            },
+        );
+    });
+    let stats = *stats.lock();
+    (outcome.elapsed_secs(), sink.take(), stats)
+}
+
 /// Communication topology of [`run_decoupled_analysis`] (Listing 1) for
 /// the `streamcheck` static pass: a single statically-routed update stream
 /// from the computation group to the analysis group.
@@ -322,6 +392,35 @@ mod tests {
         let (m2, t2) = run_profiled_analysis(8, &c, 1 << 10);
         assert_eq!(makespan, m2);
         assert_eq!(trace.to_chrome_json(), t2.to_chrome_json());
+    }
+
+    #[test]
+    fn combined_profiled_analysis_amortizes_per_element_overhead() {
+        let c = cfg();
+        let (m1, t1, s1) = run_profiled_combined_analysis(8, &c, 1 << 10, 1);
+        let (m4, t4, s4) = run_profiled_combined_analysis(8, &c, 1 << 10, 4);
+        // Same logical updates either way; combining divides the emitted
+        // element count by the fold factor (exactly, since steps % 4 == 0).
+        assert_eq!(s1.folded, s4.folded);
+        assert_eq!(s1.emitted, s1.folded);
+        assert_eq!(s4.emitted, s4.folded / 4);
+        assert!((s4.fold_factor() - 4.0).abs() < 1e-9);
+        // Both traces fit, and the combined stream carries 1/4 the elements.
+        let f1 = streamprof::fit(&t1).expect("uncombined trace fits");
+        let f4 = streamprof::fit(&t4).expect("combined trace fits");
+        assert!((f1.elems_mean - c.steps as f64).abs() < 1e-9);
+        assert!((f4.elems_mean - c.steps as f64 / 4.0).abs() < 1e-9);
+        // The amortization the operator exists for: overhead_o is paid per
+        // *emitted* element, so the cost per logical update falls by about
+        // the fold factor (at this tiny scale the makespan itself is
+        // overlap-dominated and not the discriminating signal).
+        let per_update_1 = f1.overhead_o;
+        let per_update_4 = f4.overhead_o * s4.emitted as f64 / s4.folded as f64;
+        assert!(
+            per_update_4 < 0.5 * per_update_1,
+            "combining must amortize per-update overhead: {per_update_4:.3e} vs {per_update_1:.3e}"
+        );
+        assert!(m1 > 0.0 && m4 > 0.0);
     }
 
     #[test]

@@ -21,7 +21,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mpisim::{MachineConfig, Rank, World, WorldOutcome};
-use mpistream::{prof_scoped, ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
+use mpistream::{
+    create_tree_channels, plan_tree, prof_scoped, reduce_through, ChannelConfig, Combiner,
+    GroupSpec, Role, Stream, StreamChannel, Transport,
+};
 use parking_lot::Mutex;
 use pfsim::{Pfs, PfsConfig};
 use workloads::{Corpus, CorpusConfig};
@@ -61,6 +64,18 @@ pub struct MapReduceConfig {
     /// Decoupled only: modelled wire size of one folded chunk summary
     /// relayed to the master (much smaller than the raw chunk).
     pub master_element_bytes: u64,
+    /// Decoupled only: producer-side combiner — merge this many
+    /// same-reducer chunks into one stream element before it enters the
+    /// map-output channel (1 = off, the paper's per-chunk flow). Amortizes
+    /// the per-message overhead `o` of Eq. 4 across `combine_every`
+    /// chunks.
+    pub combine_every: usize,
+    /// Decoupled only: interpose a reduction tree with this fan-in
+    /// between the local reducers and the master (None = the paper's flat
+    /// reducer → master incast). Each reducer's folded shard climbs
+    /// `ceil(log_k nr)` aggregation stages, so the master drains at most
+    /// one pre-merged shard instead of every reducer's chunk stream.
+    pub tree_fan_in: Option<usize>,
     /// RNG seed for the world.
     pub seed: u64,
 }
@@ -79,6 +94,8 @@ impl Default for MapReduceConfig {
             wire_scale: 64.0,
             dense_fold_secs_per_mb: 0.02,
             master_element_bytes: 8 << 10,
+            combine_every: 1,
+            tree_fan_in: None,
             seed: 0xFEED,
         }
     }
@@ -90,6 +107,14 @@ pub struct MapReduceResult {
     /// The computed histogram (indexed by word id), as assembled at the
     /// root/master rank.
     pub histogram: Vec<u64>,
+    /// Virtual time at which the *last* mapper finished streaming its
+    /// output (decoupled runs only; 0 for the reference).
+    pub map_done_secs: f64,
+    /// Pipeline-flush tail: elapsed minus [`Self::map_done_secs`] — how
+    /// long the reduce/master side needed to drain after the last map
+    /// output entered the pipeline. The master incast lives here, which
+    /// makes it the discriminating metric for the aggregation operators.
+    pub master_drain_secs: f64,
 }
 
 /// Map one file's tokens into a local histogram, charging compute in
@@ -179,11 +204,56 @@ pub fn run_reference(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
     });
 
     let histogram = result.lock().clone();
-    MapReduceResult { outcome, histogram }
+    MapReduceResult { outcome, histogram, map_done_secs: 0.0, master_drain_secs: 0.0 }
 }
 
 /// A streamed chunk of intermediate map output.
 pub(crate) type KvChunk = Vec<(u32, u32)>;
+
+/// A folded histogram shard climbing the reduction tree (sorted by word).
+pub(crate) type Shard = Vec<(u32, u64)>;
+
+/// Merge `other` into `acc` (both sorted by key), summing counts of
+/// duplicate keys. The associative merge behind both the mapper-side
+/// combiner and the reduction-tree stages.
+pub(crate) fn merge_sorted<C: Copy + std::ops::AddAssign>(
+    acc: &mut Vec<(u32, C)>,
+    other: Vec<(u32, C)>,
+) {
+    let a = std::mem::take(acc);
+    let mut out = Vec::with_capacity(a.len() + other.len());
+    let mut a = a.into_iter().peekable();
+    let mut b = other.into_iter().peekable();
+    loop {
+        match (a.peek().copied(), b.peek().copied()) {
+            (Some((ka, va)), Some((kb, vb))) => {
+                if ka < kb {
+                    out.push((ka, va));
+                    a.next();
+                } else if kb < ka {
+                    out.push((kb, vb));
+                    b.next();
+                } else {
+                    let mut v = va;
+                    v += vb;
+                    out.push((ka, v));
+                    a.next();
+                    b.next();
+                }
+            }
+            (Some(x), None) => {
+                out.push(x);
+                a.next();
+            }
+            (None, Some(x)) => {
+                out.push(x);
+                b.next();
+            }
+            (None, None) => break,
+        }
+    }
+    *acc = out;
+}
 
 /// The local reducer's kernel, generic over the transport: fold arriving
 /// chunks FCFS into the sparse `local` histogram and forward each chunk to
@@ -245,10 +315,11 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
     let corpus = Arc::new(Corpus::new(cfg.corpus.clone()));
     let pfs = Pfs::new(cfg.pfs.clone());
     let result: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let map_done: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
 
     let world = World::new(cfg.machine.clone()).with_seed(cfg.seed);
     let cfg2 = cfg.clone();
-    let (corpus2, pfs2, result2) = (corpus, pfs, result.clone());
+    let (corpus2, pfs2, result2, map_done2) = (corpus, pfs, result.clone(), map_done.clone());
     let outcome = world.run_expect(nprocs, move |rank| {
         let comm = rank.comm_world();
         let spec = GroupSpec { every: cfg2.alpha_every };
@@ -260,6 +331,23 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
             (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
         let master = *reduce_ranks.last().expect("at least one reducer");
         let solo_reducer = reduce_ranks.len() == 1;
+        let local_reducers: Vec<usize> = if solo_reducer {
+            reduce_ranks.clone()
+        } else {
+            reduce_ranks[..reduce_ranks.len() - 1].to_vec()
+        };
+        // Optional reduction tree over the local reducers (a solo reducer
+        // is its own master — nothing to aggregate).
+        let tree_plan = if solo_reducer {
+            None
+        } else {
+            cfg2.tree_fan_in.map(|k| plan_tree(&local_reducers, k))
+        };
+        // A merged shard covers the whole vocabulary in the worst case;
+        // model every tree (and tree-root → master) element at that full
+        // size rather than flattering the tree with per-stage estimates.
+        let shard_bytes =
+            (corpus2.vocab() as f64 * cfg2.pair_bytes as f64 * cfg2.wire_scale) as u64;
 
         // Channel 1: map group -> local reducers.
         let ch1_role = match my_role {
@@ -281,21 +369,37 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                 failure_timeout: None,
             },
         );
-        // Channel 2: local reducers -> master (absent when solo).
+        // Channel 2: local reducers -> master (absent when solo). In tree
+        // mode only the tree root produces — the other reducers' shards
+        // reach the master through it.
         let ch2 = if solo_reducer {
             None
         } else {
-            let ch2_role = match my_role {
-                Role::Consumer if me == master => Role::Consumer,
-                Role::Consumer => Role::Producer,
-                _ => Role::Bystander,
+            let ch2_role = if let Some(plan) = &tree_plan {
+                if me == master {
+                    Role::Consumer
+                } else if me == plan.root {
+                    Role::Producer
+                } else {
+                    Role::Bystander
+                }
+            } else {
+                match my_role {
+                    Role::Consumer if me == master => Role::Consumer,
+                    Role::Consumer => Role::Producer,
+                    _ => Role::Bystander,
+                }
             };
             Some(StreamChannel::create(
                 rank,
                 &comm,
                 ch2_role,
                 ChannelConfig {
-                    element_bytes: cfg2.master_element_bytes,
+                    element_bytes: if tree_plan.is_some() {
+                        shard_bytes
+                    } else {
+                        cfg2.master_element_bytes
+                    },
                     aggregation: 1, // deliberately unaggregated (the paper)
                     credits: None,
                     route: mpistream::RoutePolicy::Static,
@@ -304,6 +408,17 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                 },
             ))
         };
+        // Tree-stage block channels (collective: every rank takes part in
+        // the per-stage subgroup splits, mappers and master end up with no
+        // endpoints).
+        let tree = tree_plan.as_ref().map(|plan| {
+            create_tree_channels(
+                rank,
+                &comm,
+                plan,
+                &ChannelConfig { element_bytes: shard_bytes, ..ChannelConfig::default() },
+            )
+        });
 
         match ch1_role {
             Role::Producer => {
@@ -315,6 +430,11 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                 let nmap = map_ranks.len();
                 let mi = map_ranks.iter().position(|&r| r == me).expect("mapper");
                 let nc = stream.channel().consumers().len();
+                // Optional producer-side combiner: pre-merge chunks bound
+                // for the same reducer so the channel carries one element
+                // per `combine_every` chunks.
+                let mut comb =
+                    (cfg2.combine_every > 1).then(|| Combiner::new(&stream, cfg2.combine_every));
                 for file in corpus2.files_for(mi, nmap) {
                     map_file(rank, &corpus2, &file, &cfg2, &pfs2, |rank, pairs| {
                         let mut by_consumer: Vec<KvChunk> = vec![Vec::new(); nc];
@@ -322,48 +442,101 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                             by_consumer[w as usize % nc].push((w, c));
                         }
                         for (ci, part) in by_consumer.into_iter().enumerate() {
-                            if !part.is_empty() {
-                                stream.isend_to(rank, ci, part);
+                            if part.is_empty() {
+                                continue;
+                            }
+                            match comb.as_mut() {
+                                Some(comb) => comb.push(rank, &mut stream, ci, part, merge_sorted),
+                                None => stream.isend_to(rank, ci, part),
                             }
                         }
                     });
                 }
+                if let Some(comb) = comb {
+                    comb.finish(rank, &mut stream);
+                }
                 stream.terminate(rank);
+                // Stamp the last-mapper finish time: everything after the
+                // maximum of these is pipeline flush (the drain tail).
+                let done = Transport::now(rank).as_secs_f64();
+                let mut latest = map_done2.lock();
+                if done > *latest {
+                    *latest = done;
+                }
             }
             Role::Consumer => {
-                // Local reducer: fold arriving chunks FCFS and forward the
-                // folded chunk to the master without aggregation.
                 let mut input: Stream<KvChunk> = Stream::attach(ch1);
-                let mut to_master: Option<Stream<KvChunk>> = ch2.map(Stream::attach);
-                let mut local: HashMap<u32, u64> = HashMap::new();
-                reduce_fold(rank, &mut input, to_master.as_mut(), &mut local);
-                if let Some(mut m) = to_master {
-                    m.terminate(rank);
-                } else {
-                    // Solo reducer: it *is* the master.
-                    let vocab = corpus2.vocab();
-                    let mut hist = vec![0u64; vocab];
-                    for (w, c) in local {
-                        hist[w as usize] += c;
+                if let (Some(plan), Some(tree)) = (tree_plan.as_ref(), tree) {
+                    // Tree mode: fold the map stream locally (nothing is
+                    // forwarded per chunk), then climb the reduction tree
+                    // with the folded shard; only the tree root talks to
+                    // the master — with a single pre-merged shard.
+                    let mut local: HashMap<u32, u64> = HashMap::new();
+                    reduce_fold(rank, &mut input, None, &mut local);
+                    let mut shard: Shard = local.into_iter().collect();
+                    shard.sort_unstable();
+                    let merged =
+                        reduce_through(rank, plan, tree, Some(shard), |rank, acc, other| {
+                            rank.compute(other.len() as f64 * 100e-9);
+                            merge_sorted(acc, other);
+                        });
+                    if let Some(shard) = merged {
+                        let mut m: Stream<Shard> =
+                            Stream::attach(ch2.expect("tree root has the master channel"));
+                        m.isend_to(rank, 0, shard);
+                        m.terminate(rank);
                     }
-                    *result2.lock() = hist;
+                } else {
+                    // Paper baseline: fold arriving chunks FCFS and forward
+                    // each folded chunk to the master without aggregation.
+                    let mut to_master: Option<Stream<KvChunk>> = ch2.map(Stream::attach);
+                    let mut local: HashMap<u32, u64> = HashMap::new();
+                    reduce_fold(rank, &mut input, to_master.as_mut(), &mut local);
+                    if let Some(mut m) = to_master {
+                        m.terminate(rank);
+                    } else {
+                        // Solo reducer: it *is* the master.
+                        let vocab = corpus2.vocab();
+                        let mut hist = vec![0u64; vocab];
+                        for (w, c) in local {
+                            hist[w as usize] += c;
+                        }
+                        *result2.lock() = hist;
+                    }
                 }
             }
             Role::Bystander => {
-                // Master: aggregate the global results from the stream of
-                // unaggregated per-chunk updates.
-                let mut from_reducers: Stream<KvChunk> =
-                    Stream::attach(ch2.expect("master has the reducer channel"));
                 let vocab = corpus2.vocab();
                 let mut hist = vec![0u64; vocab];
-                master_aggregate(rank, &mut from_reducers, &mut hist);
+                if tree_plan.is_some() {
+                    // Master behind the tree: a single pre-merged shard
+                    // arrives from the tree root.
+                    let mut from_root: Stream<Shard> =
+                        Stream::attach(ch2.expect("master has the reducer channel"));
+                    from_root.operate(rank, |rank, shard| {
+                        prof_scoped(rank, "master", |rank| {
+                            rank.compute(shard.len() as f64 * 100e-9);
+                            for (w, c) in shard {
+                                hist[w as usize] += c;
+                            }
+                        });
+                    });
+                } else {
+                    // Master on the flat incast: aggregate the stream of
+                    // unaggregated per-chunk updates.
+                    let mut from_reducers: Stream<KvChunk> =
+                        Stream::attach(ch2.expect("master has the reducer channel"));
+                    master_aggregate(rank, &mut from_reducers, &mut hist);
+                }
                 *result2.lock() = hist;
             }
         }
     });
 
     let histogram = result.lock().clone();
-    MapReduceResult { outcome, histogram }
+    let map_done_secs = *map_done.lock();
+    let master_drain_secs = (outcome.elapsed_secs() - map_done_secs).max(0.0);
+    MapReduceResult { outcome, histogram, map_done_secs, master_drain_secs }
 }
 
 /// The decoupled run's communication topology (the paper's Fig. 5 shape),
@@ -399,18 +572,54 @@ pub fn topology(nprocs: usize, cfg: &MapReduceConfig) -> streamcheck::Topology {
             .keyed((0..nc).map(Some).collect()),
         );
     if !solo {
-        topo = topo.channel(
-            ChannelDecl::new(
-                "reduce-to-master",
-                local,
-                vec![master],
-                ChannelConfig {
-                    element_bytes: cfg.master_element_bytes,
-                    ..ChannelConfig::default()
-                },
-            )
-            .keyed(vec![Some(0)]),
-        );
+        if let Some(k) = cfg.tree_fan_in {
+            // Tree mode: one private channel per aggregation block, then a
+            // single root → master link. Mirrors `create_tree_channels`.
+            let shard_bytes =
+                (cfg.corpus.vocab as f64 * cfg.pair_bytes as f64 * cfg.wire_scale) as u64;
+            let plan = plan_tree(&local, k);
+            for (si, stage) in plan.stages.iter().enumerate() {
+                for (bi, block) in stage.blocks.iter().enumerate() {
+                    if block.len() < 2 {
+                        continue;
+                    }
+                    topo = topo.channel(
+                        ChannelDecl::new(
+                            format!("tree-s{si}-b{bi}"),
+                            block[1..].to_vec(),
+                            vec![block[0]],
+                            ChannelConfig {
+                                element_bytes: shard_bytes,
+                                ..ChannelConfig::default()
+                            },
+                        )
+                        .keyed(vec![Some(0)]),
+                    );
+                }
+            }
+            topo = topo.channel(
+                ChannelDecl::new(
+                    "reduce-to-master",
+                    vec![plan.root],
+                    vec![master],
+                    ChannelConfig { element_bytes: shard_bytes, ..ChannelConfig::default() },
+                )
+                .keyed(vec![Some(0)]),
+            );
+        } else {
+            topo = topo.channel(
+                ChannelDecl::new(
+                    "reduce-to-master",
+                    local,
+                    vec![master],
+                    ChannelConfig {
+                        element_bytes: cfg.master_element_bytes,
+                        ..ChannelConfig::default()
+                    },
+                )
+                .keyed(vec![Some(0)]),
+            );
+        }
     }
     topo
 }
@@ -478,6 +687,68 @@ mod tests {
         let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
         let res = run_reference(1, &cfg);
         assert_eq!(res.histogram, oracle);
+    }
+
+    #[test]
+    fn merge_sorted_sums_duplicates_and_keeps_order() {
+        let mut acc: Vec<(u32, u64)> = vec![(1, 2), (3, 4), (9, 1)];
+        merge_sorted(&mut acc, vec![(0, 1), (3, 6), (9, 9), (12, 2)]);
+        assert_eq!(acc, vec![(0, 1), (1, 2), (3, 10), (9, 10), (12, 2)]);
+        let mut empty: Vec<(u32, u64)> = Vec::new();
+        merge_sorted(&mut empty, vec![(5, 5)]);
+        assert_eq!(empty, vec![(5, 5)]);
+        merge_sorted(&mut empty, Vec::new());
+        assert_eq!(empty, vec![(5, 5)]);
+    }
+
+    #[test]
+    fn combiner_mode_matches_oracle() {
+        let cfg = MapReduceConfig { combine_every: 4, ..small_cfg(12) };
+        let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
+        let res = run_decoupled(8, &cfg);
+        assert_eq!(res.histogram, oracle);
+    }
+
+    #[test]
+    fn tree_mode_matches_oracle_at_various_fan_ins() {
+        // every=4 at P=16: reducers {3,7,11,15}, master 15, three local
+        // reducers climbing the tree. Also a deeper shape at P=32.
+        for (nprocs, k) in [(16usize, 2usize), (16, 3), (32, 2), (32, 4)] {
+            let cfg = MapReduceConfig { tree_fan_in: Some(k), ..small_cfg(12) };
+            let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
+            let res = run_decoupled(nprocs, &cfg);
+            assert_eq!(res.histogram, oracle, "P={nprocs} k={k}");
+        }
+    }
+
+    #[test]
+    fn combined_operators_match_oracle() {
+        let cfg = MapReduceConfig { combine_every: 4, tree_fan_in: Some(2), ..small_cfg(16) };
+        let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
+        let res = run_decoupled(16, &cfg);
+        assert_eq!(res.histogram, oracle);
+    }
+
+    #[test]
+    fn tree_mode_with_solo_reducer_falls_back_cleanly() {
+        // A solo reducer is its own master: tree_fan_in must be a no-op.
+        let cfg = MapReduceConfig { tree_fan_in: Some(4), ..small_cfg(9) };
+        let oracle = Corpus::new(cfg.corpus.clone()).serial_histogram();
+        let res = run_decoupled(4, &cfg);
+        assert_eq!(res.histogram, oracle);
+    }
+
+    #[test]
+    fn drain_metric_splits_elapsed_at_the_last_mapper() {
+        let cfg = small_cfg(12);
+        let res = run_decoupled(8, &cfg);
+        assert!(res.map_done_secs > 0.0);
+        assert!(res.master_drain_secs >= 0.0);
+        let total = res.outcome.elapsed_secs();
+        assert!(
+            (res.map_done_secs + res.master_drain_secs - total).abs() < 1e-9,
+            "metric must partition elapsed time"
+        );
     }
 
     #[test]

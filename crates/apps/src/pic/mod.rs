@@ -30,12 +30,16 @@
 //! ownership is asserted); the *nominal* particle count per rank drives
 //! the compute/wire/IO cost models at paper scale.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mpisim::{dims_create, CartComm, MachineConfig, Rank, World, WorldOutcome};
-use mpistream::{prof_scoped, ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
+use mpistream::{
+    create_tree_channels, operate2, plan_stage, prof_scoped, ChannelConfig, GroupSpec, Role,
+    Stream, StreamChannel, Transport, TreePlan,
+};
 use pfsim::{Pfs, PfsConfig};
 use workloads::particles::{advance, Particle, ParticleConfig};
 
@@ -74,6 +78,14 @@ pub struct PicConfig {
     pub pfs: PfsConfig,
     /// Decoupled I/O: flush threshold of the I/O-group buffer.
     pub io_buffer_bytes: u64,
+    /// Decoupled I/O: aggregate the I/O group into writer blocks of this
+    /// fan-in (k ≥ 2). Only block representatives open and write the
+    /// file; the other io ranks buffer their particle share and spill
+    /// byte bundles to their writer — collapsing the `O(αP)` serialized
+    /// metadata opens and letting writers cross the flush threshold
+    /// mid-run instead of draining one unoverlapped buffer each at the
+    /// end. None = every io rank writes (the paper's flat shape).
+    pub io_writer_fan_in: Option<usize>,
 }
 
 impl Default for PicConfig {
@@ -97,6 +109,7 @@ impl Default for PicConfig {
             particle_bytes: 56,
             pfs: PfsConfig { n_ost: 160, ..PfsConfig::default() },
             io_buffer_bytes: 1 << 30,
+            io_writer_fan_in: None,
         }
     }
 }
@@ -109,6 +122,9 @@ pub struct PicResult {
     pub final_particles: u64,
     /// Total bytes the run wrote to the filesystem (I/O experiments).
     pub bytes_written: u64,
+    /// Serialized metadata operations the run issued (I/O experiments) —
+    /// the writer-aggregation stage exists to shrink this.
+    pub meta_ops: u64,
     /// The figure metric: the execution time of the weak-scaling test
     /// (equals `outcome.elapsed_secs()`), kept as an explicit field so
     /// harnesses treat every experiment uniformly.
@@ -338,6 +354,7 @@ fn run_comm_reference_inner(nprocs: usize, cfg: &PicConfig, trace: bool) -> PicR
         outcome,
         final_particles: final_count.load(Ordering::SeqCst),
         bytes_written: 0,
+        meta_ops: 0,
         op_secs,
     }
 }
@@ -475,6 +492,7 @@ fn run_comm_decoupled_inner(nprocs: usize, cfg: &PicConfig, trace: bool) -> PicR
         outcome,
         final_particles: final_count.load(Ordering::SeqCst),
         bytes_written: 0,
+        meta_ops: 0,
         op_secs,
     }
 }
@@ -534,6 +552,7 @@ pub fn run_io_reference(nprocs: usize, cfg: &PicConfig, mode: IoMode) -> PicResu
         outcome,
         final_particles: final_count.load(Ordering::SeqCst),
         bytes_written: pfs.bytes_written(),
+        meta_ops: pfs.meta_ops(),
         op_secs,
     }
 }
@@ -564,6 +583,26 @@ pub fn run_io_decoupled(nprocs: usize, cfg: &PicConfig) -> PicResult {
                 ..ChannelConfig::default()
             },
         );
+        // Optional writer-aggregation stage over the I/O group: one spill
+        // channel per block (collective — compute ranks take part in the
+        // splits and get no endpoints).
+        let io_ranks: Vec<usize> =
+            (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
+        let wplan = cfg2
+            .io_writer_fan_in
+            .filter(|_| io_ranks.len() >= 2)
+            .map(|k| TreePlan::single_stage(&io_ranks, k));
+        let spill_at =
+            (cfg2.io_buffer_bytes / cfg2.io_writer_fan_in.unwrap_or(1).max(1) as u64).max(1);
+        let spill_ch = wplan.as_ref().and_then(|plan| {
+            let chans = create_tree_channels(
+                rank,
+                &comm,
+                plan,
+                &ChannelConfig { element_bytes: spill_at, ..ChannelConfig::default() },
+            );
+            chans.into_stages().pop().flatten()
+        });
         let dims = pic_dims(g0.size());
         let cart = CartComm::new(g0.clone(), dims, vec![true; 3]);
         match role {
@@ -585,20 +624,76 @@ pub fn run_io_decoupled(nprocs: usize, cfg: &PicConfig) -> PicResult {
             }
             Role::Consumer => {
                 let mut input: Stream<Particle> = Stream::attach(ch);
-                pfs2.meta_op(rank.ctx()); // open once
-                let mut buffered: u64 = 0;
                 let flush_at = cfg2.io_buffer_bytes;
-                input.operate(rank, |rank, _p| {
-                    buffered += pb;
-                    if buffered >= flush_at {
-                        rank.traced("io", |rank| {
-                            pfs2.write_striped(rank.ctx(), buffered);
+                match spill_ch {
+                    Some(sc) if sc.role() == Role::Producer => {
+                        // Forwarder: buffer my particle share and spill
+                        // byte bundles to my block's writer — never touches
+                        // the filesystem (no open, no metadata).
+                        let mut spill: Stream<u64> = Stream::attach(sc);
+                        let mut buffered: u64 = 0;
+                        input.operate(rank, |rank, _p| {
+                            buffered += pb;
+                            if buffered >= spill_at {
+                                spill.isend_to(rank, 0, buffered);
+                                buffered = 0;
+                            }
                         });
-                        buffered = 0;
+                        if buffered > 0 {
+                            spill.isend_to(rank, 0, buffered);
+                        }
+                        spill.terminate(rank);
                     }
-                });
-                if buffered > 0 {
-                    pfs2.write_striped(rank.ctx(), buffered);
+                    Some(sc) => {
+                        // Writer: multiplex my own particle share and the
+                        // forwarders' spills FCFS; flush large striped
+                        // writes past the buffer threshold.
+                        let mut spills: Stream<u64> = Stream::attach(sc);
+                        pfs2.meta_op(rank.ctx()); // open once per block
+                        let buffered = Cell::new(0u64);
+                        let flush_if_full = |rank: &mut Rank, buffered: &Cell<u64>| {
+                            if buffered.get() >= flush_at {
+                                rank.traced("io", |rank| {
+                                    pfs2.write_striped(rank.ctx(), buffered.get());
+                                });
+                                buffered.set(0);
+                            }
+                        };
+                        operate2(
+                            rank,
+                            &mut input,
+                            &mut spills,
+                            |rank, _p: Particle| {
+                                buffered.set(buffered.get() + pb);
+                                flush_if_full(rank, &buffered);
+                            },
+                            |rank, bytes: u64| {
+                                buffered.set(buffered.get() + bytes);
+                                flush_if_full(rank, &buffered);
+                            },
+                        );
+                        if buffered.get() > 0 {
+                            pfs2.write_striped(rank.ctx(), buffered.get());
+                        }
+                    }
+                    None => {
+                        // Flat shape (the paper): every io rank opens and
+                        // writes its own buffer.
+                        pfs2.meta_op(rank.ctx()); // open once
+                        let mut buffered: u64 = 0;
+                        input.operate(rank, |rank, _p| {
+                            buffered += pb;
+                            if buffered >= flush_at {
+                                rank.traced("io", |rank| {
+                                    pfs2.write_striped(rank.ctx(), buffered);
+                                });
+                                buffered = 0;
+                            }
+                        });
+                        if buffered > 0 {
+                            pfs2.write_striped(rank.ctx(), buffered);
+                        }
+                    }
                 }
             }
             Role::Bystander => unreachable!(),
@@ -609,6 +704,7 @@ pub fn run_io_decoupled(nprocs: usize, cfg: &PicConfig) -> PicResult {
         outcome,
         final_particles: final_count.load(Ordering::SeqCst),
         bytes_written: pfs.bytes_written(),
+        meta_ops: pfs.meta_ops(),
         op_secs,
     }
 }
@@ -649,22 +745,44 @@ pub fn comm_topology(nprocs: usize, cfg: &PicConfig) -> streamcheck::Topology {
 
 /// Communication topology of [`run_io_decoupled`]: one statically-routed,
 /// aggregated particle stream from the compute group to the I/O group —
-/// an acyclic pipeline the checker certifies deadlock-free.
+/// plus, with [`PicConfig::io_writer_fan_in`] set, one spill channel per
+/// writer block (forwarders → block representative). The whole pipeline
+/// stays acyclic (compute → forwarders → writers), so the checker
+/// certifies it deadlock-free.
 pub fn io_topology(nprocs: usize, cfg: &PicConfig) -> streamcheck::Topology {
     use streamcheck::{ChannelDecl, GroupDecl, Topology};
     let spec = GroupSpec { every: cfg.alpha_every };
     let g0: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
     let g1: Vec<usize> = (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
     let pb = (cfg.particle_bytes as f64 * cfg.nominal_per_rank / cfg.actual_per_rank as f64) as u64;
-    Topology::new(nprocs)
+    let mut topo = Topology::new(nprocs)
         .group(GroupDecl::new("compute", g0.clone()))
         .group(GroupDecl::new("io", g1.clone()))
         .channel(ChannelDecl::new(
             "particles",
             g0,
-            g1,
+            g1.clone(),
             ChannelConfig { element_bytes: pb.max(1), aggregation: 64, ..ChannelConfig::default() },
-        ))
+        ));
+    if let Some(k) = cfg.io_writer_fan_in.filter(|_| g1.len() >= 2) {
+        let spill_at = (cfg.io_buffer_bytes / k as u64).max(1);
+        let stage = plan_stage(&g1, k);
+        for (bi, block) in stage.blocks.iter().enumerate() {
+            if block.len() < 2 {
+                continue;
+            }
+            topo = topo.channel(
+                ChannelDecl::new(
+                    format!("spill-b{bi}"),
+                    block[1..].to_vec(),
+                    vec![block[0]],
+                    ChannelConfig { element_bytes: spill_at, ..ChannelConfig::default() },
+                )
+                .keyed(vec![Some(0)]),
+            );
+        }
+    }
+    topo
 }
 
 #[cfg(test)]
@@ -799,6 +917,39 @@ mod tests {
         let expect = cfg.iterations as u64 * initial * pb;
         let rel = (dec.bytes_written as f64 - expect as f64).abs() / expect as f64;
         assert!(rel < 0.05, "wrote {} vs expected {expect}", dec.bytes_written);
+    }
+
+    #[test]
+    fn aggregated_io_writes_identical_volume() {
+        // Writer aggregation re-routes bytes through block
+        // representatives but must conserve the written volume exactly.
+        let flat = run_io_decoupled(16, &test_cfg());
+        for k in [2usize, 4] {
+            let cfg = PicConfig { io_writer_fan_in: Some(k), ..test_cfg() };
+            let agg = run_io_decoupled(16, &cfg);
+            assert_eq!(agg.bytes_written, flat.bytes_written, "k={k}");
+            assert_eq!(agg.final_particles, flat.final_particles, "k={k}");
+        }
+    }
+
+    #[test]
+    fn aggregated_io_opens_one_file_per_writer_block() {
+        // 16 ranks, every=4 -> io group {3,7,11,15}. Flat: 4 opens.
+        // k=4: one block, one writer, one open.
+        assert_eq!(run_io_decoupled(16, &test_cfg()).meta_ops, 4);
+        let agg_cfg = PicConfig { io_writer_fan_in: Some(4), ..test_cfg() };
+        assert_eq!(run_io_decoupled(16, &agg_cfg).meta_ops, 1);
+    }
+
+    #[test]
+    fn aggregated_io_with_singleton_tail_block_still_writes_everything() {
+        // io group {3,7,11,15} at k=3: blocks {3,7,11} and {15} — the
+        // singleton representative must fall back to writing directly.
+        let cfg = PicConfig { io_writer_fan_in: Some(3), ..test_cfg() };
+        let flat = run_io_decoupled(16, &test_cfg());
+        let agg = run_io_decoupled(16, &cfg);
+        assert_eq!(agg.bytes_written, flat.bytes_written);
+        assert_eq!(agg.meta_ops, 2); // one per writing rank
     }
 
     #[test]

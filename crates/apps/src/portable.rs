@@ -14,9 +14,12 @@
 
 use std::collections::HashMap;
 
-use mpistream::{run_decoupled, ChannelConfig, GroupSpec, Role, Stream, StreamChannel, Transport};
+use mpistream::{
+    create_tree_channels, plan_tree, reduce_through, run_decoupled, ChannelConfig, Combiner,
+    GroupSpec, Role, Stream, StreamChannel, Transport,
+};
 
-use crate::mapreduce::{master_aggregate, reduce_fold, KvChunk};
+use crate::mapreduce::{master_aggregate, merge_sorted, reduce_fold, KvChunk};
 
 // ---------------------------------------------------------------------
 // Quickstart (the paper's Listing 1)
@@ -128,6 +131,14 @@ pub struct MiniMrConfig {
     pub credits: Option<usize>,
     /// Credit acknowledgement batch applied to both stream channels.
     pub credit_batch: usize,
+    /// Producer-side combiner: merge this many same-reducer chunks into
+    /// one stream element before it enters the map-output channel (1 =
+    /// off). Integer count merging — exact on every backend, no
+    /// reduction-order caveat.
+    pub combine_every: usize,
+    /// Interpose a reduction tree with this fan-in between the local
+    /// reducers and the master (`None` = the flat relay).
+    pub tree_fan_in: Option<usize>,
 }
 
 impl Default for MiniMrConfig {
@@ -139,6 +150,8 @@ impl Default for MiniMrConfig {
             tokens_per_chunk: 64,
             credits: None,
             credit_batch: 1,
+            combine_every: 1,
+            tree_fan_in: None,
         }
     }
 }
@@ -164,6 +177,14 @@ fn token(cfg: &MiniMrConfig, mi: usize, chunk: usize, i: usize) -> u32 {
 /// each chunk — unaggregated — to a master rank that assembles the global
 /// histogram. Returns `Some(histogram)` on the master, `None` elsewhere.
 ///
+/// With `combine_every > 1` the mappers pre-merge same-reducer chunks
+/// through a [`Combiner`]; with `tree_fan_in = Some(k)` the local
+/// reducers fold completely and merge their shards down a fan-in-`k`
+/// reduction tree, whose root relays one shard to the master — the
+/// tree-aggregated variant of the same dataflow. All merging is integer
+/// count addition, so the result is exact on every backend (a floating
+/// combiner would inherit the reduction-order caveat of DESIGN.md §11).
+///
 /// The token stream is a pure function of the mapper index, so the
 /// master's histogram equals [`mini_mapreduce_oracle`] on every backend.
 pub fn mini_mapreduce<TP: Transport>(rank: &mut TP, cfg: &MiniMrConfig) -> Option<Vec<u64>> {
@@ -179,6 +200,10 @@ pub fn mini_mapreduce<TP: Transport>(rank: &mut TP, cfg: &MiniMrConfig) -> Optio
         (0..nprocs).filter(|&r| spec.role_of(r) == Role::Consumer).collect();
     let master = *reduce_ranks.last().expect("at least one reducer");
     let solo_reducer = reduce_ranks.len() == 1;
+    let local_reducers: Vec<usize> =
+        reduce_ranks.iter().copied().filter(|&r| solo_reducer || r != master).collect();
+    let tree_plan =
+        if solo_reducer { None } else { cfg.tree_fan_in.map(|k| plan_tree(&local_reducers, k)) };
 
     // Channel 1: map group -> local reducers.
     let ch1_role = match my_role {
@@ -194,17 +219,28 @@ pub fn mini_mapreduce<TP: Transport>(rank: &mut TP, cfg: &MiniMrConfig) -> Optio
         ..ChannelConfig::default()
     };
     let ch1 = StreamChannel::create(rank, &comm, ch1_role, stream_config.clone());
-    // Channel 2: local reducers -> master (absent when solo).
+    // Channel 2: local reducers -> master (absent when solo). In tree
+    // mode only the tree root produces into it.
     let ch2 = if solo_reducer {
         None
     } else {
-        let ch2_role = match my_role {
-            Role::Consumer if me == master => Role::Consumer,
-            Role::Consumer => Role::Producer,
+        let ch2_role = match (&tree_plan, my_role) {
+            (_, Role::Consumer) if me == master => Role::Consumer,
+            (Some(plan), _) => {
+                if plan.is_root(me) {
+                    Role::Producer
+                } else {
+                    Role::Bystander
+                }
+            }
+            (None, Role::Consumer) => Role::Producer,
             _ => Role::Bystander,
         };
-        Some(StreamChannel::create(rank, &comm, ch2_role, stream_config))
+        Some(StreamChannel::create(rank, &comm, ch2_role, stream_config.clone()))
     };
+    // Per-block tree channels (collective over the world, like ch1/ch2).
+    let tree =
+        tree_plan.as_ref().map(|plan| create_tree_channels(rank, &comm, plan, &stream_config));
 
     match ch1_role {
         Role::Producer => {
@@ -215,6 +251,8 @@ pub fn mini_mapreduce<TP: Transport>(rank: &mut TP, cfg: &MiniMrConfig) -> Optio
                 (0..nprocs).filter(|&r| spec.role_of(r) == Role::Producer).collect();
             let mi = map_ranks.iter().position(|&r| r == me).expect("mapper");
             let nc = stream.channel().consumers().len();
+            let mut combiner =
+                (cfg.combine_every > 1).then(|| Combiner::new(&stream, cfg.combine_every));
             for chunk in 0..cfg.chunks_per_mapper {
                 let mut partial: HashMap<u32, u32> = HashMap::new();
                 for i in 0..cfg.tokens_per_chunk {
@@ -228,37 +266,73 @@ pub fn mini_mapreduce<TP: Transport>(rank: &mut TP, cfg: &MiniMrConfig) -> Optio
                     by_consumer[w as usize % nc].push((w, c));
                 }
                 for (ci, part) in by_consumer.into_iter().enumerate() {
-                    if !part.is_empty() {
-                        stream.isend_to(rank, ci, part);
+                    if part.is_empty() {
+                        continue;
+                    }
+                    match &mut combiner {
+                        Some(comb) => comb.push(rank, &mut stream, ci, part, merge_sorted),
+                        None => stream.isend_to(rank, ci, part),
                     }
                 }
+            }
+            if let Some(comb) = combiner {
+                comb.finish(rank, &mut stream);
             }
             stream.terminate(rank);
             None
         }
         Role::Consumer => {
             let mut input: Stream<KvChunk> = Stream::attach(ch1);
-            let mut to_master: Option<Stream<KvChunk>> = ch2.map(Stream::attach);
-            let mut local: HashMap<u32, u64> = HashMap::new();
-            reduce_fold(rank, &mut input, to_master.as_mut(), &mut local);
-            if let Some(mut m) = to_master {
-                m.terminate(rank);
+            if let (Some(plan), Some(tree)) = (&tree_plan, tree) {
+                // Tree mode: fold completely, merge shards up the tree;
+                // the root relays the single merged shard to the master.
+                let mut local: HashMap<u32, u64> = HashMap::new();
+                reduce_fold(rank, &mut input, None, &mut local);
+                let mut shard: Vec<(u32, u64)> = local.into_iter().collect();
+                shard.sort_unstable();
+                let merged = reduce_through(rank, plan, tree, Some(shard), |_, acc, other| {
+                    merge_sorted(acc, other)
+                });
+                if let Some(shard) = merged {
+                    let mut to_master: Stream<Vec<(u32, u64)>> =
+                        Stream::attach(ch2.expect("tree root has the master channel"));
+                    to_master.isend_to(rank, 0, shard);
+                    to_master.terminate(rank);
+                }
                 None
             } else {
-                // Solo reducer: it *is* the master.
-                let mut hist = vec![0u64; cfg.vocab];
-                for (w, c) in local {
-                    hist[w as usize] += c;
+                let mut to_master: Option<Stream<KvChunk>> = ch2.map(Stream::attach);
+                let mut local: HashMap<u32, u64> = HashMap::new();
+                reduce_fold(rank, &mut input, to_master.as_mut(), &mut local);
+                if let Some(mut m) = to_master {
+                    m.terminate(rank);
+                    None
+                } else {
+                    // Solo reducer: it *is* the master.
+                    let mut hist = vec![0u64; cfg.vocab];
+                    for (w, c) in local {
+                        hist[w as usize] += c;
+                    }
+                    Some(hist)
                 }
-                Some(hist)
             }
         }
         Role::Bystander => {
-            // Master: aggregate the stream of unaggregated chunk updates.
-            let mut from_reducers: Stream<KvChunk> =
-                Stream::attach(ch2.expect("master has the reducer channel"));
+            let ch2 = ch2.expect("master has the reducer channel");
             let mut hist = vec![0u64; cfg.vocab];
-            master_aggregate(rank, &mut from_reducers, &mut hist);
+            if tree_plan.is_some() {
+                // Tree mode: one merged shard arrives from the tree root.
+                let mut from_root: Stream<Vec<(u32, u64)>> = Stream::attach(ch2);
+                from_root.operate(rank, |_, shard| {
+                    for (w, c) in shard {
+                        hist[w as usize] += c;
+                    }
+                });
+            } else {
+                // Flat mode: aggregate the stream of unaggregated chunks.
+                let mut from_reducers: Stream<KvChunk> = Stream::attach(ch2);
+                master_aggregate(rank, &mut from_reducers, &mut hist);
+            }
             Some(hist)
         }
     }
@@ -328,6 +402,24 @@ mod tests {
             }
         });
         assert_eq!(*got.lock(), mini_mapreduce_oracle(8, &cfg));
+    }
+
+    #[test]
+    fn tree_aggregated_mini_mapreduce_matches_oracle_in_sim() {
+        // Combiners on the mappers + a fan-in-2 reduction tree between the
+        // local reducers and the master: same histogram, exactly (integer
+        // count merging has no reduction-order sensitivity).
+        let cfg =
+            MiniMrConfig { combine_every: 4, tree_fan_in: Some(2), ..MiniMrConfig::default() };
+        let got: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let g2 = got.clone();
+        let cfg2 = cfg.clone();
+        World::new(MachineConfig::default()).with_seed(11).run_expect(16, move |rank| {
+            if let Some(hist) = mini_mapreduce(rank, &cfg2) {
+                *g2.lock() = hist;
+            }
+        });
+        assert_eq!(*got.lock(), mini_mapreduce_oracle(16, &cfg));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! - **chaos** — a fault-free slice of the DST stream pipeline (credits,
 //!   RoundRobin) across a few seeds; end-to-end engine throughput with the
 //!   full mpistream protocol on top.
+//! - **agg_incast** — the same all-to-one reduction as incast but routed
+//!   through the fan-in-k tree-aggregation operators; gates the
+//!   hierarchical-aggregation win (virtual end time far below the flat
+//!   incast at the same rank count) so it stays a fact, not an anecdote.
 //!
 //! Per scenario we report wall-clock, messages, kernel event counters
 //! ([`desim::EventStats`]), events per delivered message, and virtual end
@@ -38,7 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench_harness::workspace_root;
+use bench_harness::{scenarios as sc, workspace_root};
 use desim::EventStats;
 use mpisim::{MachineConfig, NoiseModel, Src, World};
 use mpistream::{ChannelConfig, Role, RoutePolicy, Stream, StreamChannel};
@@ -227,6 +231,24 @@ fn chaos_throughput(per_producer: u64, seeds: u64) -> Metrics {
     total
 }
 
+/// The incast pattern routed through the tree-aggregation operators:
+/// every rank contributes a 64 KiB partial, merged down a fan-in-`k`
+/// reduction tree to rank 0. Same all-to-one semantics as `incast`, but
+/// the virtual end time must reflect the flattened hierarchy.
+fn agg_incast(ranks: usize, fan_in: usize) -> Metrics {
+    const WIDTH: usize = 8 << 10; // u64s per partial = 64 KiB payloads
+    measure(move || {
+        let roots = Arc::new(AtomicU64::new(0));
+        let r = roots.clone();
+        let out = quiet_world(SEED).run_expect(ranks, move |rank| {
+            let n = sc::agg_incast_rank(rank, fan_in, WIDTH);
+            r.fetch_add(n, Ordering::Relaxed);
+        });
+        assert_eq!(roots.load(Ordering::Relaxed), 1, "agg_incast must elect exactly one root");
+        out
+    })
+}
+
 /// Pull a JSON number field out of `obj` (a flat `{...}` emitted by
 /// [`Metrics::json`]) without a JSON dependency.
 fn field(obj: &str, name: &str) -> Option<f64> {
@@ -324,6 +346,7 @@ fn main() {
     let pp_rounds = if quick { 2_000 } else { 20_000 };
     let (fan_n, fan_k, fan_tags) = if quick { (128, 4, 8) } else { (1024, 8, 16) };
     let (chaos_elems, chaos_seeds) = if quick { (500, 2) } else { (2_000, 4) };
+    let (agg_n, agg_k) = if quick { (512, 8) } else { (4096, 8) };
 
     let mode = if quick { "quick" } else { "full" };
     println!("engine_bench ({mode} mode)");
@@ -343,6 +366,10 @@ fn main() {
         ("chaos", {
             println!("  chaos: {chaos_seeds} seeds x {chaos_elems} elems/producer ...");
             chaos_throughput(chaos_elems, chaos_seeds)
+        }),
+        ("agg_incast", {
+            println!("  agg_incast: {agg_n} ranks, fan-in {agg_k}, 64 KiB partials ...");
+            agg_incast(agg_n, agg_k)
         }),
     ];
 

@@ -17,6 +17,10 @@
 //!   binomial-tree topology is exactly what this times.
 //! - **stream** — the full mpistream protocol (credits, aggregation,
 //!   RoundRobin) end to end, with a batched credit return path.
+//! - **agg_incast** — the incast reduction routed through the fan-in-k
+//!   tree-aggregation operators; every thread contributes a 64 KiB
+//!   partial and blocks merge through per-block channels instead of all
+//!   landing in one mailbox.
 //!
 //! Unlike the simulator the native backend is not deterministic in time,
 //! so the JSON reports wall-clock throughput (kmsgs/s, kelems/s) next to
@@ -122,10 +126,15 @@ fn coll_threshold(ranks: usize, iters: u64, threshold: usize) -> Metrics {
 /// measurement behind the default flat threshold (DESIGN.md §13). Both
 /// geometries send the same 2(size-1) messages per op; what differs is
 /// the critical path (star: one hub; tree: log2(size) levels of context
-/// switches), so wall time is the whole story.
-fn coll_sweep(iters: u64) {
+/// switches), so wall time is the whole story. Returns the measured rows
+/// `(ranks, flat_ms, tree_ms)` plus the recommended flat threshold — the
+/// largest swept size at which the star is still at least as fast as the
+/// binomial tree — so the artifact can record the tuning, not just the
+/// raw table.
+fn coll_sweep(iters: u64) -> (Vec<(usize, f64, f64)>, usize) {
     println!("coll geometry sweep: {iters} barrier+allreduce+allgatherv rounds per cell");
     println!("  ranks   flat ms   tree ms   flat/tree");
+    let mut rows = Vec::new();
     for &ranks in &[2usize, 4, 8, 16, 32, 64] {
         let flat = coll_threshold(ranks, iters, usize::MAX);
         let tree = coll_threshold(ranks, iters, 0);
@@ -135,7 +144,34 @@ fn coll_sweep(iters: u64) {
             tree.wall_secs * 1e3,
             flat.wall_secs / tree.wall_secs
         );
+        rows.push((ranks, flat.wall_secs * 1e3, tree.wall_secs * 1e3));
     }
+    // Recommend the largest size at which the star still wins; a single
+    // noisy cell (tiny groups are spawn-dominated) must not truncate the
+    // walk, so take the max rather than stopping at the first tree win.
+    let recommended = rows
+        .iter()
+        .filter(|&&(_, flat_ms, tree_ms)| flat_ms <= tree_ms)
+        .map(|&(ranks, _, _)| ranks)
+        .max()
+        .unwrap_or_else(|| rows.first().map_or(2, |r| r.0));
+    println!("  recommended NATIVE_COLL_FLAT_THRESHOLD={recommended}");
+    (rows, recommended)
+}
+
+/// The incast reduction through the tree-aggregation operators: 64 KiB
+/// partials merged down a fan-in-`k` tree to rank 0.
+fn agg_incast(ranks: usize, fan_in: usize) -> Metrics {
+    const WIDTH: usize = 8 << 10; // u64s per partial = 64 KiB payloads
+    let shape = sc::agg_incast_shape(ranks, fan_in);
+    let roots = Arc::new(AtomicU64::new(0));
+    let r = roots.clone();
+    let m = measure(shape, move |rank| {
+        let n = sc::agg_incast_rank(rank, fan_in, WIDTH);
+        r.fetch_add(n, Ordering::Relaxed);
+    });
+    assert_eq!(roots.load(Ordering::Relaxed), 1, "agg_incast must elect exactly one root");
+    m
 }
 
 fn stream(producers: usize, consumers: usize, per_producer: u64, credit_batch: usize) -> Metrics {
@@ -314,7 +350,38 @@ fn main() {
         }
     }
     if sweep {
-        coll_sweep(if quick { 50 } else { 200 });
+        let (rows, recommended) = coll_sweep(if quick { 50 } else { 200 });
+        // Auto-emit the tuning result into the artifact notes so the
+        // committed capture records the recommendation, not just a table
+        // scrolled off a terminal.
+        let auto = format!("recommended NATIVE_COLL_FLAT_THRESHOLD={recommended}");
+        let note = match &notes {
+            Some(n) => format!("{n}; {auto}"),
+            None => auto,
+        };
+        let out_path = out_path.unwrap_or_else(|| results_dir().join("BENCH_coll_sweep.json"));
+        let mut json = String::new();
+        json.push_str("{\n  \"schema\": \"native_bench_coll_sweep/v1\",\n");
+        json.push_str(&format!(
+            "  \"notes\": \"{}\",\n",
+            note.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        json.push_str(&format!("  \"recommended_flat_threshold\": {recommended},\n"));
+        json.push_str("  \"rows\": [\n");
+        for (i, (ranks, flat_ms, tree_ms)) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"ranks\": {ranks}, \"flat_ms\": {flat_ms:.3}, \"tree_ms\": {tree_ms:.3}}}{sep}\n"
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write(&out_path, &json) {
+            Ok(()) => println!("wrote {}", out_path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", out_path.display());
+                std::process::exit(1);
+            }
+        }
         return;
     }
     if let Some(ap) = &audit_path {
@@ -341,6 +408,7 @@ fn main() {
     let (fan_n, fan_k, fan_tags) = if quick { (16, 100, 8) } else { (64, 250, 16) };
     let (coll_n, coll_iters) = if quick { (16, 50) } else { (64, 200) };
     let (st_p, st_c, st_k, st_b) = if quick { (4, 2, 5_000, 8) } else { (8, 4, 25_000, 8) };
+    let (agg_n, agg_k) = if quick { (64, 8) } else { (256, 8) };
 
     let mode = if quick { "quick" } else { "full" };
     println!("native_bench ({mode} mode)");
@@ -364,6 +432,10 @@ fn main() {
         ("stream", {
             println!("  stream: {st_p}p/{st_c}c x {st_k} elems, credit_batch {st_b} ...");
             stream(st_p, st_c, st_k, st_b)
+        }),
+        ("agg_incast", {
+            println!("  agg_incast: {agg_n} ranks, fan-in {agg_k}, 64 KiB partials ...");
+            agg_incast(agg_n, agg_k)
         }),
     ];
 

@@ -158,7 +158,15 @@ pub fn workspace_root() -> PathBuf {
 }
 
 /// `results/` next to the workspace root (falls back to CWD).
+/// `RESULTS_DIR` overrides the destination — CI smokes of the figure
+/// binaries redirect there so a partial sweep cannot clobber the
+/// committed full-scale artifacts.
 pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     workspace_root().join("results")
 }
 

@@ -8,7 +8,10 @@
 //! analytic message/element counts, so harnesses without a message-counting
 //! runtime (the native backend) still emit exact, deterministic totals.
 
-use mpistream::{ChannelConfig, Role, RoutePolicy, Src, Stream, StreamChannel, Tag, Transport};
+use mpistream::{
+    plan_tree, tree_reduce, ChannelConfig, Role, RoutePolicy, Src, Stream, StreamChannel, Tag,
+    Transport,
+};
 
 /// World size plus the analytic traffic of one scenario run: `msgs` wire
 /// messages (point-to-point payloads; collective internals excluded) and
@@ -114,6 +117,50 @@ pub fn fanin_rank<TP: Transport>(
         for i in 0..per_producer {
             rank.send(0, tag, bytes, i);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// agg_incast — the incast pattern routed through a reduction tree
+// ---------------------------------------------------------------------
+
+/// Every rank contributes one partial vector; a fan-in-`fan_in` reduction
+/// tree merges them down to rank 0 instead of `ranks - 1` point-to-point
+/// sends landing in one mailbox (the plain `incast` scenario). `elems`
+/// counts the analytic tree data messages — `ranks - 1` regardless of
+/// fan-in, since every leaf's partial is shipped exactly once. Terms and
+/// the channel-creation collectives are protocol details excluded from
+/// the count, as for `stream`.
+pub fn agg_incast_shape(ranks: usize, fan_in: usize) -> Shape {
+    let leaves: Vec<usize> = (0..ranks).collect();
+    let plan = plan_tree(&leaves, fan_in);
+    Shape { nprocs: ranks, msgs: 0, elems: plan.data_messages() }
+}
+
+/// Returns 1 on the tree root (after checking the closed-form sum), 0
+/// elsewhere; the harness sums and asserts exactly one root emerged.
+pub fn agg_incast_rank<TP: Transport>(rank: &mut TP, fan_in: usize, width: usize) -> u64 {
+    let comm = rank.world_group();
+    let n = rank.world_size();
+    let me = rank.world_rank();
+    let leaves: Vec<usize> = (0..n).collect();
+    let config = ChannelConfig { element_bytes: (width * 8) as u64, ..ChannelConfig::default() };
+    let partial: Vec<u64> = vec![me as u64 + 1; width];
+    let got = tree_reduce(rank, &comm, &leaves, fan_in, &config, Some(partial), |_, acc, e| {
+        for (a, b) in acc.iter_mut().zip(e) {
+            *a += b;
+        }
+    });
+    match got {
+        Some(v) => {
+            let expect = (n as u64) * (n as u64 + 1) / 2;
+            assert!(
+                v.len() == width && v.iter().all(|&x| x == expect),
+                "agg_incast tree sum mismatch"
+            );
+            1
+        }
+        None => 0,
     }
 }
 

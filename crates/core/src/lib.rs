@@ -54,6 +54,7 @@ pub mod adaptive;
 pub mod channel;
 pub mod group;
 pub mod harness;
+pub mod operators;
 pub mod select;
 pub mod sim;
 pub mod stream;
@@ -63,6 +64,10 @@ pub use adaptive::AdaptiveGranularity;
 pub use channel::{ChannelConfig, ConfigError, RoutePolicy, StreamChannel};
 pub use group::{GroupSpec, Role};
 pub use harness::{run_decoupled, try_run_decoupled, ConsumerCtx, ProducerCtx};
+pub use operators::{
+    create_tree_channels, plan_stage, plan_tree, reduce_through, stage_span, tree_reduce, Combiner,
+    CombinerStats, TreeChannels, TreePlan, TreeStage,
+};
 pub use select::operate2;
 pub use sim::SimTransport;
 pub use stream::{ProducerReport, ProducerState, Stream, StreamOutcome, StreamStats};

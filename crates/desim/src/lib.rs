@@ -48,6 +48,7 @@
 
 pub mod fault;
 pub mod kernel;
+mod raw_thread;
 pub mod resource;
 pub mod sim;
 pub mod sweep;

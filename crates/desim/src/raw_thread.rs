@@ -1,0 +1,193 @@
+//! Raw `pthread_create` spawn path for very large simulated worlds.
+//!
+//! A `std::thread` on Linux costs ~4 virtual memory areas: the glibc
+//! stack mapping is split in two by its guard page, and the Rust runtime
+//! installs a per-thread sigaltstack for stack-overflow reporting — its
+//! own mapping plus another guard. Hosts cap VMAs via `vm.max_map_count`
+//! (commonly 65,530), so thread-per-rank simulation hits a hard wall at
+//! ~16,384 threads — exactly the scale the extended weak-scaling sweeps
+//! need to *reach*. Spawning rank threads directly through
+//! `pthread_create` skips the sigaltstack, halving the per-thread VMA
+//! cost and doubling the rank ceiling to ~32K (where `kernel.pid_max`
+//! becomes the next wall). The trade: a rank that overflows its stack
+//! dies with a raw SIGSEGV instead of Rust's "thread ... has overflowed
+//! its stack" message. That is only worth it for huge worlds, so
+//! [`Simulation::run`](crate::sim::Simulation::run) switches to this
+//! path at [`RAW_THREAD_MIN_WORLD`] processes and keeps `std::thread`
+//! (with its friendlier diagnostics) below it.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// World size at which `Simulation::run` switches from `std::thread` to
+/// the raw spawn path. Low enough that the CI extended-scale fig5 smoke
+/// (1,024 ranks) exercises raw threads on every run; high enough that
+/// unit tests and the chaos sweeps keep std's stack-overflow reporting.
+pub(crate) const RAW_THREAD_MIN_WORLD: usize = 1024;
+
+/// Whether a world of `nprocs` processes should use the raw spawn path.
+pub(crate) fn use_raw_threads(nprocs: usize) -> bool {
+    cfg!(target_os = "linux") && nprocs >= RAW_THREAD_MIN_WORLD
+}
+
+type BoxedBody = Box<dyn FnOnce() + Send + 'static>;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+    use std::ffi::c_void;
+
+    // Declared locally instead of through the `libc` crate: desim does
+    // not otherwise depend on it, and four symbols do not justify a
+    // dependency. `pthread_t` is `unsigned long` on linux-gnu; the attr
+    // struct is 56 bytes on x86_64 glibc (64 here for slack — glibc only
+    // ever writes inside its own sizeof).
+    #[allow(non_camel_case_types)]
+    type pthread_t = usize;
+
+    #[repr(C, align(8))]
+    struct PthreadAttr {
+        _size: [u8; 64],
+    }
+
+    extern "C" {
+        fn pthread_create(
+            thread: *mut pthread_t,
+            attr: *const PthreadAttr,
+            start: extern "C" fn(*mut c_void) -> *mut c_void,
+            arg: *mut c_void,
+        ) -> i32;
+        fn pthread_join(thread: pthread_t, retval: *mut *mut c_void) -> i32;
+        fn pthread_attr_init(attr: *mut PthreadAttr) -> i32;
+        fn pthread_attr_destroy(attr: *mut PthreadAttr) -> i32;
+        fn pthread_attr_setstacksize(attr: *mut PthreadAttr, size: usize) -> i32;
+    }
+
+    /// Entry point for raw threads. The simulation body closure wraps
+    /// itself in `catch_unwind` already; this outer catch is defence
+    /// against anything else unwinding across the `extern "C"` frame,
+    /// which would abort the whole process.
+    extern "C" fn trampoline(arg: *mut c_void) -> *mut c_void {
+        let body = unsafe { Box::from_raw(arg as *mut BoxedBody) };
+        let _ = catch_unwind(AssertUnwindSafe(body));
+        std::ptr::null_mut()
+    }
+
+    pub(crate) struct RawJoinHandle(pthread_t);
+
+    // A pthread_t is an id to join on, not a pointer into this thread.
+    unsafe impl Send for RawJoinHandle {}
+
+    impl RawJoinHandle {
+        /// Block until the thread exits. Panics in the thread were
+        /// contained by the trampoline, so there is no payload to
+        /// propagate (the simulation records failures via the kernel).
+        pub(crate) fn join(self) {
+            unsafe {
+                pthread_join(self.0, std::ptr::null_mut());
+            }
+        }
+    }
+
+    pub(crate) fn spawn(stack_size: usize, body: BoxedBody) -> io::Result<RawJoinHandle> {
+        // PTHREAD_STACK_MIN is 16 KiB on x86_64/aarch64 glibc; glibc
+        // rejects smaller stacks with EINVAL.
+        let stack_size = stack_size.max(16 * 1024);
+        let arg = Box::into_raw(Box::new(body));
+        let mut tid: pthread_t = 0;
+        unsafe {
+            let mut attr = PthreadAttr { _size: [0; 64] };
+            if pthread_attr_init(&mut attr) != 0 {
+                drop(Box::from_raw(arg));
+                return Err(io::Error::last_os_error());
+            }
+            pthread_attr_setstacksize(&mut attr, stack_size);
+            let rc = pthread_create(&mut tid, &attr, trampoline, arg as *mut c_void);
+            pthread_attr_destroy(&mut attr);
+            if rc != 0 {
+                drop(Box::from_raw(arg));
+                return Err(io::Error::from_raw_os_error(rc));
+            }
+        }
+        Ok(RawJoinHandle(tid))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::*;
+
+    // Non-Linux hosts never select this path (`use_raw_threads` is
+    // false), but keep it compiling as a thin std wrapper.
+    pub(crate) struct RawJoinHandle(std::thread::JoinHandle<()>);
+
+    impl RawJoinHandle {
+        pub(crate) fn join(self) {
+            let _ = self.0.join();
+        }
+    }
+
+    pub(crate) fn spawn(stack_size: usize, body: BoxedBody) -> io::Result<RawJoinHandle> {
+        std::thread::Builder::new().stack_size(stack_size).spawn(body).map(RawJoinHandle)
+    }
+}
+
+pub(crate) use imp::{spawn, RawJoinHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn raw_threads_run_and_join() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<RawJoinHandle> = (0..32)
+            .map(|i| {
+                let counter = counter.clone();
+                spawn(
+                    64 * 1024,
+                    Box::new(move || {
+                        counter.fetch_add(i + 1, Ordering::SeqCst);
+                    }),
+                )
+                .expect("raw spawn failed")
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), (1..=32).sum::<usize>());
+    }
+
+    #[test]
+    fn raw_thread_contains_panics() {
+        // A panic in a raw thread must not cross the extern "C" frame
+        // (which would abort the process) and must not poison join.
+        let h = spawn(
+            64 * 1024,
+            Box::new(|| {
+                std::panic::panic_any(42_u32);
+            }),
+        )
+        .expect("raw spawn failed");
+        h.join();
+    }
+
+    #[test]
+    fn tiny_stack_request_is_clamped() {
+        // Below PTHREAD_STACK_MIN the request is clamped, not EINVAL'd.
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        let h = spawn(
+            1,
+            Box::new(move || {
+                d.store(1, Ordering::SeqCst);
+            }),
+        )
+        .expect("clamped spawn failed");
+        h.join();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -9,6 +9,7 @@ use rand::SeedableRng;
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::kernel::{EventStats, Kernel, Pid, ProcKill, SimAbort};
+use crate::raw_thread;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Span, Trace, TraceSink};
 
@@ -188,6 +189,9 @@ impl Simulation {
 
         // Large worlds create their threads from a small helper pool that
         // overlaps with the running simulation; small worlds spawn inline.
+        // Worlds at raw-thread scale also switch spawn paths — see
+        // `raw_thread` for the VMA arithmetic that makes 16K+ ranks fit.
+        let raw = raw_thread::use_raw_threads(nprocs);
         let spawners = spawner_threads(nprocs);
         let mut handles = Vec::with_capacity(nprocs);
         let spawner_handles = if spawners <= 1 {
@@ -200,6 +204,7 @@ impl Simulation {
                     nprocs,
                     config.stack_size,
                     lazy,
+                    raw,
                     pid,
                     name,
                     body,
@@ -230,6 +235,7 @@ impl Simulation {
                                 nprocs,
                                 stack_size,
                                 lazy,
+                                raw,
                                 pid,
                                 name,
                                 body,
@@ -246,8 +252,7 @@ impl Simulation {
             handles.extend(sh.join().expect("spawner thread panicked"));
         }
         for h in handles {
-            // Threads that unwound with SimAbort report Err; that is fine.
-            let _ = h.join();
+            h.join();
         }
         if let Some(reason) = kernel.abort_reason() {
             return Err(SimError(reason));
@@ -287,9 +292,28 @@ fn spawner_threads(nprocs: usize) -> usize {
     cores.min(8).min(nprocs.div_ceil(64)).max(1)
 }
 
+/// One simulated process's backing OS thread, on either spawn path.
+enum ProcHandle {
+    Std(std::thread::JoinHandle<()>),
+    Raw(raw_thread::RawJoinHandle),
+}
+
+impl ProcHandle {
+    fn join(self) {
+        match self {
+            // Std threads that unwound with SimAbort report Err; that is
+            // fine. Raw threads contain their panics internally.
+            ProcHandle::Std(h) => drop(h.join()),
+            ProcHandle::Raw(h) => h.join(),
+        }
+    }
+}
+
 /// Create the OS thread backing one simulated process. The thread parks on
 /// the process token until its t=0 activation (or a later hand-off) wakes
-/// it, so thread creation order is irrelevant to simulation order.
+/// it, so thread creation order is irrelevant to simulation order. `raw`
+/// selects the `pthread_create` path that halves per-thread VMA cost for
+/// huge worlds (see `raw_thread`); the process body is identical on both.
 #[allow(clippy::too_many_arguments)]
 fn spawn_proc_thread(
     kernel: Arc<Kernel>,
@@ -299,87 +323,97 @@ fn spawn_proc_thread(
     nprocs: usize,
     stack_size: usize,
     lazy: bool,
+    raw: bool,
     pid: Pid,
     name: String,
     body: ProcBody,
-) -> std::thread::JoinHandle<()> {
+) -> ProcHandle {
     let thread_name = format!("sim-{pid}-{name}");
-    std::thread::Builder::new()
-        .name(thread_name)
-        .stack_size(stack_size)
-        .spawn(move || {
-            // Wait for our t=0 activation before touching anything.
-            let entry = catch_unwind(AssertUnwindSafe(|| {
-                kernel.entry_wait(pid);
-            }));
-            if let Err(payload) = entry {
+    let run = move || {
+        // Wait for our t=0 activation before touching anything.
+        let entry = catch_unwind(AssertUnwindSafe(|| {
+            kernel.entry_wait(pid);
+        }));
+        if let Err(payload) = entry {
+            if payload.downcast_ref::<ProcKill>().is_some() {
+                // Killed before the body ever ran.
+                {
+                    let mut st = stats.lock();
+                    st[pid] = ProcStats {
+                        name,
+                        busy: SimDuration::ZERO,
+                        finished_at: kernel.now(),
+                        killed: true,
+                    };
+                }
+                kernel.proc_exit(pid);
+            }
+            return; // aborted (or killed) before start
+        }
+        let mut ctx = Ctx {
+            kernel: kernel.clone(),
+            pid,
+            nprocs,
+            rng: derive_rng(seed, pid),
+            trace,
+            busy: SimDuration::ZERO,
+            open_spans: Vec::new(),
+            lag: 0,
+            lazy,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+        match result {
+            Ok(()) => {
+                // `ctx.now()` includes any unreconciled lazy lead; fold
+                // it into the outcome's end time via the horizon.
+                let finished_at = ctx.now();
+                kernel.raise_horizon(finished_at.0);
+                {
+                    let mut st = stats.lock();
+                    st[pid] = ProcStats { name, busy: ctx.busy, finished_at, killed: false };
+                }
+                // May unwind with SimAbort on deadlock; the quiet hook
+                // keeps that silent.
+                kernel.proc_exit(pid);
+            }
+            Err(payload) => {
                 if payload.downcast_ref::<ProcKill>().is_some() {
-                    // Killed before the body ever ran.
+                    // Removed by fault injection: a clean (if abrupt)
+                    // exit, not a failure.
                     {
                         let mut st = stats.lock();
                         st[pid] = ProcStats {
                             name,
-                            busy: SimDuration::ZERO,
+                            busy: ctx.busy,
                             finished_at: kernel.now(),
                             killed: true,
                         };
                     }
                     kernel.proc_exit(pid);
+                    return;
                 }
-                return; // aborted (or killed) before start
+                if payload.downcast_ref::<SimAbort>().is_some() {
+                    // Simulation-wide abort already in progress.
+                    return;
+                }
+                let msg = panic_message(payload.as_ref());
+                kernel.mark_failed(format!("process {pid} `{name}` panicked: {msg}"));
             }
-            let mut ctx = Ctx {
-                kernel: kernel.clone(),
-                pid,
-                nprocs,
-                rng: derive_rng(seed, pid),
-                trace,
-                busy: SimDuration::ZERO,
-                open_spans: Vec::new(),
-                lag: 0,
-                lazy,
-            };
-            let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
-            match result {
-                Ok(()) => {
-                    // `ctx.now()` includes any unreconciled lazy lead; fold
-                    // it into the outcome's end time via the horizon.
-                    let finished_at = ctx.now();
-                    kernel.raise_horizon(finished_at.0);
-                    {
-                        let mut st = stats.lock();
-                        st[pid] = ProcStats { name, busy: ctx.busy, finished_at, killed: false };
-                    }
-                    // May unwind with SimAbort on deadlock; the quiet hook
-                    // keeps that silent.
-                    kernel.proc_exit(pid);
-                }
-                Err(payload) => {
-                    if payload.downcast_ref::<ProcKill>().is_some() {
-                        // Removed by fault injection: a clean (if abrupt)
-                        // exit, not a failure.
-                        {
-                            let mut st = stats.lock();
-                            st[pid] = ProcStats {
-                                name,
-                                busy: ctx.busy,
-                                finished_at: kernel.now(),
-                                killed: true,
-                            };
-                        }
-                        kernel.proc_exit(pid);
-                        return;
-                    }
-                    if payload.downcast_ref::<SimAbort>().is_some() {
-                        // Simulation-wide abort already in progress.
-                        return;
-                    }
-                    let msg = panic_message(payload.as_ref());
-                    kernel.mark_failed(format!("process {pid} `{name}` panicked: {msg}"));
-                }
-            }
-        })
-        .expect("failed to spawn simulation thread")
+        }
+    };
+    if raw {
+        return ProcHandle::Raw(
+            raw_thread::spawn(stack_size, Box::new(run))
+                .expect("failed to spawn simulation thread"),
+        );
+    }
+    ProcHandle::Std(
+        std::thread::Builder::new()
+            .name(thread_name)
+            .stack_size(stack_size)
+            .spawn(run)
+            .expect("failed to spawn simulation thread"),
+    )
 }
 
 fn derive_rng(seed: u64, pid: Pid) -> StdRng {

@@ -1,0 +1,204 @@
+//! Deep-pipeline coverage: the static pass on *multi-stage* topologies —
+//! map → combine → tree-reduce → write, the shape the tree-aggregation
+//! operators build. Every lint must fire on defects seeded into the
+//! *intermediate* stages (not just the first hop), including a fan-in
+//! feedback mutation that SC002 must flag as a credit-exhaustion cycle.
+
+use mpistream::{ChannelConfig, RoutePolicy};
+use streamcheck::{check, ChannelDecl, GroupDecl, Report, Severity, Topology};
+
+fn errors_with(report: &Report, code: &str) -> usize {
+    report.errors().filter(|f| f.code == code).count()
+}
+
+fn credited(credits: usize) -> ChannelConfig {
+    ChannelConfig { credits: Some(credits), ..ChannelConfig::default() }
+}
+
+/// The canonical deep pipeline: 8 mappers (with producer-side combiners —
+/// invisible to the topology, they only coarsen elements) feed 4 reducers
+/// through a keyed channel; the reducers fold through a fan-in-2
+/// reduction tree (stage 0: blocks [8,9] and [10,11]; stage 1: block
+/// [8,10]) built as one private channel per block, exactly like
+/// `create_tree_channels`; the root relays to the writer pair, keyed to
+/// the first writer.
+///
+/// Stages: map(0..8) → reduce(8..12) → tree-s0 → tree-s1 → write(12..14).
+fn deep_pipeline() -> Topology {
+    Topology::new(14)
+        .group(GroupDecl::new("map", (0..8).collect()))
+        .group(GroupDecl::new("reduce", (8..12).collect()))
+        .group(GroupDecl::new("write", (12..14).collect()))
+        .channel(
+            ChannelDecl::new("map-out", (0..8).collect(), (8..12).collect(), credited(32))
+                .keyed(vec![Some(0), Some(1), Some(2), Some(3)]),
+        )
+        .channel(ChannelDecl::new("tree-s0-b0", vec![9], vec![8], credited(8)).keyed(vec![Some(0)]))
+        .channel(
+            ChannelDecl::new("tree-s0-b1", vec![11], vec![10], credited(8)).keyed(vec![Some(0)]),
+        )
+        .channel(
+            ChannelDecl::new("tree-s1-b0", vec![10], vec![8], credited(8)).keyed(vec![Some(0)]),
+        )
+        .channel(
+            ChannelDecl::new("reduce-to-write", vec![8], vec![12, 13], credited(8))
+                .keyed(vec![Some(0)]),
+        )
+}
+
+#[test]
+fn deep_pipeline_is_clean_and_certified() {
+    let report = check(&deep_pipeline());
+    // The second writer only drains Terms (keyed to writer 0): that is the
+    // SC004 info note, not an error, and must not block certification.
+    assert!(report.is_clean(), "unexpected findings:\n{}", report.to_text());
+    assert!(report.certified_deadlock_free, "{}", report.to_text());
+}
+
+// ---- SC001 through an intermediate stage ----
+
+#[test]
+fn sc001_reduce_rank_dropped_from_the_partition() {
+    let mut topo = deep_pipeline();
+    topo.groups[1].ranks.retain(|&r| r != 10); // tree-stage rank ownerless
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC001"), 1, "{}", report.to_text());
+    assert!(!report.certified_deadlock_free);
+}
+
+// ---- SC002: the fan-in feedback mutation ----
+
+#[test]
+fn sc002_fan_in_feedback_is_a_credit_exhaustion_error() {
+    // Mutation: the tree root (rank 8) feeds partial results *back* to a
+    // stage-0 sender (rank 9) over a credit-bounded channel. The block
+    // graph is no longer a forest directed at the root: 9 → 8 (tree-s0-b0)
+    // and 8 → 9 (feedback) close a bounded loop through an intermediate
+    // tree level, which must be reported as a credit-exhaustion deadlock.
+    let topo = deep_pipeline().channel(ChannelDecl::new("feedback", vec![8], vec![9], credited(8)));
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC002"), 1, "{}", report.to_text());
+    assert!(!report.certified_deadlock_free);
+    let f = report.errors().find(|f| f.code == "SC002").unwrap();
+    assert!(
+        f.subject.contains("tree-s0-b0") && f.subject.contains("feedback"),
+        "cycle report should name the tree stage and the feedback edge: {}",
+        f.subject
+    );
+}
+
+#[test]
+fn sc002_unbounded_feedback_downgrades_to_info() {
+    // The same loop with an unbounded feedback edge cannot credit-deadlock
+    // (pressure is absorbed into memory): info, and still not certified.
+    let topo = deep_pipeline().channel(ChannelDecl::new(
+        "feedback",
+        vec![8],
+        vec![9],
+        ChannelConfig::default(),
+    ));
+    let report = check(&topo);
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert!(
+        report.findings.iter().any(|f| f.code == "SC002" && f.severity == Severity::Info),
+        "{}",
+        report.to_text()
+    );
+    assert!(!report.certified_deadlock_free);
+}
+
+// ---- SC003 through an intermediate stage ----
+
+#[test]
+fn sc003_tree_sender_dropping_term_hangs_downstream() {
+    let mut topo = deep_pipeline();
+    // Stage-0 sender 11 exits without terminating: its block receiver
+    // (rank 10) hangs, which starves stage 1 and the writer behind it.
+    topo.channels[2] = topo.channels[2].clone().drop_term(11);
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC003"), 1, "{}", report.to_text());
+    assert!(!report.certified_deadlock_free);
+}
+
+// ---- SC004 through an intermediate stage ----
+
+#[test]
+fn sc004_tree_block_bucket_out_of_range() {
+    let mut topo = deep_pipeline();
+    // A block channel has exactly one consumer (the receiver); routing a
+    // bucket to index 1 targets a consumer that does not exist.
+    topo.channels[3] = topo.channels[3].clone().keyed(vec![Some(1)]);
+    let report = check(&topo);
+    assert!(errors_with(&report, "SC004") >= 1, "{}", report.to_text());
+}
+
+#[test]
+fn sc004_keyed_hole_in_the_map_stage() {
+    let mut topo = deep_pipeline();
+    topo.channels[0] = topo.channels[0].clone().keyed(vec![Some(0), None, Some(2), Some(3)]);
+    let report = check(&topo);
+    assert!(errors_with(&report, "SC004") >= 1, "{}", report.to_text());
+}
+
+// ---- SC005 / SC006 on an intermediate stage ----
+
+#[test]
+fn sc005_zero_credit_window_on_a_tree_channel() {
+    let mut topo = deep_pipeline();
+    topo.channels[1].config.credits = Some(0);
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC005"), 1, "{}", report.to_text());
+}
+
+#[test]
+fn sc006_credit_batch_overflows_a_tree_channel_window() {
+    let mut topo = deep_pipeline();
+    // credits 8, aggregation 1 → stall margin 8; a batch of 9 can never
+    // flush once the sender stalls mid-tree.
+    topo.channels[3].config.credit_batch = 9;
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC006"), 1, "{}", report.to_text());
+}
+
+// ---- deeper trees stay certified ----
+
+#[test]
+fn four_level_tree_pipeline_certifies() {
+    // 16 leaves, fan-in 2, stages [16]→[8]→[4]→[2]→root: a 4-level block
+    // forest over ranks 0..16 with a writer at 16. Build the per-block
+    // channels the way plan_tree lays them out.
+    let mut topo = Topology::new(17)
+        .group(GroupDecl::new("leaves", (0..16).collect()))
+        .group(GroupDecl::new("write", vec![16]));
+    let mut members: Vec<usize> = (0..16).collect();
+    let mut stage = 0;
+    while members.len() > 1 {
+        let mut next = Vec::new();
+        for (bi, block) in members.chunks(2).enumerate() {
+            next.push(block[0]);
+            if block.len() < 2 {
+                continue;
+            }
+            topo = topo.channel(
+                ChannelDecl::new(
+                    format!("tree-s{stage}-b{bi}"),
+                    block[1..].to_vec(),
+                    vec![block[0]],
+                    ChannelConfig {
+                        credits: Some(4),
+                        route: RoutePolicy::Static,
+                        ..ChannelConfig::default()
+                    },
+                )
+                .keyed(vec![Some(0)]),
+            );
+        }
+        members = next;
+        stage += 1;
+    }
+    assert_eq!(stage, 4);
+    topo = topo.channel(ChannelDecl::new("root-to-write", vec![0], vec![16], credited(4)));
+    let report = check(&topo);
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert!(report.certified_deadlock_free, "{}", report.to_text());
+}

@@ -100,6 +100,40 @@ fn mini_mapreduce_histogram_matches_oracle_on_both_backends() {
     assert_eq!(*native_hist.lock(), oracle, "native master histogram != oracle");
 }
 
+#[test]
+fn tree_aggregated_mini_mapreduce_matches_oracle_on_both_backends() {
+    // The aggregated pipeline: producer-side combiners (merge 4 chunks
+    // before they enter the channel) plus a fan-in-2 reduction tree
+    // between the local reducers and the master. Count merging is pure
+    // integer addition, so the combined/tree-reduced histogram must equal
+    // the serial oracle *exactly* on both backends — the float
+    // reduction-order caveat of DESIGN.md §11 does not apply here.
+    let cfg = MiniMrConfig { combine_every: 4, tree_fan_in: Some(2), ..MiniMrConfig::default() };
+    let oracle = mini_mapreduce_oracle(RANKS, &cfg);
+    assert!(oracle.iter().sum::<u64>() > 0, "oracle must count something");
+
+    let sim_hist: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = sim_hist.clone();
+    let cfg2 = cfg.clone();
+    World::new(MachineConfig::default()).with_seed(13).run_expect(RANKS, move |rank| {
+        if let Some(hist) = mini_mapreduce(rank, &cfg2) {
+            *sink.lock() = hist;
+        }
+    });
+    assert_eq!(*sim_hist.lock(), oracle, "simulator tree-aggregated histogram != oracle");
+
+    let native_hist: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = native_hist.clone();
+    NativeWorld::new(RANKS).with_compute_scale(0.01).run(move |rank| {
+        if let Some(hist) = mini_mapreduce(rank, &cfg) {
+            *sink.lock() = hist;
+        }
+    });
+    assert_eq!(*native_hist.lock(), oracle, "native tree-aggregated histogram != oracle");
+    // Same content, fingerprint-checked as a multiset for good measure.
+    assert_eq!(fingerprint(&sim_hist.lock()), fingerprint(&oracle));
+}
+
 /// The flow-control regime the batched-credit equivalence tests run
 /// under: a real window plus a mid-window acknowledgement batch, so the
 /// consumer's credit return path actually exercises the accumulate/flush

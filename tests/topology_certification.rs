@@ -47,6 +47,29 @@ fn fig5_mapreduce_topologies_certify() {
     }
 }
 
+/// The tree-aggregated fig5 pipeline (producer combiners + reduction
+/// tree between the local reducers and the master): the per-block tree
+/// channels keep the block graph a forest directed at the master, so the
+/// deep topology must still certify deadlock-free.
+#[test]
+fn fig5_tree_aggregated_topologies_certify() {
+    for (p, every, fan_in) in
+        [(64usize, 16usize, 2usize), (64, 16, 4), (256, 16, 8), (256, 32, 4), (128, 8, 3)]
+    {
+        let cfg = apps::mapreduce::MapReduceConfig {
+            combine_every: 8,
+            tree_fan_in: Some(fan_in),
+            ..configs::fig5(p, every)
+        };
+        let topo = apps::mapreduce::topology(p, &cfg);
+        assert!(
+            topo.channels.iter().any(|c| c.name.starts_with("tree-s")),
+            "fig5 P={p} 1/{every} k={fan_in} should declare tree-stage channels"
+        );
+        assert_certified(&format!("fig5-tree P={p} 1/{every} k={fan_in}"), &check(&topo));
+    }
+}
+
 #[test]
 fn fig6_cg_topology_is_clean_benign_cycle() {
     for p in [16usize, 64] {
@@ -74,6 +97,22 @@ fn fig8_pic_io_topology_certifies() {
     for p in [16usize, 128] {
         let topo = apps::pic::io_topology(p, &configs::fig8());
         assert_certified(&format!("fig8 P={p}"), &check(&topo));
+    }
+}
+
+/// The fig8 writer-aggregation variant: per-block spill channels between
+/// forwarder and writer I/O ranks stay acyclic and certify, across block
+/// shapes with and without a singleton tail.
+#[test]
+fn fig8_writer_aggregated_topologies_certify() {
+    for (p, fan_in) in [(32usize, 2usize), (64, 4), (64, 3), (128, 4)] {
+        let cfg = apps::pic::PicConfig { io_writer_fan_in: Some(fan_in), ..configs::fig8() };
+        let topo = apps::pic::io_topology(p, &cfg);
+        assert!(
+            topo.channels.iter().any(|c| c.name.starts_with("spill-b")),
+            "fig8 P={p} k={fan_in} should declare spill channels"
+        );
+        assert_certified(&format!("fig8-agg P={p} k={fan_in}"), &check(&topo));
     }
 }
 
