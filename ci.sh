@@ -37,6 +37,23 @@ timeout 120 cargo run --release --offline -q -p integration \
 timeout 180 cargo test -q --release --offline -p integration \
     --test backend_equivalence
 
+echo "== socket backend smoke (multi-process equivalence over Unix sockets) =="
+# The same portable programs again, this time with one OS *process* per
+# rank and every payload crossing the Wire codec over Unix-domain
+# sockets (DESIGN.md §16). backend_equivalence certifies the socket
+# fingerprints against sim and native; recv_deadline_semantics pins the
+# half-read-frame and absolute-deadline contracts; the quickstart run
+# exercises the launcher + merged wall-clock trace end to end. Process
+# worlds can wedge rather than fail, so everything is timeout-bounded.
+timeout 300 cargo test -q --release --offline -p socket
+timeout 300 cargo test -q --release --offline -p integration \
+    --test backend_equivalence socket_
+timeout 300 cargo test -q --release --offline -p integration \
+    --test recv_deadline_semantics
+timeout 120 cargo run --release --offline -q -p integration \
+    --example quickstart_native -- --backend socket \
+    --trace target/quickstart_socket.trace.json
+
 echo "== streamprof smoke (chrome traces + golden byte-compare) =="
 # fig2 rendered through the streamprof adapters (ASCII Gantt must stay
 # byte-identical to the pre-streamprof output) plus Chrome-trace export;

@@ -21,6 +21,8 @@ pub struct WorkloadUpdate {
     pub work_units: u64,
 }
 
+mpistream::wire_struct!(WorkloadUpdate { rank, step, work_units });
+
 /// Distribution digest the analysis group maintains.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct WorkloadDigest {

@@ -354,11 +354,15 @@ struct FaceMsg {
     values: Vec<f64>,
 }
 
+mpistream::wire_struct!(FaceMsg { dest, iter, dim, dir, values });
+
 /// The combined per-iteration halo packet streamed back to a compute rank.
 struct HaloPacket {
     iter: usize,
     faces: Vec<(usize, isize, Vec<f64>)>,
 }
+
+mpistream::wire_struct!(HaloPacket { iter, faces });
 
 /// The boundary group's aggregation kernel, generic over the transport:
 /// collect the faces of each `(destination, iteration)` pair

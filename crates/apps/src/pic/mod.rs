@@ -365,6 +365,23 @@ enum ToComm {
     Exits { particles: Vec<Particle> },
 }
 
+impl mpistream::Wire for ToComm {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ToComm::Exits { particles } => {
+                out.push(0);
+                particles.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, mpistream::WireError> {
+        match u8::decode(input)? {
+            0 => Ok(ToComm::Exits { particles: mpistream::Wire::decode(input)? }),
+            got => Err(mpistream::WireError::BadDiscriminant { got }),
+        }
+    }
+}
+
 /// The communication group's relay kernel, generic over the transport:
 /// aggregate each arriving bundle of exits by destination owner and
 /// forward in one pass — pure FCFS, no waiting on any producer. The

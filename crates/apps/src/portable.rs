@@ -33,6 +33,8 @@ pub struct WorkloadUpdate {
     pub work_units: u64,
 }
 
+mpistream::wire_struct!(WorkloadUpdate { rank, step, work_units });
+
 /// What one rank saw during a portable run: its role, how many elements it
 /// streamed (producers), and the sorted payload values it consumed
 /// (consumers). The consumer payloads are the cross-backend invariant.

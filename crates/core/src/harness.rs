@@ -14,6 +14,7 @@ use crate::channel::{ChannelConfig, ConfigError, StreamChannel};
 use crate::group::{GroupSpec, Role};
 use crate::stream::Stream;
 use crate::transport::Transport;
+use crate::wire::Wire;
 
 /// Everything a producer body gets to work with.
 pub struct ProducerCtx<'s, T, G> {
@@ -48,7 +49,7 @@ pub fn run_decoupled<T, TP, P, C>(
     consumer: C,
 ) -> crate::stream::StreamStats
 where
-    T: Send + 'static,
+    T: Wire + Send + 'static,
     TP: Transport,
     P: FnOnce(&mut TP, &mut ProducerCtx<'_, T, TP::Group>),
     C: FnOnce(&mut TP, &mut ConsumerCtx<'_, T, TP::Group>),
@@ -73,7 +74,7 @@ pub fn try_run_decoupled<T, TP, P, C>(
     consumer: C,
 ) -> Result<crate::stream::StreamStats, ConfigError>
 where
-    T: Send + 'static,
+    T: Wire + Send + 'static,
     TP: Transport,
     P: FnOnce(&mut TP, &mut ProducerCtx<'_, T, TP::Group>),
     C: FnOnce(&mut TP, &mut ConsumerCtx<'_, T, TP::Group>),

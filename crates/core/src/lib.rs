@@ -59,6 +59,7 @@ pub mod select;
 pub mod sim;
 pub mod stream;
 pub mod transport;
+pub mod wire;
 
 pub use adaptive::AdaptiveGranularity;
 pub use channel::{ChannelConfig, ConfigError, RoutePolicy, StreamChannel};
@@ -72,3 +73,4 @@ pub use select::operate2;
 pub use sim::SimTransport;
 pub use stream::{ProducerReport, ProducerState, Stream, StreamOutcome, StreamStats};
 pub use transport::{prof_scoped, Group, MsgInfo, Src, Tag, TagKind, Transport};
+pub use wire::{Wire, WireError, MAX_FRAME_BYTES, MAX_WIRE_ELEMS};

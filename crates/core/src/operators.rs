@@ -38,6 +38,7 @@ use crate::channel::{ChannelConfig, StreamChannel};
 use crate::group::Role;
 use crate::stream::Stream;
 use crate::transport::Transport;
+use crate::wire::Wire;
 
 // ---------------------------------------------------------------------
 // Producer-side combiner
@@ -84,7 +85,7 @@ pub struct Combiner<T> {
     stats: CombinerStats,
 }
 
-impl<T: Send + 'static> Combiner<T> {
+impl<T: Wire + Send + 'static> Combiner<T> {
     /// A combiner sized for `stream`'s consumer set, flushing each slot
     /// every `flush_every` folded elements.
     pub fn new(stream: &Stream<T>, flush_every: usize) -> Combiner<T> {
@@ -343,7 +344,7 @@ pub fn stage_span(i: usize) -> &'static str {
 /// channel (under a per-stage profiling span, FCFS over the block) and
 /// carries the merged accumulator into the next stage. Ranks of `comm`
 /// that are not tree leaves pass `None` and flow straight through.
-pub fn reduce_through<TP: Transport, T: Send + 'static>(
+pub fn reduce_through<TP: Transport, T: Wire + Send + 'static>(
     rank: &mut TP,
     plan: &TreePlan,
     tree: TreeChannels,
@@ -389,7 +390,7 @@ pub fn reduce_through<TP: Transport, T: Send + 'static>(
 /// Plan, create and run a reduction tree in one collective call: every
 /// rank of `comm` participates; `leaves` pass `Some(partial)`; the merged
 /// result lands on `leaves[0]`.
-pub fn tree_reduce<TP: Transport, T: Send + 'static>(
+pub fn tree_reduce<TP: Transport, T: Wire + Send + 'static>(
     rank: &mut TP,
     comm: &TP::Group,
     leaves: &[usize],

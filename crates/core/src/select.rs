@@ -9,6 +9,7 @@
 
 use crate::stream::Stream;
 use crate::transport::Transport;
+use crate::wire::Wire;
 
 /// Drain two consumer endpoints first-come-first-served until **both**
 /// have seen every producer terminate. Returns the element counts
@@ -26,8 +27,8 @@ pub fn operate2<A, B, TP: Transport>(
     mut on_b: impl FnMut(&mut TP, B),
 ) -> (u64, u64)
 where
-    A: Send + 'static,
-    B: Send + 'static,
+    A: Wire + Send + 'static,
+    B: Wire + Send + 'static,
 {
     let (mut na, mut nb) = (0u64, 0u64);
     loop {

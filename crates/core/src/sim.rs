@@ -21,6 +21,7 @@
 use mpisim::Rank;
 
 use crate::transport::{Group, MsgInfo, SimTime, Src, Tag, Transport};
+use crate::wire::Wire;
 
 /// The simulator backend, by its transport name. Stream programs written
 /// against `Transport` take a `&mut SimTransport` to run simulated.
@@ -83,20 +84,20 @@ impl<'c> Transport for Rank<'c> {
         Rank::compute(self, secs);
     }
 
-    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T) {
+    fn send<T: Wire + Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T) {
         Rank::send_t(self, dst, sim_tag(tag), bytes, value);
     }
 
-    fn recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
+    fn recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
         let (v, info) = Rank::recv_t(self, sim_src(src), sim_tag(tag));
         (v, from_sim_info(info))
     }
 
-    fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
+    fn try_recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
         Rank::try_recv_t(self, sim_src(src), sim_tag(tag)).map(|(v, i)| (v, from_sim_info(i)))
     }
 
-    fn recv_deadline<T: Send + 'static>(
+    fn recv_deadline<T: Wire + Send + 'static>(
         &mut self,
         src: Src,
         tag: Tag,
@@ -118,7 +119,7 @@ impl<'c> Transport for Rank<'c> {
         Rank::barrier(self, group);
     }
 
-    fn allreduce<T: Clone + Send + 'static>(
+    fn allreduce<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &mpisim::Comm,
         bytes: u64,
@@ -128,7 +129,7 @@ impl<'c> Transport for Rank<'c> {
         Rank::allreduce(self, group, bytes, value, op)
     }
 
-    fn allgatherv<T: Clone + Send + 'static>(
+    fn allgatherv<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &mpisim::Comm,
         bytes: u64,
@@ -137,7 +138,7 @@ impl<'c> Transport for Rank<'c> {
         Rank::allgatherv(self, group, bytes, value)
     }
 
-    fn bcast<T: Clone + Send + 'static>(
+    fn bcast<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &mpisim::Comm,
         root: usize,

@@ -18,14 +18,39 @@
 use crate::channel::{RoutePolicy, StreamChannel};
 use crate::group::Role;
 use crate::transport::{MsgInfo, SimTime, Src, Transport};
+use crate::wire::{Wire, WireError};
 
-/// Wire format of one stream message.
-enum Wire<T> {
+/// Wire format of one stream message: the enum that actually crosses the
+/// transport, with a defined [`Wire`] encoding (discriminant byte `0` for
+/// `Data`, `1` for `Term`) so the same stream runs over a socket link.
+enum StreamMsg<T> {
     /// A batch of `aggregation`-coalesced elements.
     Data(Vec<T>),
     /// End of this producer's flow; carries the total elements it sent to
     /// this consumer (conservation checking).
     Term { sent: u64 },
+}
+
+impl<T: Wire> Wire for StreamMsg<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StreamMsg::Data(batch) => {
+                out.push(0);
+                batch.encode(out);
+            }
+            StreamMsg::Term { sent } => {
+                out.push(1);
+                sent.encode(out);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(StreamMsg::Data(Vec::decode(input)?)),
+            1 => Ok(StreamMsg::Term { sent: u64::decode(input)? }),
+            got => Err(WireError::BadDiscriminant { got }),
+        }
+    }
 }
 
 /// Producer- and consumer-side statistics of one stream endpoint.
@@ -142,7 +167,7 @@ pub struct Stream<T> {
     stats: StreamStats,
 }
 
-impl<T: Send + 'static> Stream<T> {
+impl<T: Wire + Send + 'static> Stream<T> {
     /// Attach a stream endpoint to `channel` (the element type `T` plays
     /// the role of the MPI derived datatype).
     pub fn attach(channel: StreamChannel) -> Stream<T> {
@@ -288,7 +313,7 @@ impl<T: Send + 'static> Stream<T> {
             // the instant `send` returns, so a post-send report would
             // race any cross-rank ledger built on these hooks.
             rank.check_data_sent(self.channel.id, dst, n);
-            rank.send(dst, tag, bytes, Wire::Data(batch));
+            rank.send(dst, tag, bytes, StreamMsg::Data(batch));
             self.outstanding[consumer] += n;
             rank.prof_stream_send(self.channel.id, n, bytes);
             if let Some(window) = self.channel.config.credits {
@@ -379,7 +404,7 @@ impl<T: Send + 'static> Stream<T> {
                 continue;
             }
             let sent = self.sent_per_consumer[c];
-            rank.send(dst, tag, 16, Wire::<T>::Term { sent });
+            rank.send(dst, tag, 16, StreamMsg::<T>::Term { sent });
         }
         // Drain remaining credit messages so they do not linger as
         // unconsumed traffic (and so outstanding counts settle for tests).
@@ -518,12 +543,12 @@ impl<T: Send + 'static> Stream<T> {
                 break;
             }
             let got = match timeout {
-                None => Some(rank.recv::<Wire<T>>(Src::Any, tag)),
+                None => Some(rank.recv::<StreamMsg<T>>(Src::Any, tag)),
                 Some(_) => {
                     // The earliest instant any open producer's silence
                     // exceeds the timeout.
                     let &(deadline, _) = deadlines.first().expect("at least one producer is open");
-                    rank.recv_deadline::<Wire<T>>(Src::Any, tag, deadline)
+                    rank.recv_deadline::<StreamMsg<T>>(Src::Any, tag, deadline)
                 }
             };
             match got {
@@ -537,7 +562,7 @@ impl<T: Send + 'static> Stream<T> {
                     last_heard[pi] = rank.now();
                     dead[pi] = false; // self-heal: it spoke after the verdict
                     match wire {
-                        Wire::Data(batch) => {
+                        StreamMsg::Data(batch) => {
                             let n = batch.len() as u64;
                             self.stats.elements += n;
                             self.stats.batches += 1;
@@ -557,7 +582,7 @@ impl<T: Send + 'static> Stream<T> {
                                 self.grant_credit(rank, info.src, n);
                             }
                         }
-                        Wire::Term { sent } => {
+                        StreamMsg::Term { sent } => {
                             self.terms_seen += 1;
                             self.claimed += sent;
                             terminated[pi] = true;
@@ -620,7 +645,7 @@ impl<T: Send + 'static> Stream<T> {
     ) -> u64 {
         assert_eq!(self.channel.my_role, Role::Consumer);
         let tag = self.channel.data_tag();
-        match rank.try_recv::<Wire<T>>(Src::Any, tag) {
+        match rank.try_recv::<StreamMsg<T>>(Src::Any, tag) {
             Some((wire, info)) => self.dispatch(rank, wire, info, &mut op),
             None => 0,
         }
@@ -636,7 +661,7 @@ impl<T: Send + 'static> Stream<T> {
     ) -> (u64, bool) {
         assert_eq!(self.channel.my_role, Role::Consumer);
         let tag = self.channel.data_tag();
-        match rank.try_recv::<Wire<T>>(Src::Any, tag) {
+        match rank.try_recv::<StreamMsg<T>>(Src::Any, tag) {
             Some((wire, info)) => (self.dispatch(rank, wire, info, &mut op), true),
             None => (0, false),
         }
@@ -697,9 +722,9 @@ impl<T: Send + 'static> Stream<T> {
                 return None;
             }
             let tag = self.channel.data_tag();
-            let (wire, info) = rank.recv::<Wire<T>>(Src::Any, tag);
+            let (wire, info) = rank.recv::<StreamMsg<T>>(Src::Any, tag);
             match wire {
-                Wire::Data(batch) => {
+                StreamMsg::Data(batch) => {
                     let n = batch.len() as u64;
                     self.stats.elements += n;
                     self.stats.batches += 1;
@@ -710,7 +735,7 @@ impl<T: Send + 'static> Stream<T> {
                         self.grant_credit(rank, info.src, n);
                     }
                 }
-                Wire::Term { sent } => {
+                StreamMsg::Term { sent } => {
                     self.terms_seen += 1;
                     self.claimed += sent;
                     self.credit_on_closed(info.src);
@@ -722,19 +747,19 @@ impl<T: Send + 'static> Stream<T> {
     /// Blockingly receive and dispatch one wire message.
     fn step<TP: Transport>(&mut self, rank: &mut TP, op: &mut impl FnMut(&mut TP, T)) -> u64 {
         let tag = self.channel.data_tag();
-        let (wire, info) = rank.recv::<Wire<T>>(Src::Any, tag);
+        let (wire, info) = rank.recv::<StreamMsg<T>>(Src::Any, tag);
         self.dispatch(rank, wire, info, op)
     }
 
     fn dispatch<TP: Transport>(
         &mut self,
         rank: &mut TP,
-        wire: Wire<T>,
+        wire: StreamMsg<T>,
         info: MsgInfo,
         op: &mut impl FnMut(&mut TP, T),
     ) -> u64 {
         match wire {
-            Wire::Data(batch) => {
+            StreamMsg::Data(batch) => {
                 let n = batch.len() as u64;
                 self.stats.elements += n;
                 self.stats.batches += 1;
@@ -750,7 +775,7 @@ impl<T: Send + 'static> Stream<T> {
                 }
                 n
             }
-            Wire::Term { sent } => {
+            StreamMsg::Term { sent } => {
                 self.terms_seen += 1;
                 self.claimed += sent;
                 self.credit_on_closed(info.src);

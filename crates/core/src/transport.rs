@@ -25,6 +25,8 @@
 
 pub use desim::{SimDuration, SimTime};
 
+use crate::wire::Wire;
+
 /// Wire tag. User tags occupy the low 32 bits; library-internal traffic
 /// (collectives, streams) sets the top bit and namespaces the rest so it
 /// can never collide with application tags. The bit layout is shared by
@@ -187,19 +189,24 @@ pub trait Transport {
 
     /// Send `value` to world rank `dst` under `tag`, with a modelled wire
     /// size of `bytes`. Returns once injected (see the trait docs).
-    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T);
+    ///
+    /// Every payload carries the [`Wire`] bound so it is representable as
+    /// a length-prefixed `Tag` + bytes frame. In-memory backends bypass
+    /// the codec and move the value zero-copy; process-separated backends
+    /// (the `socket` crate) encode here and decode at the receiver.
+    fn send<T: Wire + Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T);
 
     /// Blockingly receive the first available message matching
     /// `(src, tag)`.
-    fn recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo);
+    fn recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo);
 
     /// Receive a matching message if one is already available; never
     /// blocks.
-    fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)>;
+    fn try_recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)>;
 
     /// Blockingly receive, giving up at `deadline` (on the backend's
     /// clock). `None` means the deadline passed with nothing deliverable.
-    fn recv_deadline<T: Send + 'static>(
+    fn recv_deadline<T: Wire + Send + 'static>(
         &mut self,
         src: Src,
         tag: Tag,
@@ -225,7 +232,7 @@ pub trait Transport {
 
     /// All-reduce `value` over `group` with `op` (must be associative and
     /// commutative; combine order is backend-defined).
-    fn allreduce<T: Clone + Send + 'static>(
+    fn allreduce<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &Self::Group,
         bytes: u64,
@@ -235,7 +242,7 @@ pub trait Transport {
 
     /// Gather every member's `value`; all members receive the vector in
     /// group-rank order.
-    fn allgatherv<T: Clone + Send + 'static>(
+    fn allgatherv<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &Self::Group,
         bytes: u64,
@@ -244,7 +251,7 @@ pub trait Transport {
 
     /// Broadcast from group rank `root` (which passes `Some`, everyone
     /// else `None`).
-    fn bcast<T: Clone + Send + 'static>(
+    fn bcast<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &Self::Group,
         root: usize,

@@ -1,0 +1,164 @@
+//! Property tests of the `Wire` codec: encode/decode is the identity on
+//! every payload shape the apps use, and *every* malformed frame —
+//! truncations at arbitrary byte offsets, oversized length prefixes,
+//! trailing garbage, bad discriminants — decodes to a typed
+//! [`WireError`], never a panic and never an attacker-sized allocation.
+
+use mpistream::{Wire, WireError, MAX_WIRE_ELEMS};
+use proptest::prelude::*;
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = v.to_frame();
+    let back = T::from_frame(&bytes);
+    prop_assert_eq!(back.as_ref().ok(), Some(v), "decode failed: {:?}", back.as_ref().err());
+}
+
+/// Decoding any strict prefix of a valid frame must fail with a typed
+/// error — `from_frame` additionally rejects strict *extensions*.
+fn total_on_prefixes<T: Wire + std::fmt::Debug>(v: &T) {
+    let bytes = v.to_frame();
+    for cut in 0..bytes.len() {
+        if let Ok(short) = T::from_frame(&bytes[..cut]) {
+            // A prefix may decode (e.g. a tuple of units) only if the
+            // full frame is empty too — otherwise it must error.
+            prop_assert!(bytes.is_empty(), "prefix {cut} decoded: {short:?}");
+        }
+    }
+    let mut extended = bytes.clone();
+    extended.push(0);
+    prop_assert!(
+        matches!(T::from_frame(&extended), Err(WireError::TrailingBytes { .. })),
+        "extended frame must report trailing bytes"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn integers_round_trip(a in any::<u64>(), b in any::<i64>(), c in any::<u32>(), d in any::<u8>()) {
+        roundtrip(&a);
+        roundtrip(&b);
+        roundtrip(&c);
+        roundtrip(&d);
+        roundtrip(&(a as usize));
+        roundtrip(&(b as isize));
+        total_on_prefixes(&a);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exact(bits in any::<u64>(), f in any::<bool>()) {
+        // Go through raw bits so NaN payloads and signed zeros are
+        // covered; equality is on the bit pattern.
+        let v = f64::from_bits(bits);
+        let back = f64::from_frame(&v.to_frame()).unwrap();
+        prop_assert_eq!(back.to_bits(), bits);
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn collections_round_trip(
+        v in prop::collection::vec(any::<u64>(), 0..64),
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..32),
+        raw in prop::collection::vec(any::<u8>(), 0..48),
+        present in any::<bool>(),
+    ) {
+        roundtrip(&v);
+        roundtrip(&pairs);                      // the mapreduce KvChunk shape
+        let s = String::from_utf8_lossy(&raw).into_owned();
+        roundtrip(&s);
+        let opt = present.then(|| v.clone());
+        roundtrip(&opt);
+        total_on_prefixes(&pairs);
+    }
+
+    #[test]
+    fn app_payload_shapes_round_trip(
+        iter in any::<u64>(),
+        dir in any::<i64>(),
+        vals in prop::collection::vec(any::<u64>(), 0..16),
+    ) {
+        // The cg halo shape: (usize, isize, Vec<f64>) nested in a Vec.
+        let values: Vec<f64> = vals.iter().map(|&b| f64::from_bits(b | 1)).collect();
+        let faces = vec![(iter as usize, dir as isize, values)];
+        roundtrip(&faces);
+        // The particle shape: fixed-size f64 arrays in a tuple.
+        let p = ([1.0f64, -2.5, 3.25], [0.5f64, 0.0, -0.125]);
+        roundtrip(&p);
+        total_on_prefixes(&faces);
+    }
+
+    #[test]
+    fn truncations_never_panic_and_always_error(
+        v in prop::collection::vec((any::<u32>(), any::<u64>()), 1..16),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = v.to_frame();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let r = Vec::<(u32, u64)>::from_frame(&bytes[..cut]);
+        prop_assert!(r.is_err(), "truncated frame decoded");
+        prop_assert!(
+            matches!(r, Err(WireError::Truncated { .. })),
+            "truncation must be typed as Truncated, got {:?}", r.err()
+        );
+    }
+
+    #[test]
+    fn corrupted_length_prefixes_error_without_allocating(extra in any::<u64>()) {
+        // Claim an element count above the cap: rejected before any
+        // allocation proportional to the claim.
+        let claimed = MAX_WIRE_ELEMS + 1 + (extra % 1024);
+        let r = Vec::<u64>::from_frame(&claimed.to_frame());
+        prop_assert!(matches!(r, Err(WireError::LengthOverflow { .. })));
+        // Claim a count *below* the cap but far beyond the buffer: the
+        // decode fails on the first missing element instead of reserving
+        // for the claim.
+        let under_cap = 1 + (extra % MAX_WIRE_ELEMS);
+        let r = Vec::<u64>::from_frame(&under_cap.to_frame());
+        prop_assert!(matches!(r, Err(WireError::Truncated { .. })));
+    }
+}
+
+#[test]
+fn zero_sized_elements_cannot_spin_the_decoder() {
+    // `Vec<()>` elements consume zero bytes each, so only the element
+    // cap bounds the decode loop — a huge claimed count must be
+    // rejected up front, not iterated.
+    let r = Vec::<()>::from_frame(&u64::MAX.to_frame());
+    assert!(matches!(r, Err(WireError::LengthOverflow { .. })));
+    // At or under the cap a Vec<()> is legal (if degenerate).
+    let v = vec![(), (), ()];
+    assert_eq!(Vec::<()>::from_frame(&v.to_frame()).unwrap(), v);
+}
+
+#[test]
+fn discriminant_and_utf8_corruption_is_typed() {
+    assert_eq!(bool::from_frame(&[7]), Err(WireError::BadDiscriminant { got: 7 }));
+    assert_eq!(Option::<u64>::from_frame(&[2]), Err(WireError::BadDiscriminant { got: 2 }));
+    let mut s = String::from("ok").to_frame();
+    let last = s.len() - 1;
+    s[last] = 0xFF;
+    assert_eq!(String::from_frame(&s), Err(WireError::InvalidUtf8));
+}
+
+#[test]
+fn wire_struct_macro_encodes_fields_in_order() {
+    #[derive(PartialEq, Debug)]
+    struct Update {
+        rank: usize,
+        step: usize,
+        work: u64,
+    }
+    mpistream::wire_struct!(Update { rank, step, work });
+    let v = Update { rank: 3, step: 9, work: 0xDEAD };
+    let bytes = v.to_frame();
+    // Field order is the declaration order: three LE u64 words.
+    assert_eq!(bytes.len(), 24);
+    assert_eq!(u64::from_le_bytes(bytes[0..8].try_into().unwrap()), 3);
+    assert_eq!(u64::from_le_bytes(bytes[8..16].try_into().unwrap()), 9);
+    assert_eq!(Update::from_frame(&bytes).unwrap(), v);
+    // And the same totality guarantee as the built-ins.
+    for cut in 0..bytes.len() {
+        assert!(Update::from_frame(&bytes[..cut]).is_err());
+    }
+}

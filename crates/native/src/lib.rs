@@ -80,7 +80,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use desim::SimTime;
-use mpistream::{Group, MsgInfo, Src, Tag, Transport};
+use mpistream::{Group, MsgInfo, Src, Tag, Transport, Wire};
 
 pub mod mailbox;
 pub mod sync;
@@ -299,7 +299,7 @@ impl NativeRank {
     /// Transport contract); for floats the fold order — linear in the
     /// flat geometry, tree-shaped otherwise — may differ bitwise from
     /// another geometry's (DESIGN.md §11).
-    fn tree_reduce<T: Send + 'static>(
+    fn tree_reduce<T: Wire + Send + 'static>(
         &mut self,
         tree: &Tree<'_>,
         bytes: u64,
@@ -324,7 +324,7 @@ impl NativeRank {
     /// the same tag as a preceding [`Self::tree_reduce`] over the same
     /// tree: between any rank pair the two phases flow in opposite
     /// directions, so directed receives cannot cross-match.
-    fn tree_bcast<T: Clone + Send + 'static>(
+    fn tree_bcast<T: Wire + Clone + Send + 'static>(
         &mut self,
         tree: &Tree<'_>,
         bytes: u64,
@@ -421,7 +421,7 @@ impl Transport for NativeRank {
         }
     }
 
-    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T) {
+    fn send<T: Wire + Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T) {
         assert!(dst < self.shared.nprocs, "send to out-of-range rank {dst}");
         self.shared.mailboxes[dst].push(Env {
             src: self.rank,
@@ -431,17 +431,17 @@ impl Transport for NativeRank {
         });
     }
 
-    fn recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
+    fn recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
         let env = self.shared.mailboxes[self.rank].take(src, tag);
         unpack(self.rank, env)
     }
 
-    fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
+    fn try_recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
         let env = self.shared.mailboxes[self.rank].try_take(src, tag);
         env.map(|e| unpack(self.rank, e))
     }
 
-    fn recv_deadline<T: Send + 'static>(
+    fn recv_deadline<T: Wire + Send + 'static>(
         &mut self,
         src: Src,
         tag: Tag,
@@ -480,7 +480,7 @@ impl Transport for NativeRank {
         let () = self.tree_bcast(&tree, 1, done);
     }
 
-    fn allreduce<T: Clone + Send + 'static>(
+    fn allreduce<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
         bytes: u64,
@@ -504,7 +504,7 @@ impl Transport for NativeRank {
         self.tree_bcast(&tree, bytes, total)
     }
 
-    fn allgatherv<T: Clone + Send + 'static>(
+    fn allgatherv<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
         bytes: u64,
@@ -537,7 +537,7 @@ impl Transport for NativeRank {
         self.tree_bcast(&tree, bytes * size as u64, gathered)
     }
 
-    fn bcast<T: Clone + Send + 'static>(
+    fn bcast<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
         root: usize,

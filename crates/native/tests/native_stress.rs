@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use mpistream::transport::SimTime;
 use mpistream::{
     ChannelConfig, Group, GroupSpec, MsgInfo, Role, RoutePolicy, Src, Stream, StreamChannel, Tag,
-    Transport,
+    Transport, Wire,
 };
 use native::mailbox::{Env, Mailbox};
 use native::{NativeGroup, NativeRank, NativeWorld};
@@ -350,16 +350,16 @@ impl Transport for Audited<'_> {
     fn compute(&mut self, secs: f64) {
         self.inner.compute(secs);
     }
-    fn send<T: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T) {
+    fn send<T: Wire + Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: T) {
         self.inner.send(dst, tag, bytes, value);
     }
-    fn recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
+    fn recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {
         self.inner.recv(src, tag)
     }
-    fn try_recv<T: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
+    fn try_recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(T, MsgInfo)> {
         self.inner.try_recv(src, tag)
     }
-    fn recv_deadline<T: Send + 'static>(
+    fn recv_deadline<T: Wire + Send + 'static>(
         &mut self,
         src: Src,
         tag: Tag,
@@ -376,7 +376,7 @@ impl Transport for Audited<'_> {
     fn barrier(&mut self, group: &NativeGroup) {
         self.inner.barrier(group);
     }
-    fn allreduce<T: Clone + Send + 'static>(
+    fn allreduce<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
         bytes: u64,
@@ -385,7 +385,7 @@ impl Transport for Audited<'_> {
     ) -> T {
         self.inner.allreduce(group, bytes, value, op)
     }
-    fn allgatherv<T: Clone + Send + 'static>(
+    fn allgatherv<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
         bytes: u64,
@@ -393,7 +393,7 @@ impl Transport for Audited<'_> {
     ) -> Vec<T> {
         self.inner.allgatherv(group, bytes, value)
     }
-    fn bcast<T: Clone + Send + 'static>(
+    fn bcast<T: Wire + Clone + Send + 'static>(
         &mut self,
         group: &NativeGroup,
         root: usize,

@@ -1,0 +1,172 @@
+//! The framed connection protocol (DESIGN.md §16).
+//!
+//! Every directed link starts with a **preamble** identifying the
+//! protocol and the sender, then carries a sequence of self-delimiting
+//! **frames**:
+//!
+//! ```text
+//! preamble:  [ MAGIC "MPWS" : 4B ][ VERSION : u8 ][ src rank : u32 LE ]
+//! frame:     [ len : u32 LE ][ tag : u64 LE ][ bytes : u64 LE ][ payload ]
+//! ```
+//!
+//! `len` counts everything after itself (16 header bytes + payload) and
+//! is capped at [`MAX_FRAME_BYTES`], so a corrupt prefix is rejected
+//! before any allocation. `tag` is the [`Tag`](mpistream::Tag) bit
+//! pattern; `bytes` is the *modelled* wire size the sender declared
+//! (what `MsgInfo::bytes` reports, kept distinct from the encoded
+//! payload's physical size so fingerprints agree with the in-memory
+//! backends). The payload is the [`Wire`](mpistream::Wire) encoding of
+//! exactly one value.
+//!
+//! All functions here speak `io::Result`: a malformed peer produces an
+//! `InvalidData` error at the reader, never a panic inside the codec.
+
+use std::io::{self, Read, Write};
+
+use mpistream::MAX_FRAME_BYTES;
+
+/// Connection preamble magic.
+pub const MAGIC: [u8; 4] = *b"MPWS";
+/// Protocol version byte; bumped on any frame-layout change.
+pub const VERSION: u8 = 1;
+/// Fixed frame header past the length prefix: tag + modelled bytes.
+pub const HEADER_BYTES: usize = 16;
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Write the connection preamble for a link whose sender is world rank
+/// `src`.
+pub fn write_preamble(w: &mut impl Write, src: usize) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&(src as u32).to_le_bytes())
+}
+
+/// Read and validate a connection preamble; returns the sender's world
+/// rank.
+pub fn read_preamble(r: &mut impl Read) -> io::Result<usize> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(invalid(format!("bad connection magic {magic:02x?}")));
+    }
+    let mut ver = [0u8; 1];
+    r.read_exact(&mut ver)?;
+    if ver[0] != VERSION {
+        return Err(invalid(format!("protocol version {} (expected {VERSION})", ver[0])));
+    }
+    let mut src = [0u8; 4];
+    r.read_exact(&mut src)?;
+    Ok(u32::from_le_bytes(src) as usize)
+}
+
+/// Write one frame: tag, modelled byte count, encoded payload.
+pub fn write_frame(w: &mut impl Write, tag: u64, bytes: u64, payload: &[u8]) -> io::Result<()> {
+    let len = HEADER_BYTES + payload.len();
+    if len > MAX_FRAME_BYTES {
+        return Err(invalid(format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} cap")));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&tag.to_le_bytes())?;
+    w.write_all(&bytes.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at a
+/// frame boundary); EOF anywhere inside a frame is an error, as is a
+/// length prefix below the header size or above [`MAX_FRAME_BYTES`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u64, u64, Vec<u8>)>> {
+    let mut len4 = [0u8; 4];
+    // Distinguish boundary-EOF from mid-frame truncation: only a zero
+    // first read is a clean shutdown.
+    let first = loop {
+        match r.read(&mut len4) {
+            Ok(n) => break n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    };
+    if first == 0 {
+        return Ok(None);
+    }
+    r.read_exact(&mut len4[first..])?;
+    let len = u32::from_le_bytes(len4) as usize;
+    if !(HEADER_BYTES..=MAX_FRAME_BYTES).contains(&len) {
+        return Err(invalid(format!(
+            "frame length {len} outside [{HEADER_BYTES}, {MAX_FRAME_BYTES}]"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    let tag = u64::from_le_bytes(buf[0..8].try_into().expect("exact slice"));
+    let bytes = u64::from_le_bytes(buf[8..16].try_into().expect("exact slice"));
+    let payload = buf.split_off(HEADER_BYTES);
+    Ok(Some((tag, bytes, payload)))
+}
+
+/// Write a bare length-prefixed blob (the control-plane result frames).
+pub fn write_blob(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(invalid(format!("blob of {} bytes exceeds the cap", payload.len())));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read a bare length-prefixed blob.
+pub fn read_blob(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(invalid(format!("blob length {len} exceeds the cap")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf, 7).unwrap();
+        write_frame(&mut buf, 0xABCD, 64, &[1, 2, 3]).unwrap();
+        write_frame(&mut buf, 9, 0, &[]).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_preamble(&mut r).unwrap(), 7);
+        assert_eq!(read_frame(&mut r).unwrap(), Some((0xABCD, 64, vec![1, 2, 3])));
+        assert_eq!(read_frame(&mut r).unwrap(), Some((9, 0, vec![])));
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_io_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, 8, &[5; 10]).unwrap();
+        buf.pop(); // EOF mid-frame
+        assert!(read_frame(&mut &buf[..]).is_err());
+
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        let tiny = 3u32.to_le_bytes(); // below the header size
+        assert!(read_frame(&mut &tiny[..]).is_err());
+    }
+
+    #[test]
+    fn bad_preamble_is_rejected() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf, 1).unwrap();
+        buf[0] = b'X';
+        assert!(read_preamble(&mut &buf[..]).is_err());
+        let mut buf2 = Vec::new();
+        write_preamble(&mut buf2, 1).unwrap();
+        buf2[4] = VERSION + 1;
+        assert!(read_preamble(&mut &buf2[..]).is_err());
+    }
+}

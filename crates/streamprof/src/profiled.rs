@@ -2,6 +2,7 @@
 
 use desim::SimTime;
 use mpistream::transport::{MsgInfo, Src, Tag, TagKind, Transport};
+use mpistream::Wire;
 
 use crate::sink::ProfSink;
 
@@ -85,19 +86,19 @@ impl<'a, T: Transport> Transport for Profiled<'a, T> {
         self.span("compute", |t| t.compute(secs));
     }
 
-    fn send<V: Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: V) {
+    fn send<V: Wire + Send + 'static>(&mut self, dst: usize, tag: Tag, bytes: u64, value: V) {
         self.span("send", |t| t.send(dst, tag, bytes, value));
     }
 
-    fn recv<V: Send + 'static>(&mut self, src: Src, tag: Tag) -> (V, MsgInfo) {
+    fn recv<V: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> (V, MsgInfo) {
         self.span(recv_cat(tag), |t| t.recv(src, tag))
     }
 
-    fn try_recv<V: Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(V, MsgInfo)> {
+    fn try_recv<V: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> Option<(V, MsgInfo)> {
         self.inner.try_recv(src, tag)
     }
 
-    fn recv_deadline<V: Send + 'static>(
+    fn recv_deadline<V: Wire + Send + 'static>(
         &mut self,
         src: Src,
         tag: Tag,
@@ -118,7 +119,7 @@ impl<'a, T: Transport> Transport for Profiled<'a, T> {
         self.span("coll", |t| t.barrier(group));
     }
 
-    fn allreduce<V: Clone + Send + 'static>(
+    fn allreduce<V: Wire + Clone + Send + 'static>(
         &mut self,
         group: &Self::Group,
         bytes: u64,
@@ -128,7 +129,7 @@ impl<'a, T: Transport> Transport for Profiled<'a, T> {
         self.span("coll", |t| t.allreduce(group, bytes, value, op))
     }
 
-    fn allgatherv<V: Clone + Send + 'static>(
+    fn allgatherv<V: Wire + Clone + Send + 'static>(
         &mut self,
         group: &Self::Group,
         bytes: u64,
@@ -137,7 +138,7 @@ impl<'a, T: Transport> Transport for Profiled<'a, T> {
         self.span("coll", |t| t.allgatherv(group, bytes, value))
     }
 
-    fn bcast<V: Clone + Send + 'static>(
+    fn bcast<V: Wire + Clone + Send + 'static>(
         &mut self,
         group: &Self::Group,
         root: usize,

@@ -26,6 +26,8 @@ pub struct Particle {
     pub vel: [f64; 3],
 }
 
+mpistream::wire_struct!(Particle { pos, vel });
+
 /// Particle workload parameters.
 #[derive(Clone, Debug)]
 pub struct ParticleConfig {

@@ -22,6 +22,8 @@ struct WorkloadUpdate {
     work_units: u64,
 }
 
+mpistream::wire_struct!(WorkloadUpdate { rank, step, work_units });
+
 fn main() {
     const RANKS: usize = 32;
     const STEPS: usize = 50;

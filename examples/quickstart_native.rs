@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run --release --example quickstart_native -- --backend native
 //! cargo run --release --example quickstart_native -- --backend sim
+//! cargo run --release --example quickstart_native -- --backend socket
 //! cargo run --release --example quickstart_native -- --backend both
 //! cargo run --release --example quickstart_native -- --trace out.trace.json
 //! ```
@@ -22,12 +23,19 @@
 //! sim backend the spans carry virtual time, on the native backend wall
 //! clock, same file format either way. In `both` mode the backend name
 //! is suffixed onto the path (`out.sim.trace.json`, `out.native.trace.json`).
+//!
+//! `--backend socket` runs the same program across real OS processes
+//! (one per rank, Unix-domain sockets between them). Each child records
+//! its own wall-clock spans; the launcher merges every rank's spans into
+//! one Chrome trace, so the file looks exactly like the native one —
+//! except the timelines come from separate address spaces.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use apps::portable::{fingerprint, quickstart, PortableReport};
 use mpisim::{MachineConfig, World};
+use mpistream::transport::SimTime;
 use mpistream::Transport;
 use native::NativeWorld;
 use parking_lot::Mutex;
@@ -92,6 +100,64 @@ fn run_native(trace: Option<&str>) -> Reports {
     Arc::try_unwrap(reports).expect("threads joined").into_inner()
 }
 
+/// The span categories the portable program can emit. Spans cross the
+/// process boundary as owned strings; re-interning against this set
+/// recovers the `&'static str` the sink API wants without leaking in
+/// the common case.
+const KNOWN_CATS: &[&str] =
+    &["compute", "send", "coll", "recv", "combine", "wait-mail", "wait-data", "wait-credit"];
+
+fn intern_cat(cat: String) -> &'static str {
+    match KNOWN_CATS.iter().find(|k| **k == cat) {
+        Some(k) => k,
+        None => Box::leak(cat.into_boxed_str()),
+    }
+}
+
+fn run_socket(trace: Option<&str>) -> Reports {
+    let start = std::time::Instant::now();
+    // Children re-exec this binary with the same argv, so each rank sees
+    // the same `--backend socket --trace ...` flags and knows to record.
+    let tracing = trace.is_some();
+    let results = socket::SocketWorld::new("quickstart_native_example", RANKS).run(|rank| {
+        let me = rank.world_rank();
+        if tracing {
+            let p = ProfSink::new(Clock::Wall);
+            let rep = quickstart(&mut Profiled::new(rank, p.clone()), STEPS, EVERY);
+            let spans: Vec<(String, u64, u64)> = p
+                .take()
+                .spans()
+                .iter()
+                .map(|s| (s.cat.to_string(), s.start.as_nanos(), s.end.as_nanos()))
+                .collect();
+            (me, rep.sent, rep.received, spans)
+        } else {
+            let rep = quickstart(rank, STEPS, EVERY);
+            (me, rep.sent, rep.received, Vec::new())
+        }
+    });
+    println!(
+        "socket: wall-clock {:.6} s across {} processes",
+        start.elapsed().as_secs_f64(),
+        RANKS
+    );
+    if let Some(path) = trace {
+        // Merge every rank's wall-clock spans into one sink: same file
+        // format as the native trace, timelines from separate processes.
+        let merged = ProfSink::new(Clock::Wall);
+        for (me, _, _, spans) in &results {
+            for (cat, s, e) in spans {
+                merged.record_span(*me, intern_cat(cat.clone()), SimTime(*s), SimTime(*e));
+            }
+        }
+        write_trace(path, merged);
+    }
+    results
+        .into_iter()
+        .map(|(me, sent, received, _)| (me, PortableReport { sent, received }))
+        .collect()
+}
+
 /// Per-consumer fingerprints: `rank -> (updates consumed, fingerprint)`.
 fn consumer_fingerprints(reports: &Reports) -> BTreeMap<usize, (usize, u64)> {
     reports
@@ -132,6 +198,7 @@ fn main() {
     match backend.as_str() {
         "sim" => show("sim:   ", &run_sim(trace.as_deref())),
         "native" => show("native:", &run_native(trace.as_deref())),
+        "socket" => show("socket:", &run_socket(trace.as_deref())),
         "both" => {
             let sim_trace = trace.as_deref().map(|p| suffixed(p, "sim"));
             let native_trace = trace.as_deref().map(|p| suffixed(p, "native"));
@@ -147,7 +214,7 @@ fn main() {
             assert!(same, "backends disagree on consumed payloads");
         }
         other => {
-            eprintln!("unknown backend {other:?}: use --backend sim|native|both");
+            eprintln!("unknown backend {other:?}: use --backend sim|native|socket|both");
             std::process::exit(2);
         }
     }

@@ -292,3 +292,102 @@ fn native_channel_feeds_streamcheck_topology_extraction() {
     assert_eq!(decl.producers, vec![0, 1, 3, 4]);
     assert_eq!(decl.consumers, vec![2, 5]);
 }
+
+// ---------------------------------------------------------------------
+// Socket backend: the same portable programs across real OS processes.
+//
+// Each test below forks its world via `SocketWorld::for_test`, which
+// re-executes this test binary once per rank with an `--exact` filter
+// for the calling test — so the socket run sits FIRST in each fn (the
+// re-executed children reach it and exit before any sim/native work),
+// and each fn holds exactly one `SocketWorld::run`.
+// ---------------------------------------------------------------------
+
+#[test]
+fn socket_quickstart_matches_sim_and_native() {
+    // 16 ranks = 16 real OS processes speaking Wire frames over Unix
+    // sockets (the acceptance bar is >= 4).
+    let socket: Vec<(u64, Vec<u64>)> =
+        socket::SocketWorld::for_test("socket_quickstart_matches_sim_and_native", RANKS)
+            .with_compute_scale(0.01)
+            .run(|rank| {
+                let rep = quickstart(rank, STEPS, EVERY);
+                (rep.sent, rep.received)
+            });
+    let sim = quickstart_sim();
+    let native = quickstart_native();
+    assert_eq!(socket.len(), RANKS);
+    for rank in 0..RANKS {
+        let (sent, received) = &socket[rank];
+        assert_eq!(*sent, sim[&rank].sent, "rank {rank}: socket sent count != sim");
+        assert_eq!(received, &sim[&rank].received, "rank {rank}: socket multiset != sim");
+        assert_eq!(received, &native[&rank].received, "rank {rank}: socket multiset != native");
+        if !received.is_empty() {
+            assert_eq!(fingerprint(received), fingerprint(&sim[&rank].received));
+        }
+    }
+    let produced: u64 = socket.iter().map(|(s, _)| s).sum();
+    assert_eq!(produced, (RANKS - RANKS / EVERY) as u64 * STEPS as u64);
+}
+
+#[test]
+fn socket_mini_mapreduce_matches_oracle_and_sim() {
+    const N: usize = 8;
+    let socket_hists: Vec<Vec<u64>> =
+        socket::SocketWorld::for_test("socket_mini_mapreduce_matches_oracle_and_sim", N)
+            .with_compute_scale(0.01)
+            .run(|rank| mini_mapreduce(rank, &MiniMrConfig::default()).unwrap_or_default());
+    let cfg = MiniMrConfig::default();
+    let oracle = mini_mapreduce_oracle(N, &cfg);
+    assert!(oracle.iter().sum::<u64>() > 0, "oracle must count something");
+    // Exactly one rank (the master) reports a histogram; counts are
+    // integer merges, so the cross-process result is exact.
+    let masters: Vec<&Vec<u64>> = socket_hists.iter().filter(|h| !h.is_empty()).collect();
+    assert_eq!(masters.len(), 1, "exactly one master histogram");
+    assert_eq!(*masters[0], oracle, "socket master histogram != oracle");
+
+    let sim_hist: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = sim_hist.clone();
+    World::new(MachineConfig::default()).with_seed(7).run_expect(N, move |rank| {
+        if let Some(hist) = mini_mapreduce(rank, &cfg) {
+            *sink.lock() = hist;
+        }
+    });
+    assert_eq!(*masters[0], *sim_hist.lock(), "socket master histogram != sim");
+    assert_eq!(fingerprint(masters[0]), fingerprint(&oracle));
+}
+
+#[test]
+fn socket_channel_feeds_streamcheck_topology_extraction() {
+    // Mirror of `native_channel_feeds_streamcheck_topology_extraction`:
+    // the declaration extracted from a socket-backed channel feeds the
+    // same SC001–SC006 static pass.
+    let decls: Vec<(Vec<usize>, Vec<usize>)> =
+        socket::SocketWorld::for_test("socket_channel_feeds_streamcheck_topology_extraction", 6)
+            .run(|rank| {
+                let comm = rank.world_group();
+                let spec = GroupSpec { every: 3 };
+                let role = spec.role_of(rank.world_rank());
+                let ch = StreamChannel::create(rank, &comm, role, ChannelConfig::default());
+                let decl = streamcheck::ChannelDecl::from_channel("socket-ch", &ch);
+                // Tear the channel down cleanly so no rank is left waiting.
+                match role {
+                    Role::Producer => {
+                        let mut s: mpistream::Stream<u64> = mpistream::Stream::attach(ch);
+                        s.terminate(rank);
+                    }
+                    Role::Consumer => {
+                        let mut s: mpistream::Stream<u64> = mpistream::Stream::attach(ch);
+                        s.operate(rank, |_, _| {});
+                    }
+                    Role::Bystander => {}
+                }
+                (decl.producers, decl.consumers)
+            });
+    // Every process extracted the same topology, and it matches the
+    // native/sim one for `every: 3` over 6 ranks.
+    for (rank, (producers, consumers)) in decls.iter().enumerate() {
+        assert_eq!(*producers, vec![0, 1, 3, 4], "rank {rank}: producer set");
+        assert_eq!(*consumers, vec![2, 5], "rank {rank}: consumer set");
+    }
+}
