@@ -54,6 +54,21 @@ timeout 120 cargo run --release --offline -q -p integration \
     --example quickstart_native -- --backend socket \
     --trace target/quickstart_socket.trace.json
 
+echo "== replica smoke (VSR failover: sim kills + native + 8-process socket) =="
+# The viewstamped-replication subsystem (DESIGN.md §17): protocol unit
+# tests, simulator kills at exact element cursors, a native-thread
+# abandonment run and the 8-process socket abort/failover test, plus a
+# consumer-kill slice of the chaos sweep (primary element-kills, standby
+# kills, and the pinned unreplicated terminate-and-account contract).
+# Failover paths wedge rather than fail when broken, so everything is
+# timeout-bounded. See crates/replica and DESIGN.md §17.
+timeout 300 cargo test -q --release --offline -p replica
+# The `replicated` filter selects exactly the consumer-kill tests
+# (including the *un*replicated terminate-and-account regression).
+CHAOS_SEED_START=0 CHAOS_SEEDS=25 SWEEP_JOBS="${SWEEP_JOBS:-4}" \
+    timeout 600 cargo test -q --release --offline -p integration \
+    --test chaos replicated
+
 echo "== streamprof smoke (chrome traces + golden byte-compare) =="
 # fig2 rendered through the streamprof adapters (ASCII Gantt must stay
 # byte-identical to the pre-streamprof output) plus Chrome-trace export;

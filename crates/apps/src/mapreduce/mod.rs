@@ -367,6 +367,8 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                 route: mpistream::RoutePolicy::Static,
                 credit_batch: 1,
                 failure_timeout: None,
+                replicas: 0,
+                replication_patience: None,
             },
         );
         // Channel 2: local reducers -> master (absent when solo). In tree
@@ -405,6 +407,8 @@ pub fn run_decoupled(nprocs: usize, cfg: &MapReduceConfig) -> MapReduceResult {
                     route: mpistream::RoutePolicy::Static,
                     credit_batch: 1,
                     failure_timeout: None,
+                    replicas: 0,
+                    replication_patience: None,
                 },
             ))
         };

@@ -33,6 +33,8 @@ fn pipeline_time(aggregation: usize, credits: Option<usize>, adaptive: bool) -> 
                     route: RoutePolicy::Static,
                     credit_batch: 1,
                     failure_timeout: None,
+                    replicas: 0,
+                    replication_patience: None,
                 },
                 move |rank, pc| {
                     let mut ctl = AdaptiveGranularity::new(200e-6, 1, 512);

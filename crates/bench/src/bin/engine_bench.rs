@@ -191,6 +191,8 @@ fn chaos_throughput(per_producer: u64, seeds: u64) -> Metrics {
                 route: RoutePolicy::RoundRobin,
                 credit_batch: 1,
                 failure_timeout: None,
+                replicas: 0,
+                replication_patience: None,
             };
             let processed = Arc::new(AtomicU64::new(0));
             let p = processed.clone();

@@ -11,6 +11,11 @@ pub(crate) const NS_STREAM: u8 = 2;
 /// Tag codes within one channel.
 pub(crate) const CODE_DATA: u32 = 0;
 pub(crate) const CODE_CREDIT: u32 = 1;
+/// Replica-group traffic (VSR prepare/commit/view-change, `crates/replica`).
+pub(crate) const CODE_REPL: u32 = 2;
+/// Takeover announcements and term acknowledgements between a replica
+/// primary and the producers (`crates/replica`).
+pub(crate) const CODE_TAKEOVER: u32 = 3;
 
 /// How stream elements are routed from producers to consumers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +67,24 @@ pub struct ChannelConfig {
     /// window stays exhausted for `t` declares the consumer dead and
     /// re-routes (under [`RoutePolicy::RoundRobin`]) or drops elements.
     pub failure_timeout: Option<SimDuration>,
+    /// Number of *standby* replicas for the channel's consumer state.
+    /// `0` (the default) keeps the original unreplicated protocol and adds
+    /// zero overhead. With `replicas = r`, the channel's consumer group
+    /// must list `r + 1` ranks: `consumers[0]` is the initial primary and
+    /// the rest are standbys running a Viewstamped Replication group
+    /// (`crates/replica`). Surviving any single death requires a group
+    /// that can still form a majority without the victim, i.e. `r >= 2`.
+    /// Requires [`RoutePolicy::Static`]: a replicated channel has one
+    /// *logical* consumer, so round-robin spreading (and its loss
+    /// accounting) does not apply.
+    pub replicas: usize,
+    /// How long a standby waits without hearing from the primary before it
+    /// starts a view change. Must sit *above* the `t`/`2t` producer/
+    /// consumer patience hierarchy so replica failover is the slowest,
+    /// most deliberate detector. `None` with `replicas > 0` derives
+    /// `4 * failure_timeout`; if `failure_timeout` is also `None` the
+    /// config is rejected ([`ConfigError::ReplicationWithoutTimeout`]).
+    pub replication_patience: Option<SimDuration>,
 }
 
 impl Default for ChannelConfig {
@@ -73,6 +96,8 @@ impl Default for ChannelConfig {
             route: RoutePolicy::Static,
             credit_batch: 1,
             failure_timeout: None,
+            replicas: 0,
+            replication_patience: None,
         }
     }
 }
@@ -107,6 +132,19 @@ pub enum ConfigError {
     /// accumulation threshold lies above that, the acknowledgement never
     /// flushes and the stream deadlocks.
     CreditBatchAboveWindow { batch: usize, credits: usize, aggregation: usize },
+    /// `replicas > 0` with [`RoutePolicy::RoundRobin`]: a replicated
+    /// channel has exactly one logical consumer (the replica group), so
+    /// round-robin spreading — and the per-consumer loss accounting it
+    /// implies — is meaningless and would split the stream across ranks
+    /// whose state is supposed to be one replicated whole.
+    ReplicationNeedsStaticRoute,
+    /// `replicas > 0` with neither `replication_patience` nor
+    /// `failure_timeout`: the standbys would have no way to ever suspect a
+    /// dead primary, so a primary death hangs the group forever.
+    ReplicationWithoutTimeout,
+    /// `replication_patience == Some(0)`: the standbys would depose a
+    /// healthy primary the instant they first wait.
+    ZeroReplicationPatience,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -137,6 +175,21 @@ impl std::fmt::Display for ConfigError {
                 "credit_batch ({batch}) exceeds credits - aggregation + 1 \
                  ({credits} - {aggregation} + 1): a producer stalled on the window \
                  could wait forever for a credit flush that never triggers"
+            ),
+            ConfigError::ReplicationNeedsStaticRoute => write!(
+                f,
+                "replicas > 0 requires RoutePolicy::Static: a replicated channel \
+                 has one logical consumer (the replica group)"
+            ),
+            ConfigError::ReplicationWithoutTimeout => write!(
+                f,
+                "replicas > 0 needs replication_patience or failure_timeout: \
+                 without either, a dead primary is never suspected"
+            ),
+            ConfigError::ZeroReplicationPatience => write!(
+                f,
+                "replication_patience is Some(0): a healthy primary would be \
+                 deposed the instant a standby first waits"
             ),
         }
     }
@@ -180,7 +233,27 @@ impl ChannelConfig {
                 });
             }
         }
+        if self.replication_patience == Some(SimDuration::ZERO) {
+            return Err(ConfigError::ZeroReplicationPatience);
+        }
+        if self.replicas > 0 {
+            if self.route == RoutePolicy::RoundRobin {
+                return Err(ConfigError::ReplicationNeedsStaticRoute);
+            }
+            if self.effective_replication_patience().is_none() {
+                return Err(ConfigError::ReplicationWithoutTimeout);
+            }
+        }
         Ok(())
+    }
+
+    /// The standbys' failover patience: `replication_patience` when set,
+    /// otherwise `4 * failure_timeout` — twice the consumer's `2t`
+    /// patience, keeping replica failover the slowest detector in the
+    /// `t`/`2t`/patience hierarchy. `None` when neither knob is set.
+    pub fn effective_replication_patience(&self) -> Option<SimDuration> {
+        self.replication_patience
+            .or_else(|| self.failure_timeout.map(|t| SimDuration(t.0.saturating_mul(4))))
     }
 }
 
@@ -246,6 +319,13 @@ impl StreamChannel {
         consumers.sort_unstable();
         assert!(!producers.is_empty(), "channel needs at least one producer");
         assert!(!consumers.is_empty(), "channel needs at least one consumer");
+        assert!(
+            config.replicas == 0 || consumers.len() == config.replicas + 1,
+            "replicated channel declares {} replicas but {} consumer ranks joined \
+             (the consumer group IS the replica group: primary + standbys)",
+            config.replicas,
+            consumers.len(),
+        );
         let id = if group.rank_of(rank.world_rank()) == Some(0) {
             Some(rank.alloc_channel_id())
         } else {
@@ -281,11 +361,45 @@ impl StreamChannel {
         &self.config
     }
 
-    pub(crate) fn data_tag(&self) -> Tag {
+    /// World-unique channel id (the key profiling and sanitizer hooks use
+    /// to attribute traffic to this channel).
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Tag carrying this channel's data batches ([`crate::StreamMsg`]
+    /// frames). Public so replication drivers (`crates/replica`) can run
+    /// their own receive loops over the same wire protocol.
+    pub fn data_tag(&self) -> Tag {
         Tag::internal(NS_STREAM, self.id, CODE_DATA)
     }
 
-    pub(crate) fn credit_tag(&self) -> Tag {
+    /// Tag carrying this channel's credit acknowledgements (`u64` element
+    /// counts from consumer to producer).
+    pub fn credit_tag(&self) -> Tag {
         Tag::internal(NS_STREAM, self.id, CODE_CREDIT)
+    }
+
+    /// Tag carrying replica-group traffic (VSR prepare/prepare-ok/commit/
+    /// view-change messages) between the channel's consumer ranks.
+    pub fn repl_tag(&self) -> Tag {
+        Tag::internal(NS_STREAM, self.id, CODE_REPL)
+    }
+
+    /// Tag carrying takeover announcements and term acknowledgements from
+    /// the replica group's current primary to the producers.
+    pub fn takeover_tag(&self) -> Tag {
+        Tag::internal(NS_STREAM, self.id, CODE_TAKEOVER)
+    }
+
+    /// The replica group's world ranks (the consumer list) when the
+    /// channel is replicated (`config.replicas > 0`); `None` otherwise.
+    /// `consumers[0]` is the view-0 primary.
+    pub fn replica_group(&self) -> Option<&[usize]> {
+        if self.config.replicas > 0 {
+            Some(&self.consumers)
+        } else {
+            None
+        }
     }
 }

@@ -71,6 +71,9 @@ pub use operators::{
 };
 pub use select::operate2;
 pub use sim::SimTransport;
-pub use stream::{ProducerReport, ProducerState, Stream, StreamOutcome, StreamStats};
+pub use stream::{
+    ConsumerCheckpoint, ProducerReport, ProducerState, StepEvent, Stream, StreamMsg, StreamOutcome,
+    StreamStats,
+};
 pub use transport::{prof_scoped, Group, MsgInfo, Src, Tag, TagKind, Transport};
 pub use wire::{Wire, WireError, MAX_FRAME_BYTES, MAX_WIRE_ELEMS};

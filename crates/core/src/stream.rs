@@ -23,12 +23,17 @@ use crate::wire::{Wire, WireError};
 /// Wire format of one stream message: the enum that actually crosses the
 /// transport, with a defined [`Wire`] encoding (discriminant byte `0` for
 /// `Data`, `1` for `Term`) so the same stream runs over a socket link.
-enum StreamMsg<T> {
+/// Public so replication drivers (`crates/replica`) can speak the same
+/// wire protocol from their own send/receive loops.
+pub enum StreamMsg<T> {
     /// A batch of `aggregation`-coalesced elements.
     Data(Vec<T>),
     /// End of this producer's flow; carries the total elements it sent to
     /// this consumer (conservation checking).
-    Term { sent: u64 },
+    Term {
+        /// Total elements this producer sent to this consumer.
+        sent: u64,
+    },
 }
 
 impl<T: Wire> Wire for StreamMsg<T> {
@@ -164,8 +169,56 @@ pub struct Stream<T> {
     ///
     /// [`ChannelConfig::credit_batch`]: crate::ChannelConfig::credit_batch
     pending_credit: std::collections::HashMap<usize, u64>,
+    /// While true, [`Stream::grant_credit`] only accumulates — nothing is
+    /// acknowledged until [`Stream::release_credits`]. The
+    /// commit-before-credit-return gate of replicated consumers
+    /// (`crates/replica`): a credit message doubles as a durability
+    /// acknowledgement there, so it must not leave before the processed
+    /// state is replicated.
+    gate_credits: bool,
+    /// Element cursor per producer world rank: how many of its elements
+    /// this consumer endpoint has processed. The replay oracle replicated
+    /// consumers checkpoint; maintained on every receive path.
+    delivered_by: std::collections::HashMap<usize, u64>,
+    /// Terminated producers' claimed totals per world rank (their `Term`
+    /// payloads), checkpointed alongside the cursors.
+    claimed_by: std::collections::HashMap<usize, u64>,
     stats: StreamStats,
 }
+
+/// What one [`Stream::step_deadline`] call consumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepEvent {
+    /// World rank of the producer whose message was dispatched.
+    pub src: usize,
+    /// Elements handed to the operator (0 for a `Term`).
+    pub elems: u64,
+    /// Whether the message was the producer's termination marker.
+    pub term: bool,
+}
+
+/// A replicated consumer's durable per-channel state: the element cursor
+/// per producer, terminated producers' claims, and the endpoint's
+/// statistics. Serialized with the [`Wire`] codec and shipped inside VSR
+/// prepare messages (`crates/replica`); a standby that takes over restores
+/// it with [`Stream::restore_consumer`] and resumes from the exact cursor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConsumerCheckpoint {
+    /// `(producer world rank, elements delivered)` — sorted by rank for a
+    /// canonical encoding.
+    pub cursors: Vec<(u64, u64)>,
+    /// `(producer world rank, claimed total)` for producers whose `Term`
+    /// arrived — also sorted by rank.
+    pub claims: Vec<(u64, u64)>,
+    /// Consumer-side [`StreamStats`] mirror (elements, batches, bytes).
+    pub elements: u64,
+    /// Data messages received.
+    pub batches: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+}
+
+crate::wire_struct!(ConsumerCheckpoint { cursors, claims, elements, batches, bytes });
 
 impl<T: Wire + Send + 'static> Stream<T> {
     /// Attach a stream endpoint to `channel` (the element type `T` plays
@@ -189,6 +242,9 @@ impl<T: Wire + Send + 'static> Stream<T> {
             claimed: 0,
             pending: std::collections::VecDeque::new(),
             pending_credit: std::collections::HashMap::new(),
+            gate_credits: false,
+            delivered_by: std::collections::HashMap::new(),
+            claimed_by: std::collections::HashMap::new(),
             stats: StreamStats::default(),
         }
     }
@@ -428,6 +484,12 @@ impl<T: Wire + Send + 'static> Stream<T> {
     /// data batch, sent immediately.
     fn grant_credit<TP: Transport>(&mut self, rank: &mut TP, src: usize, n: u64) {
         debug_assert!(self.channel.config.credits.is_some());
+        if self.gate_credits {
+            // Commit-before-credit-return: park everything until the
+            // replication layer calls `release_credits`.
+            *self.pending_credit.entry(src).or_insert(0) += n;
+            return;
+        }
         let batch = self.channel.config.credit_batch as u64;
         let tag = self.channel.credit_tag();
         if batch <= 1 {
@@ -441,6 +503,34 @@ impl<T: Wire + Send + 'static> Stream<T> {
         *pending += n;
         if *pending >= batch {
             let acked = std::mem::take(pending);
+            rank.check_credit_issued(self.channel.id, src, acked);
+            rank.send(src, tag, 8, acked);
+        }
+    }
+
+    /// Gate (or un-gate) credit acknowledgements. While held, every credit
+    /// this endpoint would grant is parked in the pending ledger instead of
+    /// being sent; [`Stream::release_credits`] flushes the ledger. The
+    /// commit-before-credit-return handshake of replicated consumers
+    /// (`crates/replica`) — a credit there asserts the acknowledged
+    /// elements are durably replicated, so it may only leave after the
+    /// covering checkpoint commits.
+    pub fn hold_credits(&mut self, hold: bool) {
+        self.gate_credits = hold;
+    }
+
+    /// Flush every parked credit acknowledgement, regardless of the
+    /// `credit_batch` threshold. A no-op on channels without credits.
+    pub fn release_credits<TP: Transport>(&mut self, rank: &mut TP) {
+        if self.channel.config.credits.is_none() {
+            return;
+        }
+        let tag = self.channel.credit_tag();
+        // Deterministic flush order (HashMap iteration is not).
+        let mut entries: Vec<(usize, u64)> =
+            self.pending_credit.drain().filter(|&(_, n)| n > 0).collect();
+        entries.sort_unstable();
+        for (src, acked) in entries {
             rank.check_credit_issued(self.channel.id, src, acked);
             rank.send(src, tag, 8, acked);
         }
@@ -568,6 +658,7 @@ impl<T: Wire + Send + 'static> Stream<T> {
                             self.stats.batches += 1;
                             self.stats.bytes += info.bytes;
                             rank.prof_stream_recv(self.channel.id, n, info.bytes);
+                            *self.delivered_by.entry(info.src).or_insert(0) += n;
                             delivered[pi] += n;
                             processed += n;
                             for elem in batch {
@@ -583,8 +674,10 @@ impl<T: Wire + Send + 'static> Stream<T> {
                             }
                         }
                         StreamMsg::Term { sent } => {
-                            self.terms_seen += 1;
-                            self.claimed += sent;
+                            if self.claimed_by.insert(info.src, sent).is_none() {
+                                self.terms_seen += 1;
+                                self.claimed += sent;
+                            }
                             terminated[pi] = true;
                             claimed[pi] = Some(sent);
                             self.credit_on_closed(info.src);
@@ -667,6 +760,76 @@ impl<T: Wire + Send + 'static> Stream<T> {
         }
     }
 
+    /// Blockingly dispatch the next wire message, giving up at `deadline`:
+    /// `None` on timeout, otherwise what was consumed. The receive loop
+    /// primitive of replicated consumers (`crates/replica`), whose primary
+    /// must interleave stream progress with heartbeats to its standbys.
+    pub fn step_deadline<TP: Transport>(
+        &mut self,
+        rank: &mut TP,
+        deadline: SimTime,
+        mut op: impl FnMut(&mut TP, T),
+    ) -> Option<StepEvent> {
+        assert_eq!(self.channel.my_role, Role::Consumer);
+        let tag = self.channel.data_tag();
+        let (wire, info) = rank.recv_deadline::<StreamMsg<T>>(Src::Any, tag, deadline)?;
+        let src = info.src;
+        let term = matches!(wire, StreamMsg::Term { .. });
+        let elems = self.dispatch(rank, wire, info, &mut op);
+        Some(StepEvent { src, elems, term })
+    }
+
+    /// Snapshot this consumer endpoint's durable state (element cursors,
+    /// terminated producers' claims, statistics) for replication. The
+    /// encoding is canonical: two endpoints that processed the same
+    /// elements produce byte-identical checkpoints.
+    pub fn consumer_checkpoint(&self) -> ConsumerCheckpoint {
+        let mut cursors: Vec<(u64, u64)> =
+            self.delivered_by.iter().map(|(&r, &n)| (r as u64, n)).collect();
+        cursors.sort_unstable();
+        let mut claims: Vec<(u64, u64)> =
+            self.claimed_by.iter().map(|(&r, &n)| (r as u64, n)).collect();
+        claims.sort_unstable();
+        ConsumerCheckpoint {
+            cursors,
+            claims,
+            elements: self.stats.elements,
+            batches: self.stats.batches,
+            bytes: self.stats.bytes,
+        }
+    }
+
+    /// Install a replicated predecessor's [`ConsumerCheckpoint`] into this
+    /// (fresh) consumer endpoint: cursors, claims and statistics resume
+    /// from the exact committed state; parked credits and undelivered
+    /// buffers are cleared (the takeover protocol re-derives credit from
+    /// the cursors, and a committed checkpoint never contains unprocessed
+    /// elements).
+    pub fn restore_consumer(&mut self, ckpt: &ConsumerCheckpoint) {
+        assert_eq!(self.channel.my_role, Role::Consumer);
+        self.delivered_by = ckpt.cursors.iter().map(|&(r, n)| (r as usize, n)).collect();
+        self.claimed_by = ckpt.claims.iter().map(|&(r, n)| (r as usize, n)).collect();
+        self.terms_seen = ckpt.claims.len();
+        self.claimed = ckpt.claims.iter().map(|&(_, n)| n).sum();
+        self.pending.clear();
+        self.pending_credit.clear();
+        self.stats.elements = ckpt.elements;
+        self.stats.batches = ckpt.batches;
+        self.stats.bytes = ckpt.bytes;
+    }
+
+    /// The element cursor for producer world rank `src`: elements of its
+    /// flow this endpoint has processed.
+    pub fn cursor_of(&self, src: usize) -> u64 {
+        self.delivered_by.get(&src).copied().unwrap_or(0)
+    }
+
+    /// Whether producer world rank `src`'s `Term` has been processed, and
+    /// its claimed total if so.
+    pub fn claim_of(&self, src: usize) -> Option<u64> {
+        self.claimed_by.get(&src).copied()
+    }
+
     /// Whether every producer has signalled termination (or, after a
     /// fault-tolerant drain, been declared dead).
     pub fn all_terminated(&self) -> bool {
@@ -730,14 +893,20 @@ impl<T: Wire + Send + 'static> Stream<T> {
                     self.stats.batches += 1;
                     self.stats.bytes += info.bytes;
                     rank.prof_stream_recv(self.channel.id, n, info.bytes);
+                    *self.delivered_by.entry(info.src).or_insert(0) += n;
                     self.pending.extend(batch);
                     if self.channel.config.credits.is_some() {
                         self.grant_credit(rank, info.src, n);
                     }
                 }
                 StreamMsg::Term { sent } => {
-                    self.terms_seen += 1;
-                    self.claimed += sent;
+                    // Idempotent: a resent Term (a replicated producer whose
+                    // TermAck was lost, see `crates/replica`) must not
+                    // double-count the claim.
+                    if self.claimed_by.insert(info.src, sent).is_none() {
+                        self.terms_seen += 1;
+                        self.claimed += sent;
+                    }
                     self.credit_on_closed(info.src);
                 }
             }
@@ -765,6 +934,7 @@ impl<T: Wire + Send + 'static> Stream<T> {
                 self.stats.batches += 1;
                 self.stats.bytes += info.bytes;
                 rank.prof_stream_recv(self.channel.id, n, info.bytes);
+                *self.delivered_by.entry(info.src).or_insert(0) += n;
                 for elem in batch {
                     op(rank, elem);
                 }
@@ -776,8 +946,11 @@ impl<T: Wire + Send + 'static> Stream<T> {
                 n
             }
             StreamMsg::Term { sent } => {
-                self.terms_seen += 1;
-                self.claimed += sent;
+                // Idempotent against resent Terms (see `recv_one`).
+                if self.claimed_by.insert(info.src, sent).is_none() {
+                    self.terms_seen += 1;
+                    self.claimed += sent;
+                }
                 self.credit_on_closed(info.src);
                 0
             }

@@ -303,6 +303,12 @@ pub trait Transport {
     /// Sample the credit window right after a send: `outstanding` of
     /// `window` elements currently un-acknowledged towards one consumer.
     fn prof_credit_occupancy(&mut self, _channel: u16, _outstanding: u64, _window: u64) {}
+
+    /// Report one committed replication round on `channel`: a checkpoint
+    /// of `bytes` reached quorum `latency_ns` after its prepare was sent
+    /// (`crates/replica`; virtual nanoseconds on sim, wall clock on
+    /// native).
+    fn prof_repl_commit(&mut self, _channel: u16, _bytes: u64, _latency_ns: u64) {}
 }
 
 /// Run `f` under a named profiling span: `prof_begin(cat)` / `prof_end(cat)`

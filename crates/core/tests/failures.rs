@@ -34,6 +34,8 @@ fn consumer_completes_with_reported_loss_after_producer_kill() {
             ChannelConfig {
                 element_bytes: 256,
                 failure_timeout: Some(SimDuration::from_millis(2)),
+                replicas: 0,
+                replication_patience: None,
                 ..ChannelConfig::default()
             },
         );
@@ -103,6 +105,8 @@ fn round_robin_producer_reroutes_around_dead_consumer() {
                 credits: Some(4),
                 route: RoutePolicy::RoundRobin,
                 failure_timeout: Some(SimDuration::from_millis(2)),
+                replicas: 0,
+                replication_patience: None,
                 ..ChannelConfig::default()
             },
         );
@@ -170,6 +174,8 @@ fn static_producer_drops_and_counts_elements_for_dead_consumer() {
                 credits: Some(4),
                 route: RoutePolicy::Static,
                 failure_timeout: Some(SimDuration::from_millis(2)),
+                replicas: 0,
+                replication_patience: None,
                 ..ChannelConfig::default()
             },
         );
@@ -223,6 +229,8 @@ fn fault_free_outcome_reports_clean_completion() {
                 aggregation: 4,
                 credits: Some(16),
                 failure_timeout: Some(SimDuration::from_millis(1)),
+                replicas: 0,
+                replication_patience: None,
                 ..ChannelConfig::default()
             },
         );
@@ -273,6 +281,8 @@ fn producer_killed_before_first_send_reports_zero_delivery() {
             ChannelConfig {
                 element_bytes: 128,
                 failure_timeout: Some(SimDuration::from_millis(1)),
+                replicas: 0,
+                replication_patience: None,
                 ..ChannelConfig::default()
             },
         );

@@ -48,6 +48,8 @@ proptest! {
                     route,
                     credit_batch: 1,
                     failure_timeout: None,
+                    replicas: 0,
+                    replication_patience: None,
                 },
             );
             let mut stream: Stream<(usize, u32)> = Stream::attach(ch);
@@ -162,6 +164,8 @@ proptest! {
                         route: RoutePolicy::Static,
                         credit_batch: 1,
                         failure_timeout: timeout,
+                        replicas: 0,
+                        replication_patience: None,
                     },
                 );
                 let mut stream: Stream<u64> = Stream::attach(ch);

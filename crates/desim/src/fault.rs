@@ -147,6 +147,7 @@ pub enum FaultKind {
 pub struct FaultPlan {
     seed: u64,
     kills: Vec<(Pid, SimTime)>,
+    element_kills: Vec<(Pid, u64)>,
     pauses: Vec<(Pid, SimTime, SimDuration)>,
     links: Vec<LinkFault>,
 }
@@ -155,7 +156,13 @@ impl FaultPlan {
     /// An empty plan whose probabilistic decisions (message drops) will be
     /// derived from `seed`.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, kills: Vec::new(), pauses: Vec::new(), links: Vec::new() }
+        FaultPlan {
+            seed,
+            kills: Vec::new(),
+            element_kills: Vec::new(),
+            pauses: Vec::new(),
+            links: Vec::new(),
+        }
     }
 
     /// The seed all probabilistic fault decisions derive from.
@@ -167,6 +174,27 @@ impl FaultPlan {
     pub fn kill(mut self, pid: Pid, at: SimTime) -> Self {
         self.kills.push((pid, at));
         self
+    }
+
+    /// Kill process `pid` when it has processed `element` application
+    /// elements.
+    ///
+    /// Unlike [`FaultPlan::kill`], which fires at a virtual *time*, an
+    /// element kill is *consulted* by the application layer: a process that
+    /// counts the elements it consumes checks
+    /// [`FaultPlan::element_kill`] and unwinds itself via
+    /// [`Ctx::exit_killed`](crate::Ctx::exit_killed) at the exact cursor.
+    /// This makes replay oracles deterministic regardless of timing model
+    /// changes — the victim always dies with the same prefix consumed. No
+    /// injector process is involved.
+    pub fn kill_at_element(mut self, pid: Pid, element: u64) -> Self {
+        self.element_kills.push((pid, element));
+        self
+    }
+
+    /// The smallest scheduled element-kill cursor for `pid`, if any.
+    pub fn element_kill(&self, pid: Pid) -> Option<u64> {
+        self.element_kills.iter().filter(|(p, _)| *p == pid).map(|&(_, n)| n).min()
     }
 
     /// Pause process `pid` for `dur` starting at `at`: events addressed to
@@ -184,11 +212,15 @@ impl FaultPlan {
 
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty() && self.pauses.is_empty() && self.links.is_empty()
+        self.kills.is_empty()
+            && self.element_kills.is_empty()
+            && self.pauses.is_empty()
+            && self.links.is_empty()
     }
 
-    /// True when the plan kills or pauses processes (requires the injector
-    /// process).
+    /// True when the plan kills or pauses processes *by time* (requires the
+    /// injector process). Element kills are executed by the application
+    /// layer itself and need no injector.
     pub fn has_process_faults(&self) -> bool {
         !self.kills.is_empty() || !self.pauses.is_empty()
     }
@@ -372,6 +404,18 @@ mod tests {
             plan.link_disposition(0, 1, SimTime(0), 0),
             LinkDisposition::Deliver { extra: SimDuration(7) }
         );
+    }
+
+    #[test]
+    fn element_kills_are_queryable_but_need_no_injector() {
+        let plan = FaultPlan::new(3).kill_at_element(2, 40).kill_at_element(2, 25);
+        assert!(!plan.is_empty());
+        // The application layer executes element kills itself: no hidden
+        // injector process must be spawned for them.
+        assert!(!plan.has_process_faults());
+        assert_eq!(plan.element_kill(2), Some(25));
+        assert_eq!(plan.element_kill(0), None);
+        assert!(plan.timeline().is_empty());
     }
 
     #[test]

@@ -553,6 +553,20 @@ impl Ctx {
         self.kernel.schedule_at(at, self.pid);
     }
 
+    /// Terminate this process *as if killed by a fault*: it unwinds
+    /// immediately and is reported in
+    /// [`SimOutcome::killed`](crate::SimOutcome::killed), exactly like a
+    /// [`FaultPlan::kill`](crate::FaultPlan::kill) victim.
+    ///
+    /// This is the execution half of
+    /// [`FaultPlan::kill_at_element`](crate::FaultPlan::kill_at_element):
+    /// an application layer that counts consumed elements calls this at
+    /// the scheduled cursor, giving deterministic element-granular deaths
+    /// with no injector involvement.
+    pub fn exit_killed(&mut self) -> ! {
+        std::panic::panic_any(ProcKill)
+    }
+
     /// Schedule a wake-up for `pid` at absolute virtual time `at`.
     pub fn wake_at(&self, at: SimTime, pid: Pid) {
         self.kernel.schedule_at(at, pid);

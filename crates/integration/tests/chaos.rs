@@ -22,6 +22,7 @@
 //! function of its seed, so fingerprints are byte-identical at any job
 //! count and invariants are still checked in seed order.
 
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 use mpisim::{FaultPlan, LinkFault, MachineConfig, NoiseModel, SimDuration, SimTime, World};
@@ -29,6 +30,7 @@ use mpistream::{ChannelConfig, ProducerState, Role, RoutePolicy, Stream, StreamC
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use replica::{run_replicated, ReplicaRole, ReplicatedProducer};
 
 /// Elements stream for at least `PER_ELEM_SECS * MIN_ELEMS` = 1.5ms of
 /// virtual time; kills land strictly inside [100us, 1ms], so a victim is
@@ -165,6 +167,8 @@ fn run_chaos(seed: u64) -> (Schedule, Fingerprint) {
         route: s.route,
         credit_batch: 1,
         failure_timeout: Some(SimDuration::from_millis(FAILURE_TIMEOUT_MS)),
+        replicas: 0,
+        replication_patience: None,
     };
     let clean: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
     // Per consumer: (rank, processed, checksum, per-producer reports).
@@ -368,5 +372,347 @@ fn chaos_fault_free_schedules_conserve_everything() {
     // With the default range a healthy share of schedules is fault-free.
     if count >= 100 {
         assert!(seen > 0, "no fault-free schedule in the sweep range");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consumer-death chaos.
+//
+// An *unreplicated* channel reacts to a consumer kill with bounded loss:
+// producers convict the silent consumer after the failure timeout, drop
+// (Static) or re-route (RoundRobin) its traffic, and terminate cleanly —
+// the pipeline never hangs, but the victim's elements die with it. That
+// contract is pinned first. `crates/replica` upgrades the same kill to
+// exactly-once: the replica-group sweep below asserts that for every
+// seeded kill schedule the survivors' folded state equals the full
+// payload multiset — nothing lost, nothing folded twice.
+//
+// Replicated runs do not enable the happens-before sanitizer: its
+// per-link credit ledger assumes the rank that received a batch is the
+// rank that acknowledges it, which a takeover violates by design.
+// ---------------------------------------------------------------------------
+
+/// Order-insensitive checksum of the full expected payload multiset.
+fn expected_checksum(n_producers: usize, per_producer: u64) -> u64 {
+    let mut sum = 0u64;
+    for p in 0..n_producers as u64 {
+        for i in 0..per_producer {
+            sum = sum.wrapping_add(mix64(p << 32 | i));
+        }
+    }
+    sum
+}
+
+/// Regression pin for unreplicated channels: a consumer killed at an
+/// exact element cursor terminates the pipeline instead of hanging it,
+/// and the loss accounting matches the route policy — Static drops the
+/// victim's pinned tail into `StreamStats::lost`, RoundRobin re-routes
+/// it to the survivor and loses only what was in flight at the kill.
+#[test]
+fn chaos_unreplicated_consumer_kill_terminates_with_bounded_loss() {
+    for route in [RoutePolicy::Static, RoutePolicy::RoundRobin] {
+        let (n_producers, n_consumers, per_producer) = (3usize, 2usize, 200u64);
+        let victim = n_producers + 1; // consumer index 1
+        let plan = FaultPlan::new(40).kill_at_element(victim, 25);
+        let world =
+            World::new(MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() })
+                .with_seed(40)
+                .with_fault_plan(plan);
+        let config = ChannelConfig {
+            element_bytes: 512,
+            aggregation: 2,
+            credits: Some(8),
+            route,
+            credit_batch: 1,
+            failure_timeout: Some(SimDuration::from_millis(FAILURE_TIMEOUT_MS)),
+            replicas: 0,
+            replication_patience: None,
+        };
+        // Per producer: elements dropped on the floor after conviction.
+        let lost: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        // Survivor consumer: (processed, per-producer (delivered, claim, died)).
+        type SurvivorLog = Vec<(u64, Vec<(u64, Option<u64>, bool)>)>;
+        let survived: Arc<Mutex<SurvivorLog>> = Arc::new(Mutex::new(Vec::new()));
+        let (lo, su) = (lost.clone(), survived.clone());
+        let out = world.run_expect(n_producers + n_consumers, move |rank| {
+            let comm = rank.comm_world();
+            let me = rank.world_rank();
+            let role = if me < n_producers { Role::Producer } else { Role::Consumer };
+            let ch = StreamChannel::create(rank, &comm, role, config.clone());
+            let mut stream: Stream<u64> = Stream::attach(ch);
+            match role {
+                Role::Producer => {
+                    for i in 0..per_producer {
+                        rank.compute_exact(PER_ELEM_SECS);
+                        stream.isend(rank, (me as u64) << 32 | i);
+                    }
+                    stream.terminate(rank);
+                    lo.lock().push((me, stream.stats().lost));
+                }
+                Role::Consumer => {
+                    let mut processed = 0u64;
+                    let outcome = stream.operate_outcome(rank, |r, _| {
+                        processed += 1;
+                        if r.fault_plan().element_kill(r.world_rank()) == Some(processed) {
+                            r.exit_killed();
+                        }
+                    });
+                    let reports = outcome
+                        .producers
+                        .iter()
+                        .map(|p| (p.delivered, p.claimed, p.state == ProducerState::Dead))
+                        .collect();
+                    su.lock().push((outcome.processed, reports));
+                }
+                Role::Bystander => unreachable!(),
+            }
+        });
+        // The run completed — that is the headline regression — with
+        // exactly the planned kill and every producer terminating.
+        assert_eq!(out.sim.killed, vec![victim], "{route:?}");
+        let lost = lost.lock().clone();
+        assert_eq!(lost.len(), n_producers, "{route:?}: every producer must terminate");
+        let survivor = survived.lock().clone();
+        assert_eq!(survivor.len(), 1, "{route:?}: only the surviving consumer reports");
+        // No producer died, so the survivor's accounting must balance
+        // exactly: everything addressed to it arrived.
+        let (processed, reports) = &survivor[0];
+        for &(delivered, claim, died) in reports {
+            assert!(!died, "{route:?}: no producer was killed");
+            assert_eq!(Some(delivered), claim, "{route:?}: survivor lost addressed elements");
+        }
+        // The victim's share is gone: the stream conserves strictly less
+        // than the injected total.
+        let total = per_producer * n_producers as u64;
+        assert!(*processed < total, "{route:?}: the victim's elements cannot all survive");
+        let dropped: u64 = lost.iter().map(|&(_, l)| l).sum();
+        match route {
+            // Producer 1 is pinned to the dead consumer: its tail is
+            // dropped and accounted, not silently vanished.
+            RoutePolicy::Static => assert!(dropped > 0, "Static must account dropped elements"),
+            // Re-routing forwards the tail to the survivor instead.
+            RoutePolicy::RoundRobin => {
+                assert_eq!(dropped, 0, "RoundRobin re-routes, it never drops")
+            }
+        }
+    }
+}
+
+/// What a replicated seed's fault schedule kills.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum RepKill {
+    Nothing,
+    /// The view-0 primary, at this exact folded-element cursor.
+    Primary {
+        at_element: u64,
+    },
+    /// A standby (group offset 1 or 2), at a wall-clock instant inside
+    /// the streaming window.
+    Standby {
+        offset: usize,
+    },
+}
+
+/// One seed's randomized replicated world + kill schedule.
+#[derive(Clone, Debug)]
+struct RepSchedule {
+    n_producers: usize,
+    per_producer: u64,
+    aggregation: usize,
+    credits: usize,
+    kill: RepKill,
+    plan: FaultPlan,
+}
+
+fn rep_schedule(seed: u64) -> RepSchedule {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_C0DE);
+    let n_producers = rng.gen_range(2usize..=4);
+    let per_producer = rng.gen_range(MIN_ELEMS..=MAX_ELEMS);
+    let aggregation = rng.gen_range(1usize..=4);
+    let credits = rng.gen_range(8usize..=64);
+    let primary = n_producers; // consumers[0] is the view-0 primary
+    let total = per_producer * n_producers as u64;
+    let (kill, plan) = match rng.gen_range(0u32..4) {
+        0 => (RepKill::Nothing, FaultPlan::new(seed)),
+        // A standby death must be invisible (quorum stays 2 of 3). The
+        // kill instant lands inside the streaming window: producers
+        // stream for at least MIN_ELEMS * PER_ELEM_SECS = 1.5ms.
+        1 => {
+            let offset = rng.gen_range(1usize..=2);
+            let at = SimTime(rng.gen_range(100_000u64..=1_000_000));
+            (RepKill::Standby { offset }, FaultPlan::new(seed).kill(primary + offset, at))
+        }
+        // The headline case: the primary dies at an exact element
+        // cursor, mid-stream, and the successor must replay from the
+        // last committed checkpoint.
+        _ => {
+            let at_element = rng.gen_range(1..=total * 3 / 4);
+            (
+                RepKill::Primary { at_element },
+                FaultPlan::new(seed).kill_at_element(primary, at_element),
+            )
+        }
+    };
+    RepSchedule { n_producers, per_producer, aggregation, credits, kill, plan }
+}
+
+/// Everything observable about one replicated run, totally ordered.
+/// (rank, role code, view, folded state, commits).
+type RepOutcomeRow = (usize, u8, u64, u64, u64);
+/// (rank, sent, resent, takeovers, view).
+type RepFinishRow = (usize, u64, u64, u64, u64);
+
+#[derive(Clone, Debug, PartialEq)]
+struct RepFingerprint {
+    end_ns: u64,
+    killed: Vec<usize>,
+    /// Sorted by rank.
+    outcomes: Vec<RepOutcomeRow>,
+    /// Sorted by rank.
+    finishes: Vec<RepFinishRow>,
+}
+
+fn run_replicated_chaos(seed: u64) -> (RepSchedule, RepFingerprint) {
+    let s = rep_schedule(seed);
+    let world = World::new(MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() })
+        .with_seed(seed)
+        .with_fault_plan(s.plan.clone());
+    let nprocs = s.n_producers + 3;
+    let (n_producers, per_producer) = (s.n_producers, s.per_producer);
+    let config = ChannelConfig {
+        element_bytes: 512,
+        aggregation: s.aggregation,
+        credits: Some(s.credits),
+        route: RoutePolicy::Static,
+        credit_batch: 1,
+        failure_timeout: Some(SimDuration::from_millis(FAILURE_TIMEOUT_MS)),
+        replicas: 2,
+        replication_patience: None,
+    };
+    let outcomes: Arc<Mutex<Vec<RepOutcomeRow>>> = Arc::new(Mutex::new(Vec::new()));
+    let finishes: Arc<Mutex<Vec<RepFinishRow>>> = Arc::new(Mutex::new(Vec::new()));
+    let (oc, fin) = (outcomes.clone(), finishes.clone());
+    let out = world.run_expect(nprocs, move |rank| {
+        let comm = rank.comm_world();
+        let me = rank.world_rank();
+        let role = if me < n_producers { Role::Producer } else { Role::Consumer };
+        let ch = StreamChannel::create(rank, &comm, role, config.clone());
+        match role {
+            Role::Producer => {
+                let mut p: ReplicatedProducer<u64> = ReplicatedProducer::new(ch);
+                for i in 0..per_producer {
+                    rank.compute_exact(PER_ELEM_SECS);
+                    p.push(rank, (me as u64) << 32 | i);
+                }
+                let f = p.finish(rank);
+                fin.lock().push((me, f.sent, f.resent, f.takeovers, f.view));
+            }
+            Role::Consumer => {
+                let mut folded = 0u64;
+                let o = run_replicated::<u64, u64, _, _>(rank, &ch, 0, |r, acc, v| {
+                    folded += 1;
+                    if r.fault_plan().element_kill(r.world_rank()) == Some(folded) {
+                        r.exit_killed();
+                    }
+                    *acc = acc.wrapping_add(mix64(v));
+                    ControlFlow::Continue(())
+                });
+                let role_code = match o.role {
+                    ReplicaRole::Primary => 1u8,
+                    ReplicaRole::Standby => 2,
+                    ReplicaRole::Died => 3,
+                };
+                oc.lock().push((me, role_code, o.view, o.state, o.commits));
+            }
+            Role::Bystander => unreachable!(),
+        }
+    });
+    let mut killed = out.sim.killed.clone();
+    killed.sort_unstable();
+    let mut outcomes = outcomes.lock().clone();
+    outcomes.sort_unstable();
+    let mut finishes = finishes.lock().clone();
+    finishes.sort_unstable();
+    (s, RepFingerprint { end_ns: out.sim.end_time.as_nanos(), killed, outcomes, finishes })
+}
+
+/// Exactly-once invariants for one replicated seed.
+fn check_rep_invariants(seed: u64, s: &RepSchedule, fp: &RepFingerprint) {
+    let expect = expected_checksum(s.n_producers, s.per_producer);
+    let primary = s.n_producers;
+    // Which consumer must end as primary, in which view, and who died.
+    let (planned_kills, head, view) = match s.kill {
+        RepKill::Nothing => (vec![], primary, 0),
+        RepKill::Standby { offset } => (vec![primary + offset], primary, 0),
+        RepKill::Primary { .. } => (vec![primary], primary + 1, 1),
+    };
+    assert_eq!(fp.killed, planned_kills, "seed {seed}: kill list mismatch");
+    assert_eq!(fp.outcomes.len(), 3 - planned_kills.len(), "seed {seed}: survivor count");
+    for &(rank, role_code, v, state, commits) in &fp.outcomes {
+        assert_eq!(v, view, "seed {seed}: rank {rank} finished in the wrong view");
+        assert_eq!(
+            state, expect,
+            "seed {seed}: rank {rank} diverges from the payload multiset — \
+             an element was lost or folded twice"
+        );
+        if rank == head {
+            assert_eq!(role_code, 1, "seed {seed}: rank {rank} must end as primary");
+            assert!(commits > 0, "seed {seed}: a primary must commit checkpoints");
+        } else {
+            assert_eq!(role_code, 2, "seed {seed}: rank {rank} must end as a standby");
+        }
+    }
+    // Every producer injected its full flow and followed the takeover.
+    let mut resent = 0u64;
+    for &(p, sent, re, takeovers, v) in &fp.finishes {
+        assert_eq!(sent, s.per_producer, "seed {seed}: producer {p} short flow");
+        assert_eq!(v, view, "seed {seed}: producer {p} missed the view change");
+        if view == 0 {
+            assert_eq!(takeovers, 0, "seed {seed}: producer {p} saw a phantom takeover");
+            assert_eq!(re, 0, "seed {seed}: nothing to replay without a takeover");
+        }
+        resent += re;
+    }
+    assert_eq!(fp.finishes.len(), s.n_producers, "seed {seed}: every producer finishes");
+    if matches!(s.kill, RepKill::Primary { .. }) {
+        // The element being folded at the kill was received but not yet
+        // committed, so its batch was never credited: at least that much
+        // must have been replayed to the successor.
+        assert!(resent > 0, "seed {seed}: a mid-fold kill must leave a tail to replay");
+    }
+}
+
+/// The replicated sweep: for every seeded consumer-kill schedule the
+/// surviving replicas fold *exactly* the injected payload multiset.
+#[test]
+fn chaos_replicated_consumer_kills_replay_exactly_once() {
+    let (start, count) = sweep_range();
+    let seeds: Vec<u64> = (start..start + count).collect();
+    let runs = desim::sweep::par_map(seeds, |seed| (seed, run_replicated_chaos(seed)));
+    let mut primary_kills = 0u64;
+    let mut standby_kills = 0u64;
+    for (seed, (s, fp)) in &runs {
+        check_rep_invariants(*seed, s, fp);
+        primary_kills += u64::from(matches!(s.kill, RepKill::Primary { .. }));
+        standby_kills += u64::from(matches!(s.kill, RepKill::Standby { .. }));
+    }
+    // Meta-check on full sweeps: the schedule generator must actually
+    // exercise both failover and quorum-loss-tolerance.
+    if count >= 100 {
+        assert!(primary_kills > count / 4, "suspiciously few primary kills");
+        assert!(standby_kills > count / 8, "suspiciously few standby kills");
+    }
+}
+
+/// Replicated runs replay identically: failover timing, replayed tails
+/// and committed state are a pure function of the seed.
+#[test]
+fn chaos_replicated_runs_replay_identically() {
+    let (start, count) = sweep_range();
+    let seeds: Vec<u64> = (start..start + count).step_by((count as usize / 10).max(1)).collect();
+    let first = desim::sweep::par_map(seeds.clone(), |seed| run_replicated_chaos(seed).1);
+    let second = desim::sweep::par_map(seeds.clone(), |seed| run_replicated_chaos(seed).1);
+    for ((seed, a), b) in seeds.iter().zip(first).zip(second) {
+        assert_eq!(a, b, "seed {seed}: replicated fingerprint diverged between replays");
     }
 }

@@ -76,6 +76,19 @@ impl<'c> Rank<'c> {
         &self.shared.config
     }
 
+    /// The fault plan this world runs under (read-only). Application-level
+    /// fault points — element-granular consumer kills — consult this.
+    pub fn fault_plan(&self) -> &desim::FaultPlan {
+        &self.shared.fault
+    }
+
+    /// Terminate this rank as if killed by a fault: it unwinds immediately
+    /// and is reported in the outcome's killed set. The execution half of
+    /// [`desim::FaultPlan::kill_at_element`].
+    pub fn exit_killed(&mut self) -> ! {
+        self.ctx.exit_killed()
+    }
+
     /// Deterministic per-rank RNG.
     pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
         self.ctx.rng()

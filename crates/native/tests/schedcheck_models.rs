@@ -199,7 +199,116 @@ fn batched_credit_return_is_clean() {
 }
 
 // ---------------------------------------------------------------------
-// 5. Small binomial-tree collective, end to end
+// 5. Replication: commit-before-credit-return
+// ---------------------------------------------------------------------
+
+/// `crates/replica`'s integration invariant in miniature: a credit is a
+/// durability acknowledgement, so the producer may drop its replay
+/// buffer on receiving one — the elements then exist *only* in the
+/// replica snapshot. Modeled as a [`cell::RaceCell`]: the standby's
+/// snapshot install is the write, the producer's post-credit read of
+/// the surviving state is the read, and the only thing ordering them is
+/// the protocol itself (Prepare → PrepareOk → credit, each a mailbox
+/// hand-off). With the primary crediting strictly after the quorum ack,
+/// every schedule is clean.
+#[test]
+fn commit_before_credit_return_is_clean() {
+    let out = checker_with(6_000, 3).model(|| {
+        let data_mb = Arc::new(Mailbox::new());
+        let prepare_mb = Arc::new(Mailbox::new());
+        let ok_mb = Arc::new(Mailbox::new());
+        let credit_mb = Arc::new(Mailbox::new());
+        let (data, prep, ok, credit) = (Tag::user(1), Tag::user(2), Tag::user(3), Tag::user(4));
+        let durable = Arc::new(schedcheck::cell::RaceCell::new(0u32));
+
+        let standby = {
+            let (prepare_mb, ok_mb, durable) =
+                (Arc::clone(&prepare_mb), Arc::clone(&ok_mb), Arc::clone(&durable));
+            schedcheck::thread::spawn(move || {
+                let batch = val(prepare_mb.take(Src::Rank(1), prep));
+                durable.set(batch); // install the replicated snapshot
+                ok_mb.push(env(2, ok, batch));
+            })
+        };
+        let primary = {
+            let (data_mb, prepare_mb, ok_mb, credit_mb) = (
+                Arc::clone(&data_mb),
+                Arc::clone(&prepare_mb),
+                Arc::clone(&ok_mb),
+                Arc::clone(&credit_mb),
+            );
+            schedcheck::thread::spawn(move || {
+                let batch = val(data_mb.take(Src::Rank(0), data));
+                prepare_mb.push(env(1, prep, batch));
+                // Commit-before-credit-return: the quorum ack *must*
+                // come back before the credit goes out.
+                assert_eq!(val(ok_mb.take(Src::Rank(2), ok)), batch);
+                credit_mb.push(env(1, credit, batch));
+            })
+        };
+        // The producer: send a batch, wait for its credit, drop the
+        // replay buffer — the data now lives only in the snapshot.
+        data_mb.push(env(0, data, 2));
+        assert_eq!(val(credit_mb.take(Src::Rank(1), credit)), 2);
+        assert_eq!(durable.get(), 2, "the credited elements must already be durable");
+        standby.join().unwrap();
+        primary.join().unwrap();
+    });
+    assert_clean_and_explored(&out);
+}
+
+/// The invariant violated on purpose: the primary returns the credit
+/// *before* waiting for the quorum ack (the exact reordering
+/// `crates/replica`'s consumer loop forbids). Now nothing orders the
+/// standby's snapshot install against the producer's post-credit read,
+/// and the checker must find the SC201 race — the schedule where a
+/// producer discards its replay buffer while the checkpoint that
+/// covers it hasn't reached the standby.
+#[test]
+fn credit_before_quorum_ack_is_caught_as_a_race() {
+    let model = || {
+        let prepare_mb = Arc::new(Mailbox::new());
+        let ok_mb = Arc::new(Mailbox::new());
+        let credit_mb = Arc::new(Mailbox::new());
+        let (prep, ok, credit) = (Tag::user(2), Tag::user(3), Tag::user(4));
+        let durable = Arc::new(schedcheck::cell::RaceCell::new(0u32));
+
+        let standby = {
+            let (prepare_mb, ok_mb, durable) =
+                (Arc::clone(&prepare_mb), Arc::clone(&ok_mb), Arc::clone(&durable));
+            schedcheck::thread::spawn(move || {
+                let batch = val(prepare_mb.take(Src::Rank(1), prep));
+                durable.set(batch);
+                ok_mb.push(env(2, ok, batch));
+            })
+        };
+        let primary = {
+            let (prepare_mb, ok_mb, credit_mb) =
+                (Arc::clone(&prepare_mb), Arc::clone(&ok_mb), Arc::clone(&credit_mb));
+            schedcheck::thread::spawn(move || {
+                prepare_mb.push(env(1, prep, 2));
+                // BUG: the credit outruns the quorum ack.
+                credit_mb.push(env(1, credit, 2));
+                let _ = ok_mb.take(Src::Rank(2), ok);
+            })
+        };
+        assert_eq!(val(credit_mb.take(Src::Rank(1), credit)), 2);
+        let _ = durable.get(); // races with the standby's install
+        standby.join().unwrap();
+        primary.join().unwrap();
+    };
+    let out = checker(6_000).model(model);
+    let v = out.violation.expect("the early credit must surface as a data race");
+    assert_eq!(v.code, codes::SC201, "wrong code: {v}");
+    assert!(v.message.contains("RaceCell"), "should name the racing cell: {v}");
+    let replayed = checker(6_000)
+        .replay(&v.trace, model)
+        .expect("the reported trace must replay to a violation");
+    assert_eq!(replayed.code, v.code);
+}
+
+// ---------------------------------------------------------------------
+// 6. Small binomial-tree collective, end to end
 // ---------------------------------------------------------------------
 
 /// A whole `NativeWorld` under the model: three ranks allreduce over the

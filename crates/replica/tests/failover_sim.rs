@@ -1,0 +1,279 @@
+//! Simulator integration tests of replicated consumer failover: a
+//! replica group drains a stream while the fault plan kills ranks at
+//! exact element cursors, and the surviving state must fold every
+//! injected element exactly once.
+//!
+//! These runs deliberately do *not* enable the happens-before sanitizer:
+//! its per-link credit ledger assumes the rank that received a batch is
+//! the rank that acknowledges it, which a takeover violates by design
+//! (the successor acknowledges elements its predecessor received).
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+use mpisim::{FaultPlan, MachineConfig, NoiseModel, SimDuration, SimTime, World};
+use mpistream::{ChannelConfig, Role, RoutePolicy, StreamChannel};
+use parking_lot::Mutex;
+use replica::{run_replicated, ProducerFinish, ReplicaOutcome, ReplicaRole, ReplicatedProducer};
+
+const PER_ELEM_SECS: f64 = 2e-6;
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x
+}
+
+/// Order-insensitive checksum of the full expected payload multiset.
+fn expected_checksum(n_producers: usize, per_producer: u64) -> u64 {
+    let mut sum = 0u64;
+    for p in 0..n_producers as u64 {
+        for i in 0..per_producer {
+            sum = sum.wrapping_add(mix64(p << 32 | i));
+        }
+    }
+    sum
+}
+
+fn config(replicas: usize) -> ChannelConfig {
+    ChannelConfig {
+        element_bytes: 512,
+        aggregation: 4,
+        credits: Some(32),
+        route: RoutePolicy::Static,
+        credit_batch: 1,
+        failure_timeout: Some(SimDuration::from_millis(3)),
+        replicas,
+        // Default derivation: 4 * failure_timeout = 12ms patience.
+        replication_patience: None,
+    }
+}
+
+/// Run `n_producers + 3` ranks: producers stream `per_producer` elements
+/// each into a 3-member replica group folding the mix64 checksum.
+/// Returns `(killed ranks, consumer outcomes, producer reports)`.
+#[allow(clippy::type_complexity)]
+fn run(
+    n_producers: usize,
+    per_producer: u64,
+    plan: FaultPlan,
+) -> (Vec<usize>, Vec<(usize, ReplicaOutcome<u64>)>, Vec<(usize, ProducerFinish)>) {
+    let world = World::new(MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() })
+        .with_seed(7)
+        .with_fault_plan(plan);
+    let nprocs = n_producers + 3;
+    let outcomes: Arc<Mutex<Vec<(usize, ReplicaOutcome<u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let finishes: Arc<Mutex<Vec<(usize, ProducerFinish)>>> = Arc::new(Mutex::new(Vec::new()));
+    let (oc, fin) = (outcomes.clone(), finishes.clone());
+    let out = world.run_expect(nprocs, move |rank| {
+        let comm = rank.comm_world();
+        let me = rank.world_rank();
+        let role = if me < n_producers { Role::Producer } else { Role::Consumer };
+        let ch = StreamChannel::create(rank, &comm, role, config(2));
+        match role {
+            Role::Producer => {
+                let mut p: ReplicatedProducer<u64> = ReplicatedProducer::new(ch);
+                for i in 0..per_producer {
+                    rank.compute_exact(PER_ELEM_SECS);
+                    p.push(rank, (me as u64) << 32 | i);
+                }
+                // Finish *before* taking the log lock: the receiver of
+                // `lock().push(...)` is evaluated first, and holding a
+                // host-side mutex while blocked inside the simulator
+                // deadlocks the world (the kernel waits on a rank that is
+                // futex-blocked outside its knowledge).
+                let f = p.finish(rank);
+                fin.lock().push((me, f));
+            }
+            Role::Consumer => {
+                let mut folded = 0u64;
+                let outcome = run_replicated::<u64, u64, _, _>(rank, &ch, 0, |r, acc, v| {
+                    folded += 1;
+                    if r.fault_plan().element_kill(r.world_rank()) == Some(folded) {
+                        r.exit_killed();
+                    }
+                    *acc = acc.wrapping_add(mix64(v));
+                    ControlFlow::Continue(())
+                });
+                oc.lock().push((me, outcome));
+            }
+            Role::Bystander => unreachable!(),
+        }
+    });
+    let mut killed = out.sim.killed.clone();
+    killed.sort_unstable();
+    let mut outcomes = outcomes.lock().clone();
+    outcomes.sort_by_key(|&(r, _)| r);
+    let mut finishes = finishes.lock().clone();
+    finishes.sort_by_key(|&(r, _)| r);
+    (killed, outcomes, finishes)
+}
+
+#[test]
+fn replicated_run_completes_without_faults() {
+    let (n_producers, per_producer) = (2, 120);
+    let (killed, outcomes, finishes) = run(n_producers, per_producer, FaultPlan::new(1));
+    assert_eq!(killed, Vec::<usize>::new());
+    assert_eq!(outcomes.len(), 3);
+    let expect = expected_checksum(n_producers, per_producer);
+    // consumers[0] (rank 2) finishes as the view-0 primary; the standbys
+    // end with the identical committed state.
+    let (r0, primary) = &outcomes[0];
+    assert_eq!(*r0, n_producers);
+    assert_eq!(primary.role, ReplicaRole::Primary);
+    assert_eq!(primary.view, 0);
+    assert_eq!(primary.state, expect);
+    assert!(primary.commits > 0, "the primary must have replicated checkpoints");
+    for (_, o) in &outcomes[1..] {
+        assert_eq!(o.role, ReplicaRole::Standby);
+        assert_eq!(o.state, expect, "standby state must match the primary's");
+        assert_eq!(o.checkpoint, primary.checkpoint);
+    }
+    // The committed cursors account for every element, per producer.
+    for p in 0..n_producers as u64 {
+        assert!(primary.checkpoint.cursors.contains(&(p, per_producer)));
+        assert!(primary.checkpoint.claims.contains(&(p, per_producer)));
+    }
+    for (p, f) in &finishes {
+        assert_eq!(f.sent, per_producer, "producer {p}");
+        assert_eq!(f.resent, 0, "no takeover, nothing to replay");
+        assert_eq!(f.takeovers, 0);
+        assert_eq!(f.view, 0);
+    }
+}
+
+#[test]
+fn primary_death_fails_over_with_exactly_once_replay() {
+    let (n_producers, per_producer) = (3, 150);
+    let primary_rank = n_producers; // consumers[0]
+                                    // Killed while folding its 97th element: checkpoints below the kill
+                                    // are committed, the tail is mid-flight — the worst spot.
+    let plan = FaultPlan::new(2).kill_at_element(primary_rank, 97);
+    let (killed, outcomes, finishes) = run(n_producers, per_producer, plan);
+    assert_eq!(killed, vec![primary_rank]);
+    assert_eq!(outcomes.len(), 2, "the killed primary reports nothing");
+    let expect = expected_checksum(n_producers, per_producer);
+    // consumers[1] is the primary of view 1.
+    let (r1, successor) = &outcomes[0];
+    assert_eq!(*r1, primary_rank + 1);
+    assert_eq!(successor.role, ReplicaRole::Primary);
+    assert_eq!(successor.view, 1);
+    assert_eq!(
+        successor.state, expect,
+        "exactly-once violated: the surviving state's checksum diverges"
+    );
+    assert!(successor.commits > 0, "the successor must commit the replayed tail");
+    let (r2, standby) = &outcomes[1];
+    assert_eq!(*r2, primary_rank + 2);
+    assert_eq!(standby.role, ReplicaRole::Standby);
+    assert_eq!(standby.state, expect);
+    assert_eq!(standby.checkpoint, successor.checkpoint);
+    for p in 0..n_producers as u64 {
+        assert!(successor.checkpoint.cursors.contains(&(p, per_producer)));
+    }
+    // Every producer finished its flow in the new view.
+    let mut replayed = 0u64;
+    for (p, f) in &finishes {
+        assert_eq!(f.sent, per_producer, "producer {p}");
+        assert_eq!(f.view, 1, "producer {p} must have followed the takeover");
+        replayed += f.resent;
+    }
+    // The kill lands mid-stream with a 32-element credit window, so some
+    // uncommitted suffix must have been replayed.
+    assert!(replayed > 0, "a mid-stream kill must leave an uncommitted tail to replay");
+}
+
+#[test]
+fn standby_death_does_not_stall_the_stream() {
+    let (n_producers, per_producer) = (2, 100);
+    let standby_rank = n_producers + 2; // consumers[2]
+                                        // A standby dying must not stall the primary: quorum is still 2 of 3.
+    let plan = FaultPlan::new(3).kill(standby_rank, SimTime(200_000));
+    let (killed, outcomes, finishes) = run(n_producers, per_producer, plan);
+    assert_eq!(killed, vec![standby_rank]);
+    let expect = expected_checksum(n_producers, per_producer);
+    let (r0, primary) = &outcomes[0];
+    assert_eq!(*r0, n_producers);
+    assert_eq!(primary.role, ReplicaRole::Primary);
+    assert_eq!(primary.view, 0, "a standby death must not force a view change");
+    assert_eq!(primary.state, expect);
+    for (_, f) in &finishes {
+        assert_eq!(f.sent, per_producer);
+        assert_eq!(f.takeovers, 0);
+    }
+}
+
+/// The replication hot path reports itself to the profiler: every
+/// quorum round-trip lands as a `repl-commit` span, and the per-channel
+/// counters record commits, checkpoint bytes and prepare→commit
+/// latency. On the simulator the extra `now()` reads are pure, so
+/// profiling perturbs nothing.
+#[test]
+fn replication_reports_commit_latency_to_the_profiler() {
+    use streamprof::{Clock, ProfSink, Profiled};
+    let sink = ProfSink::new(Clock::Virtual);
+    let (n_producers, per_producer) = (2usize, 60u64);
+    let world = World::new(MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() })
+        .with_seed(11);
+    let s = sink.clone();
+    world.run_expect(n_producers + 3, move |rank| {
+        let comm = rank.comm_world();
+        let me = rank.world_rank();
+        let role = if me < n_producers { Role::Producer } else { Role::Consumer };
+        let ch = StreamChannel::create(rank, &comm, role, config(2));
+        match role {
+            Role::Producer => {
+                let mut p: ReplicatedProducer<u64> = ReplicatedProducer::new(ch);
+                for i in 0..per_producer {
+                    rank.compute_exact(PER_ELEM_SECS);
+                    p.push(rank, (me as u64) << 32 | i);
+                }
+                p.finish(rank);
+            }
+            Role::Consumer => {
+                let mut prof = Profiled::new(rank, s.clone());
+                run_replicated::<u64, u64, _, _>(&mut prof, &ch, 0, |_, acc, v| {
+                    *acc = acc.wrapping_add(mix64(v));
+                    ControlFlow::Continue(())
+                });
+            }
+            Role::Bystander => unreachable!(),
+        }
+    });
+    let trace = sink.take();
+    let primary_rank = n_producers;
+    let m = trace
+        .streams()
+        .iter()
+        .find(|((pid, _), _)| *pid == primary_rank)
+        .map(|(_, m)| *m)
+        .expect("the primary recorded stream metrics");
+    assert!(m.repl_commits > 0, "every released credit batch rides on a commit");
+    assert!(m.repl_bytes > 0, "checkpoint bytes must be accounted");
+    assert!(m.repl_commit_latency() > 0.0, "a quorum round-trip takes simulated time");
+    assert!(
+        trace.spans().iter().any(|sp| sp.pid == primary_rank && sp.cat == "repl-commit"),
+        "the prepare→commit window must land on the timeline as a span"
+    );
+}
+
+#[test]
+fn kill_before_any_commit_replays_from_zero() {
+    let (n_producers, per_producer) = (2, 80);
+    let primary_rank = n_producers;
+    // Killed while folding its very first element: nothing committed,
+    // the successor starts from cursor zero and producers replay all.
+    let plan = FaultPlan::new(4).kill_at_element(primary_rank, 1);
+    let (killed, outcomes, finishes) = run(n_producers, per_producer, plan);
+    assert_eq!(killed, vec![primary_rank]);
+    let expect = expected_checksum(n_producers, per_producer);
+    let (_, successor) = &outcomes[0];
+    assert_eq!(successor.role, ReplicaRole::Primary);
+    assert_eq!(successor.state, expect);
+    for (_, f) in &finishes {
+        assert_eq!(f.sent, per_producer);
+        assert_eq!(f.view, 1);
+    }
+}

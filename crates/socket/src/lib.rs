@@ -139,6 +139,8 @@ pub struct SocketWorld {
     /// `Some`: explicit child argv (libtest filter args, see
     /// [`SocketWorld::for_test`]).
     child_args: Option<Vec<String>>,
+    /// Death-tolerant mode (see [`SocketWorld::death_tolerant`]).
+    tolerant: bool,
 }
 
 impl SocketWorld {
@@ -147,7 +149,13 @@ impl SocketWorld {
     /// binary with its original arguments.
     pub fn new(key: &str, nprocs: usize) -> SocketWorld {
         assert!(nprocs > 0, "a world needs at least one rank");
-        SocketWorld { key: key.to_string(), nprocs, compute_scale: 1.0, child_args: None }
+        SocketWorld {
+            key: key.to_string(),
+            nprocs,
+            compute_scale: 1.0,
+            child_args: None,
+            tolerant: false,
+        }
     }
 
     /// A world for use inside `#[test]` fns under the libtest harness:
@@ -174,6 +182,18 @@ impl SocketWorld {
         self
     }
 
+    /// Tolerate rank death: a rank process that vanishes mid-run (kill,
+    /// abort, crash) no longer takes the world down with it. Sends to a
+    /// dead peer are silently dropped (the peer is remembered as dead —
+    /// no reconnect storms), readers treat a broken inbound link as EOF,
+    /// and the launcher reports the dead rank as `None` instead of
+    /// panicking. Pair with [`SocketWorld::run_tolerant`]; fault-free
+    /// runs behave identically to the strict mode.
+    pub fn death_tolerant(mut self) -> SocketWorld {
+        self.tolerant = true;
+        self
+    }
+
     /// Run `body` once per rank, each in its own OS process, and return
     /// every rank's result in rank order.
     ///
@@ -183,6 +203,27 @@ impl SocketWorld {
     /// must be deterministic in what *type* it returns — the launcher
     /// decodes exactly `R` from every rank.
     pub fn run<R, F>(&self, body: F) -> Vec<R>
+    where
+        R: Wire,
+        F: FnOnce(&mut SocketRank) -> R,
+    {
+        assert!(
+            !self.tolerant,
+            "a death-tolerant world must use run_tolerant: a dead rank has no result, \
+             so the launcher returns Vec<Option<R>>"
+        );
+        self.run_tolerant(body)
+            .into_iter()
+            .map(|r| r.expect("strict launcher panics before recording a dead rank"))
+            .collect()
+    }
+
+    /// Like [`SocketWorld::run`], but for a [death-tolerant]
+    /// world: ranks that die mid-run come back as `None`, every
+    /// surviving rank's result as `Some`.
+    ///
+    /// [death-tolerant]: SocketWorld::death_tolerant
+    pub fn run_tolerant<R, F>(&self, body: F) -> Vec<Option<R>>
     where
         R: Wire,
         F: FnOnce(&mut SocketRank) -> R,
@@ -199,7 +240,7 @@ impl SocketWorld {
         }
     }
 
-    fn run_launcher<R: Wire>(&self) -> Vec<R> {
+    fn run_launcher<R: Wire>(&self) -> Vec<Option<R>> {
         let dir = scratch_dir(&self.key);
         std::fs::create_dir_all(&dir).expect("create socket scratch dir");
         let listener = UnixListener::bind(dir.join("ctl.sock")).expect("bind control socket");
@@ -264,19 +305,26 @@ impl SocketWorld {
         // still be writing to them.
         let mut results = Vec::with_capacity(self.nprocs);
         for (r, c) in conns.iter_mut().enumerate() {
-            let blob = frame::read_blob(c)
-                .unwrap_or_else(|e| panic!("rank {r} died before returning a result: {e}"));
-            results.push(
-                R::from_frame(&blob)
-                    .unwrap_or_else(|e| panic!("rank {r} returned a malformed result frame: {e}")),
-            );
+            match frame::read_blob(c) {
+                Ok(blob) => results.push(Some(R::from_frame(&blob).unwrap_or_else(|e| {
+                    panic!("rank {r} returned a malformed result frame: {e}")
+                }))),
+                Err(_) if self.tolerant => results.push(None),
+                Err(e) => panic!("rank {r} died before returning a result: {e}"),
+            }
         }
-        for c in &mut conns {
-            c.write_all(&[CTL_ALL_DONE]).expect("send ALL_DONE");
+        for (r, c) in conns.iter_mut().enumerate() {
+            // A dead rank's control link is gone; releasing it is a no-op.
+            let released = c.write_all(&[CTL_ALL_DONE]);
+            if results[r].is_some() {
+                released.expect("send ALL_DONE");
+            }
         }
         for (r, mut child) in guard.children.drain(..).enumerate() {
             let status = child.wait().expect("wait for rank process");
-            assert!(status.success(), "rank {r} exited with {status}");
+            if results[r].is_some() {
+                assert!(status.success(), "rank {r} exited with {status}");
+            }
         }
         drop(guard); // removes the scratch dir
         results
@@ -310,7 +358,8 @@ impl SocketWorld {
 
         {
             let mailbox = Arc::clone(&mailbox);
-            std::thread::spawn(move || acceptor_loop(listener, mailbox));
+            let tolerant = self.tolerant;
+            std::thread::spawn(move || acceptor_loop(listener, mailbox, tolerant));
         }
 
         let mut sr = SocketRank {
@@ -324,6 +373,8 @@ impl SocketWorld {
             coll_seq: HashMap::new(),
             mail_seen: 0,
             next_channel: 0,
+            tolerant: self.tolerant,
+            dead: vec![false; nprocs],
         };
         let result = body(&mut sr);
         frame::write_blob(&mut ctl, &result.to_frame()).expect("ship result");
@@ -413,7 +464,7 @@ fn connect_retry(path: &Path, total: Duration) -> std::io::Result<UnixStream> {
 /// consumer, so a recv deadline expiring while a frame is in flight
 /// never corrupts the link — the frame simply lands in the mailbox when
 /// complete.
-fn acceptor_loop(listener: UnixListener, mailbox: Arc<Mailbox>) {
+fn acceptor_loop(listener: UnixListener, mailbox: Arc<Mailbox>, tolerant: bool) {
     for conn in listener.incoming() {
         let mut stream = match conn {
             Ok(s) => s,
@@ -421,8 +472,12 @@ fn acceptor_loop(listener: UnixListener, mailbox: Arc<Mailbox>) {
         };
         let mailbox = Arc::clone(&mailbox);
         std::thread::spawn(move || {
-            let src = frame::read_preamble(&mut stream).expect("connection preamble");
-            reader_loop(stream, src, &mailbox);
+            let src = match frame::read_preamble(&mut stream) {
+                Ok(src) => src,
+                Err(_) if tolerant => return, // peer died right after dialling
+                Err(e) => panic!("connection preamble: {e}"),
+            };
+            reader_loop(stream, src, &mailbox, tolerant);
         });
     }
 }
@@ -430,14 +485,17 @@ fn acceptor_loop(listener: UnixListener, mailbox: Arc<Mailbox>) {
 /// Decode frames from one inbound link into the mailbox until clean
 /// EOF. Malformed traffic from a peer is fatal to this rank (the peers
 /// are our own world; garbage means a protocol bug, not hostile input —
-/// the codec itself reports it as a typed error first).
-pub fn reader_loop(mut stream: UnixStream, src: usize, mailbox: &Mailbox) {
+/// the codec itself reports it as a typed error first) — except under
+/// `tolerant`, where a broken link (the peer process died mid-frame) is
+/// treated as end-of-stream.
+pub fn reader_loop(mut stream: UnixStream, src: usize, mailbox: &Mailbox, tolerant: bool) {
     loop {
         match frame::read_frame(&mut stream) {
             Ok(Some((tag, bytes, payload))) => {
                 mailbox.push(Env { src, tag: Tag(tag), bytes, payload: Box::new(payload) });
             }
             Ok(None) => break,
+            Err(_) if tolerant => break,
             Err(e) => panic!("reader for link from rank {src}: {e}"),
         }
     }
@@ -466,18 +524,49 @@ pub struct SocketRank {
     /// memory: `counter * nprocs + rank` gives each rank a disjoint
     /// arithmetic progression.
     next_channel: u32,
+    /// Death-tolerant mode (see [`SocketWorld::death_tolerant`]).
+    tolerant: bool,
+    /// Peers observed dead (tolerant mode only): once a connect or a
+    /// write to a rank fails it stays marked, so later sends drop
+    /// immediately instead of re-dialling a corpse.
+    dead: Vec<bool>,
 }
 
 impl SocketRank {
-    fn link(&mut self, dst: usize) -> &mut UnixStream {
+    /// Connect-on-first-use outbound link; `None` means `dst` is dead
+    /// (only possible in death-tolerant mode — strict worlds panic).
+    fn link(&mut self, dst: usize) -> Option<&mut UnixStream> {
+        if self.dead[dst] {
+            return None;
+        }
         if self.links[dst].is_none() {
-            let mut s = connect_retry(&rank_sock(&self.dir, dst), CONNECT_TIMEOUT)
-                .unwrap_or_else(|e| panic!("rank {}: connect to rank {dst}: {e}", self.rank));
-            frame::write_preamble(&mut s, self.rank)
-                .unwrap_or_else(|e| panic!("rank {}: preamble to rank {dst}: {e}", self.rank));
+            // Every listener was bound before GO, so in tolerant mode a
+            // refused connect means the peer is gone — fail on the first
+            // attempt instead of retrying against a corpse for seconds.
+            let connected = if self.tolerant {
+                UnixStream::connect(rank_sock(&self.dir, dst))
+            } else {
+                connect_retry(&rank_sock(&self.dir, dst), CONNECT_TIMEOUT)
+            };
+            let mut s = match connected {
+                Ok(s) => s,
+                Err(_) if self.tolerant => {
+                    self.dead[dst] = true;
+                    return None;
+                }
+                Err(e) => panic!("rank {}: connect to rank {dst}: {e}", self.rank),
+            };
+            match frame::write_preamble(&mut s, self.rank) {
+                Ok(()) => {}
+                Err(_) if self.tolerant => {
+                    self.dead[dst] = true;
+                    return None;
+                }
+                Err(e) => panic!("rank {}: preamble to rank {dst}: {e}", self.rank),
+            }
             self.links[dst] = Some(s);
         }
-        self.links[dst].as_mut().expect("just connected")
+        self.links[dst].as_mut()
     }
 
     fn next_seq(&mut self, group: &SocketGroup) -> u32 {
@@ -608,9 +697,17 @@ impl Transport for SocketRank {
             return;
         }
         let me = self.rank;
-        let link = self.link(dst);
-        frame::write_frame(link, tag.0, bytes, &payload)
-            .unwrap_or_else(|e| panic!("rank {me}: send to rank {dst}: {e}"));
+        let Some(link) = self.link(dst) else {
+            return; // tolerant mode: dst is dead, the send is dropped
+        };
+        if let Err(e) = frame::write_frame(link, tag.0, bytes, &payload) {
+            if self.tolerant {
+                self.links[dst] = None;
+                self.dead[dst] = true;
+            } else {
+                panic!("rank {me}: send to rank {dst}: {e}");
+            }
+        }
     }
 
     fn recv<T: Wire + Send + 'static>(&mut self, src: Src, tag: Tag) -> (T, MsgInfo) {

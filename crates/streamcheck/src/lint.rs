@@ -11,6 +11,7 @@
 //! | SC004 | routing totality: keyed maps cover their key domain and stay in range; endpoint sets non-empty |
 //! | SC005 | config validity: zero granularity / aggregation / credit window / timeout, window below one batch, t/2t patience hierarchy |
 //! | SC006 | batched credit flush fits the window's stall margin: `credit_batch ≤ credits - aggregation + 1`, or a stalled producer waits forever for a flush that never triggers |
+//! | SC007 | replica-group sanity: the consumer list carries `replicas + 1` ranks, replication patience sits above the t/2t hierarchy, a replicated channel routes `Static` (one logical consumer), and a group too small to out-vote one death is flagged |
 //!
 //! The dynamic sanitizer's findings use the same namespace one hundred up:
 //! SC101 wildcard race, SC102 orphan message, SC103 credit overrun (see
@@ -43,7 +44,7 @@ impl std::fmt::Display for Severity {
 /// One lint finding.
 #[derive(Clone, Debug)]
 pub struct Finding {
-    /// Catalogue code (`SC001`..`SC006`).
+    /// Catalogue code (`SC001`..`SC007`).
     pub code: &'static str,
     pub severity: Severity,
     /// What the finding is about — a channel or group name, or `topology`.
@@ -146,6 +147,7 @@ pub fn check(topo: &Topology) -> Report {
     for ch in &topo.channels {
         lint_config(ch, &mut findings);
         lint_credit_batch(ch, &mut findings);
+        lint_replication(ch, &mut findings);
         lint_routing(ch, &mut findings);
         lint_termination(ch, &mut findings);
     }
@@ -243,6 +245,12 @@ fn lint_config(ch: &ChannelDecl, findings: &mut Vec<Finding>) {
             // and is checked from the fields directly so it fires even
             // when validate() short-circuits on an earlier error.
             ConfigError::CreditBatchAboveWindow { .. } => return,
+            // Replica-group sanity has its own lint (SC007,
+            // `lint_replication`), checked from the fields directly for
+            // the same short-circuit reason.
+            ConfigError::ReplicationNeedsStaticRoute
+            | ConfigError::ReplicationWithoutTimeout
+            | ConfigError::ZeroReplicationPatience => return,
         };
         findings.push(Finding {
             code: "SC005",
@@ -295,6 +303,94 @@ fn lint_credit_batch(ch: &ChannelDecl, findings: &mut Vec<Finding>) {
                 "credit_batch ({batch}) exceeds the credit window's stall margin \
                  ({credits} - {aggregation} + 1 = {margin}): a producer blocked on the \
                  window could wait forever for a credit flush"
+            ),
+        });
+    }
+}
+
+/// SC007: replica-group configuration sanity (`crates/replica`). A
+/// replicated channel's consumer list *is* its Viewstamped Replication
+/// group — `consumers[0]` the view-0 primary, the rest standbys — so the
+/// declared membership, the routing, and the failover patience all have
+/// hard constraints:
+///
+/// - the consumer list must carry exactly `replicas + 1` ranks;
+/// - routing must be [`Routing::Static`]: the group is one *logical*
+///   consumer, so round-robin spreading (and keyed partitioning across
+///   it) would split state that is supposed to be one replicated whole;
+/// - the standbys' failover patience must sit at or above twice the
+///   consumer's `2t` producer patience (the `t`/`2t`/patience hierarchy:
+///   replica failover is the slowest, most deliberate detector), and
+///   some timeout must exist at all;
+/// - a group of fewer than three replicas cannot form a majority without
+///   the victim, so it cannot actually survive a death (warning — it
+///   still replicates, it just cannot fail over).
+fn lint_replication(ch: &ChannelDecl, findings: &mut Vec<Finding>) {
+    let replicas = ch.config.replicas;
+    if replicas == 0 {
+        return;
+    }
+    if ch.consumers.len() != replicas + 1 {
+        findings.push(Finding {
+            code: "SC007",
+            severity: Severity::Error,
+            subject: ch.name.clone(),
+            message: format!(
+                "channel declares {replicas} replicas but lists {} consumer rank(s): the \
+                 consumer list is the replica group (primary + standbys = {} ranks)",
+                ch.consumers.len(),
+                replicas + 1
+            ),
+        });
+    }
+    if ch.routing != Routing::Static {
+        findings.push(Finding {
+            code: "SC007",
+            severity: Severity::Error,
+            subject: ch.name.clone(),
+            message: "replicated channel must route Static: the replica group is one \
+                 logical consumer, spreading elements across it splits replicated state"
+                .into(),
+        });
+    }
+    match ch.config.effective_replication_patience() {
+        None => findings.push(Finding {
+            code: "SC007",
+            severity: Severity::Error,
+            subject: ch.name.clone(),
+            message: "replicated channel has neither replication_patience nor \
+                 failure_timeout: a dead primary would never be suspected"
+                .into(),
+        }),
+        Some(patience) => {
+            if let Some(t) = ch.config.failure_timeout {
+                let consumer_patience = ch.consumer_patience.unwrap_or(t + t);
+                if patience < consumer_patience + consumer_patience {
+                    findings.push(Finding {
+                        code: "SC007",
+                        severity: Severity::Error,
+                        subject: ch.name.clone(),
+                        message: format!(
+                            "replication patience ({patience}) sits below twice the consumer \
+                             patience ({consumer_patience}): a standby could depose a primary \
+                             that is legitimately waiting out the t/2t failure-detection \
+                             hierarchy"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    if replicas + 1 < 3 {
+        findings.push(Finding {
+            code: "SC007",
+            severity: Severity::Warning,
+            subject: ch.name.clone(),
+            message: format!(
+                "a replica group of {} cannot form a majority without the victim: state is \
+                 replicated but no failover can complete after a death (need >= 3 ranks, \
+                 i.e. replicas >= 2)",
+                replicas + 1
             ),
         });
     }

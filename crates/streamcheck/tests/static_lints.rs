@@ -266,12 +266,93 @@ fn sc006_fires_alongside_other_config_errors() {
         credits: Some(8),
         credit_batch: 9,
         failure_timeout: Some(SimDuration::ZERO),
+        replicas: 0,
+        replication_patience: None,
         ..ChannelConfig::default()
     };
     let topo = Topology::new(2).channel(ChannelDecl::new("bad", vec![0], vec![1], config));
     let report = check(&topo);
     assert_eq!(errors_with(&report, "SC005"), 1, "{}", report.to_text());
     assert_eq!(errors_with(&report, "SC006"), 1, "{}", report.to_text());
+}
+
+// ---- SC007: replica-group sanity (crates/replica) ----
+
+/// A correctly replicated pipeline: two producers, a three-member
+/// replica group (primary + two standbys), timeouts on the t/2t/4t
+/// hierarchy.
+fn replicated() -> Topology {
+    let cfg = ChannelConfig {
+        credits: Some(32),
+        failure_timeout: Some(SimDuration::from_millis(10)),
+        replicas: 2,
+        ..ChannelConfig::default()
+    };
+    Topology::new(5)
+        .group(GroupDecl::new("producers", vec![0, 1]))
+        .group(GroupDecl::new("replicas", vec![2, 3, 4]))
+        .channel(ChannelDecl::new("rep", vec![0, 1], vec![2, 3, 4], cfg))
+}
+
+#[test]
+fn sc007_replicated_base_is_clean_and_certified() {
+    let report = check(&replicated());
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert!(report.certified_deadlock_free);
+}
+
+#[test]
+fn sc007_group_size_mismatch_is_error() {
+    let mut topo = replicated();
+    topo.channels[0].consumers.pop(); // 2 consumers for replicas = 2
+    topo.groups[1].ranks.pop(); // keep the partition lints quiet
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC007"), 1, "{}", report.to_text());
+}
+
+#[test]
+fn sc007_non_static_routing_is_error() {
+    let mut topo = replicated();
+    topo.channels[0].routing = Routing::RoundRobin;
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC007"), 1, "{}", report.to_text());
+}
+
+#[test]
+fn sc007_missing_timeout_is_error() {
+    let mut topo = replicated();
+    topo.channels[0].config.failure_timeout = None;
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC007"), 1, "{}", report.to_text());
+}
+
+#[test]
+fn sc007_patience_below_the_failover_hierarchy_is_error() {
+    let mut topo = replicated();
+    // Consumer patience is 2t = 20ms; a 15ms failover patience would
+    // depose primaries that are merely waiting out the t/2t detectors.
+    topo.channels[0].config.replication_patience = Some(SimDuration::from_millis(15));
+    let report = check(&topo);
+    assert_eq!(errors_with(&report, "SC007"), 1, "{}", report.to_text());
+
+    // At exactly twice the consumer patience the hierarchy holds.
+    let mut ok = replicated();
+    ok.channels[0].config.replication_patience = Some(SimDuration::from_millis(40));
+    assert!(check(&ok).is_clean(), "{}", check(&ok).to_text());
+}
+
+#[test]
+fn sc007_pair_group_is_warning_only() {
+    // Two members replicate state but cannot out-vote a death: flagged,
+    // yet not an error — the replication itself still works.
+    let mut topo = replicated();
+    topo.world = 4; // keep the partition covering: rank 4 leaves the world
+    topo.channels[0].config.replicas = 1;
+    topo.channels[0].consumers.pop();
+    topo.groups[1].ranks.pop();
+    let report = check(&topo);
+    assert!(report.is_clean(), "{}", report.to_text());
+    assert!(has(&report, "SC007", streamcheck::Severity::Warning), "{}", report.to_text());
 }
 
 // ---- Mutation battery: one clean base, every seeded defect flagged ----
@@ -400,6 +481,23 @@ fn mutation_battery_every_defect_is_flagged() {
                 t.channel(ChannelDecl::new("feedback", vec![7], vec![0, 1, 2, 3, 4], back))
             }),
         ),
+        (
+            "replica group understaffed",
+            Box::new(|mut t| {
+                // counts lists one consumer; a 3-member group needs 3.
+                t.channels[1].config.replicas = 2;
+                t
+            }),
+        ),
+        (
+            "replicated channel routed keyed",
+            Box::new(|mut t| {
+                // words is keyed across its 2 consumers; declaring them a
+                // replica group makes that a split of replicated state.
+                t.channels[0].config.replicas = 1;
+                t
+            }),
+        ),
     ];
 
     assert!(mutations.len() >= 10);
@@ -482,6 +580,8 @@ proptest! {
             route: if round_robin { RoutePolicy::RoundRobin } else { RoutePolicy::Static },
             credit_batch: 1,
             failure_timeout: None,
+            replicas: 0,
+            replication_patience: None,
         };
         let spec = GroupSpec { every };
         let producers: Vec<usize> =

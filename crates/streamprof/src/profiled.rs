@@ -196,4 +196,8 @@ impl<'a, T: Transport> Transport for Profiled<'a, T> {
     fn prof_credit_occupancy(&mut self, channel: u16, outstanding: u64, window: u64) {
         self.sink.credit_sample(self.pid, channel, outstanding, window);
     }
+
+    fn prof_repl_commit(&mut self, channel: u16, bytes: u64, latency_ns: u64) {
+        self.sink.repl_commit(self.pid, channel, bytes, latency_ns);
+    }
 }

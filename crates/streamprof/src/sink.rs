@@ -65,6 +65,12 @@ pub struct StreamMetrics {
     pub credit_samples: u64,
     pub credit_outstanding_sum: u64,
     pub credit_window: u64,
+    /// Replication checkpoints this rank committed as a replica-group
+    /// primary (see `crates/replica`), the checkpoint bytes shipped, and
+    /// the summed prepare→commit latency.
+    pub repl_commits: u64,
+    pub repl_bytes: u64,
+    pub repl_latency_sum_ns: u64,
 }
 
 impl StreamMetrics {
@@ -77,6 +83,17 @@ impl StreamMetrics {
             return 0.0;
         }
         self.credit_outstanding_sum as f64 / self.credit_samples as f64 / self.credit_window as f64
+    }
+
+    /// Mean prepare→commit latency per replicated checkpoint, in seconds
+    /// (0 when the rank never acted as a replica-group primary). The
+    /// replication tax the paper's decoupling does *not* model: what one
+    /// durable credit costs over a plain one.
+    pub fn repl_commit_latency(&self) -> f64 {
+        if self.repl_commits == 0 {
+            return 0.0;
+        }
+        self.repl_latency_sum_ns as f64 / self.repl_commits as f64 / 1e9
     }
 }
 
@@ -164,6 +181,16 @@ impl ProfSink {
         }
     }
 
+    pub fn repl_commit(&self, pid: usize, channel: u16, bytes: u64, latency_ns: u64) {
+        if self.enabled() {
+            let mut inner = self.shared.inner.lock();
+            let m = inner.streams.entry((pid, channel)).or_default();
+            m.repl_commits += 1;
+            m.repl_bytes += bytes;
+            m.repl_latency_sum_ns += latency_ns;
+        }
+    }
+
     /// Drain the recording into a [`Trace`]. Spans are sorted by
     /// `(pid, start, end, cat)` so the result is deterministic regardless
     /// of the interleaving that produced it.
@@ -200,14 +227,19 @@ mod tests {
         sink.stream_recv(2, 3, 16, 128);
         sink.credit_sample(0, 3, 12, 16);
         sink.credit_sample(0, 3, 4, 16);
+        sink.repl_commit(2, 3, 96, 2_000_000_000);
+        sink.repl_commit(2, 3, 32, 1_000_000_000);
         let trace = sink.take();
         let p = &trace.streams()[&(0, 3)];
         assert_eq!((p.elems_sent, p.bytes_sent, p.batches_sent), (16, 128, 2));
         assert_eq!(p.credit_samples, 2);
         assert!((p.credit_occupancy() - 0.5).abs() < 1e-12);
+        assert_eq!(p.repl_commit_latency(), 0.0);
         let c = &trace.streams()[&(2, 3)];
         assert_eq!((c.elems_recv, c.bytes_recv, c.batches_recv), (16, 128, 1));
         assert_eq!(c.credit_occupancy(), 0.0);
+        assert_eq!((c.repl_commits, c.repl_bytes), (2, 128));
+        assert!((c.repl_commit_latency() - 1.5).abs() < 1e-12);
     }
 
     #[test]

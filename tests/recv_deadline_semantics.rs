@@ -32,7 +32,7 @@ fn socket_half_read_frame_times_out_cleanly() {
     let (mut tx, rx) = UnixStream::pair().expect("socketpair");
     let mailbox = Arc::new(Mailbox::new());
     let reader_box = Arc::clone(&mailbox);
-    let reader = std::thread::spawn(move || socket::reader_loop(rx, 3, &reader_box));
+    let reader = std::thread::spawn(move || socket::reader_loop(rx, 3, &reader_box, false));
 
     let tag = Tag::user(42);
     // One full frame's bytes, delivered in two halves around a timeout.

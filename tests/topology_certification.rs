@@ -129,6 +129,51 @@ fn quickstart_and_alpha_sweep_analysis_topologies_certify() {
     }
 }
 
+/// A decoupled pipeline whose consumer group is a Viewstamped
+/// Replication group (`crates/replica`): the replicated declaration must
+/// certify under the SC007 replica-group sanity lint, and each seeded
+/// misconfiguration of the same shape must be refused.
+#[test]
+fn replicated_consumer_topologies_certify() {
+    use mpistream::ChannelConfig;
+    use streamcheck::{ChannelDecl, GroupDecl, Routing, Topology};
+
+    let config = |replicas| ChannelConfig {
+        element_bytes: 4 << 10,
+        credits: Some(64),
+        failure_timeout: Some(mpisim::SimDuration::from_millis(5)),
+        replicas,
+        ..ChannelConfig::default()
+    };
+    for producers in [4usize, 16, 61] {
+        let group: Vec<usize> = (producers..producers + 3).collect();
+        let topo = Topology::new(producers + 3)
+            .group(GroupDecl::new("compute", (0..producers).collect()))
+            .group(GroupDecl::new("replicas", group.clone()))
+            .channel(ChannelDecl::new("results", (0..producers).collect(), group, config(2)));
+        assert_certified(&format!("replicated P={producers}"), &check(&topo));
+    }
+
+    // The same shape, broken three ways: each must fail certification.
+    let base = || {
+        Topology::new(7).channel(ChannelDecl::new(
+            "results",
+            (0..4).collect(),
+            vec![4, 5, 6],
+            config(2),
+        ))
+    };
+    let mut short = base();
+    short.channels[0].consumers.pop();
+    assert!(!check(&short).is_clean(), "undersized replica group must not certify");
+    let mut spread = base();
+    spread.channels[0].routing = Routing::RoundRobin;
+    assert!(!check(&spread).is_clean(), "round-robin over a replica group must not certify");
+    let mut hasty = base();
+    hasty.channels[0].config.replication_patience = Some(mpisim::SimDuration::from_millis(1));
+    assert!(!check(&hasty).is_clean(), "hair-trigger failover patience must not certify");
+}
+
 /// The default configurations of all three applications, across a few
 /// world sizes: no extracted topology may regress to an error.
 #[test]
