@@ -374,8 +374,10 @@ impl StreamChannel {
         Tag::internal(NS_STREAM, self.id, CODE_DATA)
     }
 
-    /// Tag carrying this channel's credit acknowledgements (`u64` element
-    /// counts from consumer to producer).
+    /// Tag carrying this channel's credit acknowledgements, consumer to
+    /// producer: bare `u64` element counts on unreplicated channels,
+    /// view-stamped `CreditMsg` envelopes on replicated ones
+    /// (`crates/replica`).
     pub fn credit_tag(&self) -> Tag {
         Tag::internal(NS_STREAM, self.id, CODE_CREDIT)
     }

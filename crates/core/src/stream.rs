@@ -34,6 +34,12 @@ pub enum StreamMsg<T> {
         /// Total elements this producer sent to this consumer.
         sent: u64,
     },
+    /// Epoch marker (discriminant `2`), sent only by *replicated*
+    /// producers when they start replaying to a new primary: everything
+    /// this producer sent on the data tag before the marker belongs to
+    /// an earlier reign and must not fold. Unreplicated channels never
+    /// send it, so their wire traffic stays byte-identical.
+    Mark(u64),
 }
 
 impl<T: Wire> Wire for StreamMsg<T> {
@@ -47,12 +53,17 @@ impl<T: Wire> Wire for StreamMsg<T> {
                 out.push(1);
                 sent.encode(out);
             }
+            StreamMsg::Mark(mark) => {
+                out.push(2);
+                mark.encode(out);
+            }
         }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         match u8::decode(input)? {
             0 => Ok(StreamMsg::Data(Vec::decode(input)?)),
             1 => Ok(StreamMsg::Term { sent: u64::decode(input)? }),
+            2 => Ok(StreamMsg::Mark(u64::decode(input)?)),
             got => Err(WireError::BadDiscriminant { got }),
         }
     }
@@ -183,6 +194,15 @@ pub struct Stream<T> {
     /// Terminated producers' claimed totals per world rank (their `Term`
     /// payloads), checkpointed alongside the cursors.
     claimed_by: std::collections::HashMap<usize, u64>,
+    /// Producer world ranks whose data tag is quarantined, mapped to the
+    /// [`StreamMsg::Mark`] value that lifts the quarantine (`u64::MAX` =
+    /// never). A replicated consumer taking over quarantines every
+    /// unfinished producer until its post-announce epoch marker arrives:
+    /// per-`(src, tag)` FIFO puts all traffic addressed to an earlier
+    /// reign of this rank strictly before the marker, so everything
+    /// dropped while muted is provably stale. Always empty on
+    /// unreplicated channels.
+    muted: std::collections::HashMap<usize, u64>,
     stats: StreamStats,
 }
 
@@ -245,6 +265,7 @@ impl<T: Wire + Send + 'static> Stream<T> {
             gate_credits: false,
             delivered_by: std::collections::HashMap::new(),
             claimed_by: std::collections::HashMap::new(),
+            muted: std::collections::HashMap::new(),
             stats: StreamStats::default(),
         }
     }
@@ -536,6 +557,23 @@ impl<T: Wire + Send + 'static> Stream<T> {
         }
     }
 
+    /// Drain the parked credit ledger without sending anything: the
+    /// replicated driver's alternative to [`Stream::release_credits`],
+    /// used to wrap each acknowledgement in a view-stamped envelope
+    /// before it leaves (`crates/replica`). Returns `(producer world
+    /// rank, elements)` pairs, sorted by rank for a deterministic send
+    /// order; empty on channels without credits. The caller must report
+    /// each pair via `Transport::check_credit_issued` when it sends.
+    pub fn take_pending_credits(&mut self) -> Vec<(usize, u64)> {
+        if self.channel.config.credits.is_none() {
+            return Vec::new();
+        }
+        let mut entries: Vec<(usize, u64)> =
+            self.pending_credit.drain().filter(|&(_, n)| n > 0).collect();
+        entries.sort_unstable();
+        entries
+    }
+
     /// A producer terminated (or died): drop its accumulated credit
     /// rather than acknowledging into the void. Its `Term` is the last
     /// message on the data tag (non-overtaking per `(src, tag)`), so the
@@ -682,6 +720,18 @@ impl<T: Wire + Send + 'static> Stream<T> {
                             claimed[pi] = Some(sent);
                             self.credit_on_closed(info.src);
                         }
+                        StreamMsg::Mark(_) => {
+                            // Epoch marker: a liveness signal with nothing
+                            // to fold. Only replicated producers send it,
+                            // and they drain through `step_deadline` — but
+                            // arriving here it is benign: re-arm the
+                            // sender's silence deadline and move on.
+                            if let Some(t) = timeout {
+                                if !terminated[pi] {
+                                    deadlines.insert((last_heard[pi] + t, pi));
+                                }
+                            }
+                        }
                     }
                 }
                 None => {
@@ -774,7 +824,10 @@ impl<T: Wire + Send + 'static> Stream<T> {
         let tag = self.channel.data_tag();
         let (wire, info) = rank.recv_deadline::<StreamMsg<T>>(Src::Any, tag, deadline)?;
         let src = info.src;
-        let term = matches!(wire, StreamMsg::Term { .. });
+        // A quarantined `Term` is dropped by `dispatch` and must not be
+        // reported either: the replica driver acknowledges term events,
+        // which would certify a flow whose claim never committed.
+        let term = matches!(wire, StreamMsg::Term { .. }) && !self.is_quarantined(src);
         let elems = self.dispatch(rank, wire, info, &mut op);
         Some(StepEvent { src, elems, term })
     }
@@ -813,9 +866,28 @@ impl<T: Wire + Send + 'static> Stream<T> {
         self.claimed = ckpt.claims.iter().map(|&(_, n)| n).sum();
         self.pending.clear();
         self.pending_credit.clear();
+        self.muted.clear();
         self.stats.elements = ckpt.elements;
         self.stats.batches = ckpt.batches;
         self.stats.bytes = ckpt.bytes;
+    }
+
+    /// Quarantine producer world rank `src`'s data tag until a
+    /// [`StreamMsg::Mark`] with a value `>= mark` arrives from it
+    /// (`u64::MAX`: forever). While quarantined, every wire message from
+    /// `src` — data, `Term`, stale markers — is dropped unprocessed.
+    /// Replicated consumers call this at takeover for each unfinished
+    /// producer before announcing the new view: per-`(src, tag)` FIFO
+    /// guarantees everything the producer sent to this rank's earlier
+    /// reign is delivered strictly before the post-announce marker, so
+    /// the drop window contains exactly the stale traffic.
+    pub fn quarantine_until_mark(&mut self, src: usize, mark: u64) {
+        self.muted.insert(src, mark);
+    }
+
+    /// Whether producer world rank `src` is currently quarantined.
+    pub fn is_quarantined(&self, src: usize) -> bool {
+        self.muted.contains_key(&src)
     }
 
     /// The element cursor for producer world rank `src`: elements of its
@@ -886,6 +958,15 @@ impl<T: Wire + Send + 'static> Stream<T> {
             }
             let tag = self.channel.data_tag();
             let (wire, info) = rank.recv::<StreamMsg<T>>(Src::Any, tag);
+            if let StreamMsg::Mark(mark) = wire {
+                if self.muted.get(&info.src).is_some_and(|&need| mark >= need) {
+                    self.muted.remove(&info.src);
+                }
+                continue;
+            }
+            if !self.muted.is_empty() && self.muted.contains_key(&info.src) {
+                continue; // quarantined: stale pre-takeover traffic
+            }
             match wire {
                 StreamMsg::Data(batch) => {
                     let n = batch.len() as u64;
@@ -909,6 +990,7 @@ impl<T: Wire + Send + 'static> Stream<T> {
                     }
                     self.credit_on_closed(info.src);
                 }
+                StreamMsg::Mark(_) => unreachable!("Mark is consumed before the match"),
             }
         }
     }
@@ -927,6 +1009,22 @@ impl<T: Wire + Send + 'static> Stream<T> {
         info: MsgInfo,
         op: &mut impl FnMut(&mut TP, T),
     ) -> u64 {
+        if let StreamMsg::Mark(mark) = wire {
+            // An epoch marker lifts a matching quarantine; stale markers
+            // (from a view this rank's quarantine outlived) are ignored.
+            if self.muted.get(&info.src).is_some_and(|&need| mark >= need) {
+                self.muted.remove(&info.src);
+            }
+            return 0;
+        }
+        if !self.muted.is_empty() && self.muted.contains_key(&info.src) {
+            // Quarantined: pre-takeover traffic addressed to an earlier
+            // reign of this rank. Dropping it is the exactly-once cut —
+            // everything below the producer's marker was either already
+            // folded into the committed checkpoint or will arrive again
+            // in the post-marker replay.
+            return 0;
+        }
         match wire {
             StreamMsg::Data(batch) => {
                 let n = batch.len() as u64;
@@ -954,6 +1052,7 @@ impl<T: Wire + Send + 'static> Stream<T> {
                 self.credit_on_closed(info.src);
                 0
             }
+            StreamMsg::Mark(_) => unreachable!("Mark is consumed before the dispatch match"),
         }
     }
 }

@@ -9,11 +9,18 @@
 //! credit returns to a producer** — a credit doubles as a durability
 //! acknowledgement, so producers may drop acknowledged elements from
 //! their replay buffers. When the primary dies, the standbys elect a
-//! successor, which restores the last committed snapshot, tells every
-//! producer the exact element cursor it holds
-//! ([`TakeoverMsg::Announce`]), and resumes the drain; producers replay
-//! only the uncommitted suffix, so every element is folded into the
-//! surviving state exactly once.
+//! successor, which restores the last committed snapshot, quarantines
+//! every unfinished producer's data tag (stale batches addressed to a
+//! previous reign must not fold — the quarantine lifts on the
+//! producer's post-announce [`StreamMsg::Mark`]), tells every producer
+//! the exact element cursor it holds ([`TakeoverMsg::Announce`]), and
+//! resumes the drain; producers replay only the uncommitted suffix, so
+//! every element is folded into the surviving state exactly once.
+//! Credits leave stamped with the issuing primary's view
+//! ([`CreditMsg`]), so a producer never mistakes a deposed reign's
+//! acknowledgement for the current one.
+//!
+//! [`StreamMsg::Mark`]: mpistream::StreamMsg::Mark
 //!
 //! Timing sits on top of the channel's failure-detection hierarchy: with
 //! `failure_timeout = t`, producers give up on a consumer after `t` and
@@ -33,7 +40,7 @@ use mpistream::transport::{SimDuration, Src, Tag, Transport};
 use mpistream::wire::Wire;
 use mpistream::{ConsumerCheckpoint, Stream, StreamChannel};
 
-use crate::producer::TakeoverMsg;
+use crate::producer::{CreditMsg, TakeoverMsg};
 use crate::vsr::{Effect, Snapshot, VsrCore, VsrMsg};
 
 /// The full replicated state of one consumer endpoint: the operator
@@ -247,6 +254,11 @@ where
                         state: acc,
                     };
                 }
+                if ev.elems == 0 && !ev.term {
+                    // A quarantined stale message or an epoch Mark:
+                    // nothing durable changed, nothing to replicate.
+                    continue;
+                }
                 // Commit-before-credit-return: replicate the post-batch
                 // state and wait for quorum before anything leaves.
                 let snap =
@@ -289,8 +301,16 @@ where
                 commits += 1;
                 rank.prof_repl_commit(channel.id(), bytes, (rank.now() - t0).as_nanos());
                 // The checkpoint is durable on a majority: now the
-                // producers may drop the acknowledged elements.
-                stream.release_credits(rank);
+                // producers may drop the acknowledged elements. Each
+                // acknowledgement leaves stamped with this primary's
+                // view, so a producer that already followed a successor
+                // (or has not yet heard of us) can reject it locally
+                // instead of relying on cross-tag ordering.
+                for (src, acked) in stream.take_pending_credits() {
+                    rank.check_credit_issued(channel.id(), src, acked);
+                    let credit = CreditMsg { view: core.view(), acked };
+                    rank.send(src, channel.credit_tag(), 16, credit);
+                }
                 if ev.term {
                     let ack = TakeoverMsg::TermAck { view: core.view() };
                     rank.send(ev.src, takeover_tag, 16, ack);
@@ -307,11 +327,11 @@ where
                         match m {
                             Effect::Finished => return standby_outcome(&core, commits),
                             Effect::BecamePrimary { .. } => {
-                                if takeover(rank, channel, &group, me, &mut core, tick) {
+                                if takeover(rank, channel, &group, me, &mut core, tick, &mut stream)
+                                {
                                     let rep = RepState::from_frame(core.committed_state())
                                         .expect("replicated state frame");
                                     acc = A::from_frame(&rep.acc).expect("accumulator frame");
-                                    stream.restore_consumer(&rep.ckpt);
                                 }
                                 continue 'role;
                             }
@@ -343,18 +363,24 @@ fn standby_outcome<A: Wire>(core: &VsrCore, commits: u64) -> ReplicaOutcome<A> {
 }
 
 /// Complete a takeover after [`Effect::BecamePrimary`]: re-commit the
-/// adopted snapshot in the new view, then tell the producers where the
-/// committed state stands. Returns `false` if a yet-newer view deposed
-/// us mid-takeover (the caller goes back to standby without touching
-/// its stream).
-fn takeover<TP: Transport>(
+/// adopted snapshot in the new view, restore the committed checkpoint
+/// into `stream`, quarantine every producer's data tag, and tell the
+/// producers where the committed state stands. Returns `false` if a
+/// yet-newer view deposed us mid-takeover (the caller goes back to
+/// standby without touching its stream).
+fn takeover<T, TP>(
     rank: &mut TP,
     channel: &StreamChannel,
     group: &[usize],
     me: usize,
     core: &mut VsrCore,
     tick: SimDuration,
-) -> bool {
+    stream: &mut Stream<T>,
+) -> bool
+where
+    T: Wire + Send + 'static,
+    TP: Transport,
+{
     let repl_tag = channel.repl_tag();
     // The adopted snapshot may be prepared-but-uncommitted — and it may
     // have been committed (credits released!) by the dead primary, so it
@@ -387,18 +413,30 @@ fn takeover<TP: Transport>(
             }
         }
     }
+    // Restore the committed checkpoint, then quarantine every
+    // producer's data tag *before* announcing: messages addressed to an
+    // earlier reign of this rank — still queued here, or in flight —
+    // must not fold, because the replay the Announce solicits resends
+    // the same suffix (the deposed-alive re-election hazard). Each
+    // announced producer lifts its quarantine with `Mark(view)`, its
+    // first post-announce message, so per-`(src, tag)` FIFO cuts the
+    // stream exactly between stale and replayed traffic.
+    let rep = RepState::from_frame(core.committed_state()).expect("replicated state frame");
+    stream.restore_consumer(&rep.ckpt);
     // Announce the committed cursors. Producers whose Term is already
     // inside the committed checkpoint just get their acknowledgement
     // (their flow is complete — an Announce would solicit a duplicate
-    // Term); the rest learn the cursor to replay from.
-    let rep = RepState::from_frame(core.committed_state()).expect("replicated state frame");
+    // Term), and nothing further from them may ever fold; the rest
+    // learn the cursor to replay from.
     let takeover_tag = channel.takeover_tag();
     let view = core.view();
     let claims: std::collections::HashMap<u64, u64> = rep.ckpt.claims.iter().copied().collect();
     for &p in channel.producers() {
         if claims.contains_key(&(p as u64)) {
+            stream.quarantine_until_mark(p, u64::MAX);
             rank.send(p, takeover_tag, 16, TakeoverMsg::TermAck { view });
         } else {
+            stream.quarantine_until_mark(p, view);
             let announce = TakeoverMsg::Announce { view, cursors: rep.ckpt.cursors.clone() };
             let bytes = 16 + 16 * rep.ckpt.cursors.len() as u64;
             rank.send(p, takeover_tag, bytes, announce);

@@ -37,5 +37,5 @@ pub mod producer;
 pub mod vsr;
 
 pub use consumer::{run_replicated, RepState, ReplicaOutcome, ReplicaRole};
-pub use producer::{ProducerFinish, ReplicatedProducer, TakeoverMsg};
+pub use producer::{CreditMsg, ProducerFinish, ReplicatedProducer, TakeoverMsg};
 pub use vsr::{Effect, Snapshot, Status, VsrCore, VsrMsg};

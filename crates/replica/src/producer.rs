@@ -1,9 +1,13 @@
 //! The producer endpoint of a replicated channel.
 //!
-//! A [`ReplicatedProducer`] speaks the ordinary stream wire protocol
-//! ([`StreamMsg`] on the data tag, `u64` credits on the credit tag) but
-//! aims it at the replica group's *current primary* instead of a fixed
-//! consumer, and keeps every unacknowledged element in a replay buffer.
+//! A [`ReplicatedProducer`] speaks the ordinary stream wire protocol on
+//! the data tag ([`StreamMsg`], plus the replicated-only
+//! [`StreamMsg::Mark`] epoch marker) but aims it at the replica group's
+//! *current primary* instead of a fixed consumer, and keeps every
+//! unacknowledged element in a replay buffer. Credits arrive as
+//! view-stamped [`CreditMsg`] envelopes instead of the unreplicated
+//! bare `u64`, so their applicability never depends on cross-tag
+//! ordering between the credit tag and the takeover tag.
 //! On a replicated channel a credit is only issued after the covering
 //! checkpoint reached quorum (`crate::consumer`), so an acknowledged
 //! element is durable and leaves the buffer; everything else is resent
@@ -40,6 +44,30 @@ pub enum TakeoverMsg {
         view: u64,
     },
 }
+
+/// A credit acknowledgement on a *replicated* channel's credit tag:
+/// the plain `u64` of unreplicated channels, wrapped in the issuing
+/// primary's view. Credits double as durability acknowledgements here,
+/// and the transport only orders messages per `(source, tag)` pair —
+/// so a bare credit racing a takeover announce is ambiguous about
+/// which reign issued it. The view stamp makes applicability local:
+/// a producer applies a credit iff it matches its current view *and*
+/// arrived from that view's primary, and drops everything else.
+/// Dropping is safe in both directions: a stale credit's elements are
+/// covered by the cursor a later announce carries, and a future-view
+/// credit cannot arrive before its announce (the successor's
+/// quarantine discards all pre-announce data, so post-takeover credit
+/// is only ever generated from batches this producer sent *after*
+/// processing the announce).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CreditMsg {
+    /// The view of the primary that issued the credit.
+    pub view: u64,
+    /// Elements acknowledged as durably committed.
+    pub acked: u64,
+}
+
+mpistream::wire_struct!(CreditMsg { view, acked });
 
 impl Wire for TakeoverMsg {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -184,29 +212,33 @@ impl<T: Wire + Clone + Send + 'static> ReplicatedProducer<T> {
         self.drain_takeover(rank);
         self.drain_credits(rank);
         let deadline = rank.now() + self.tick();
-        if let Some((acked, info)) =
-            rank.recv_deadline::<u64>(Src::Any, self.channel.credit_tag(), deadline)
+        if let Some((credit, info)) =
+            rank.recv_deadline::<CreditMsg>(Src::Any, self.channel.credit_tag(), deadline)
         {
-            self.absorb_credit(acked, info.src);
+            self.absorb_credit(credit, info.src);
         }
     }
 
-    /// Retire `acked` elements if the credit came from the current
-    /// primary (a deposed primary's credits are stale: anything they
-    /// could cover is below the committed cursor the successor
-    /// announces, so dropping them is safe).
-    fn absorb_credit(&mut self, acked: u64, src: usize) {
-        if src != self.primary() {
+    /// Retire `credit.acked` elements iff the credit is stamped with
+    /// this producer's current view and arrived from that view's
+    /// primary. Anything else is dropped: a stale credit's elements are
+    /// below the committed cursor the successor's announce carries, and
+    /// a future-view credit cannot exist before its announce (see
+    /// [`CreditMsg`]) — so there is nothing to buffer.
+    fn absorb_credit(&mut self, credit: CreditMsg, src: usize) {
+        if credit.view != self.view || src != self.primary() {
             return;
         }
-        let take = acked.min(self.retx.len() as u64);
+        let take = credit.acked.min(self.retx.len() as u64);
         self.base += take;
         self.retx.drain(..take as usize);
     }
 
     fn drain_credits<TP: Transport>(&mut self, rank: &mut TP) {
-        while let Some((acked, info)) = rank.try_recv::<u64>(Src::Any, self.channel.credit_tag()) {
-            self.absorb_credit(acked, info.src);
+        while let Some((credit, info)) =
+            rank.try_recv::<CreditMsg>(Src::Any, self.channel.credit_tag())
+        {
+            self.absorb_credit(credit, info.src);
         }
     }
 
@@ -246,12 +278,19 @@ impl<T: Wire + Clone + Send + 'static> ReplicatedProducer<T> {
                     self.retx.drain(..trim as usize);
                     self.base = cursor;
                 }
-                // Replay the uncommitted suffix to the successor — the
-                // first resent element lands exactly on its cursor.
+                // Open the new reign's flow with an epoch marker: the
+                // successor quarantines our data tag at takeover, and
+                // everything we sent before processing this announce —
+                // batches addressed to an earlier reign of that very
+                // rank — must stay behind the cut. Per-`(src, tag)`
+                // FIFO puts the marker strictly after all of it.
                 let aggregation = self.channel.config().aggregation;
                 let element_bytes = self.channel.config().element_bytes;
                 let primary = self.primary();
                 let tag = self.channel.data_tag();
+                rank.send(primary, tag, 16, StreamMsg::<T>::Mark(view));
+                // Replay the uncommitted suffix to the successor — the
+                // first resent element lands exactly on its cursor.
                 let elems: Vec<T> = self.retx.iter().cloned().collect();
                 for chunk in elems.chunks(aggregation.max(1)) {
                     let n = chunk.len() as u64;

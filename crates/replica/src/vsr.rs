@@ -461,6 +461,16 @@ impl VsrCore {
                     // carries full state: adopt the view directly (the
                     // missed StartView is subsumed by the snapshot).
                     self.enter_view(view);
+                    // An op prepared under the old view but never
+                    // committed is void here: this replica sat outside
+                    // the view-change quorum, so the new primary may have
+                    // assigned the *same op_num to different state*.
+                    // Keeping it would skip the install below on an equal
+                    // op_num while still PrepareOk-ing — acknowledging,
+                    // and on the next Commit adopting, state this replica
+                    // never held. The committed snapshot is the only safe
+                    // base to compare the incoming op against.
+                    self.prepared = self.committed.clone();
                 }
                 if op_num > self.prepared.op_num {
                     self.promote_if_covered(commit_num);
@@ -904,6 +914,45 @@ mod tests {
             e,
             Effect::Send { to: 1, msg: VsrMsg::PrepareOk { view: 1, op_num: 3, .. } }
         )));
+    }
+
+    /// The divergence scenario of op_num reuse across views (needs n>=5
+    /// for a view-change quorum that excludes both the dead primary and
+    /// a lagging backup): backup 3 prepared op 1 = A under view 0, the
+    /// primary died uncommitted, and the view-1 quorum {1, 2, 4} never
+    /// saw A — so the new primary reuses op 1 for different state B. The
+    /// lagging backup must discard A and install B; acknowledging op 1
+    /// while still holding A would commit divergent state on the next
+    /// Commit message.
+    #[test]
+    fn higher_view_prepare_discards_stale_prepared_op() {
+        let mut cores = group(5);
+        cores[3].on_message(VsrMsg::Prepare {
+            view: 0,
+            op_num: 1,
+            commit_num: 0,
+            state: vec![0xA],
+        });
+        assert_eq!(cores[3].op_num(), 1);
+        assert_eq!(cores[3].prepared_state(), &[0xA]);
+        // New primary of view 1 prepares a *different* op 1 = B.
+        let effects = cores[3].on_message(VsrMsg::Prepare {
+            view: 1,
+            op_num: 1,
+            commit_num: 0,
+            state: vec![0xB],
+        });
+        assert_eq!(cores[3].view(), 1);
+        assert_eq!(cores[3].prepared_state(), &[0xB], "stale view-0 op 1 must be discarded");
+        assert!(effects.contains(&Effect::InstalledState), "B must actually install: {effects:?}");
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to: 1, msg: VsrMsg::PrepareOk { view: 1, op_num: 1, .. } }
+        )));
+        // The commit that follows must commit B, not A.
+        cores[3].on_message(VsrMsg::Commit { view: 1, commit_num: 1 });
+        assert_eq!(cores[3].commit_num(), 1);
+        assert_eq!(cores[3].committed_state(), &[0xB]);
     }
 
     #[test]

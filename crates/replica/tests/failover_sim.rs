@@ -259,6 +259,87 @@ fn replication_reports_commit_latency_to_the_profiler() {
     );
 }
 
+/// A primary that is merely *slow* — not dead — is deposed by a spurious
+/// view change while replay batches are still queued on its data tag.
+/// With every replica stalling once, the primary role walks the whole
+/// group and returns to ranks that already served: a re-elected primary
+/// restores the committed checkpoint, but its queue still holds batches
+/// addressed to its earlier reign, and the producers' fresh replay
+/// resends that very suffix. The takeover quarantine (lifted by each
+/// producer's post-announce `Mark`) must drop the stale copies so every
+/// element folds into the surviving state exactly once.
+#[test]
+#[allow(clippy::type_complexity)]
+fn deposed_alive_reelection_does_not_double_fold() {
+    let (n_producers, per_producer) = (2usize, 200u64);
+    // Group of 4 consumers (replicas = 3, quorum 3): one rank can stall
+    // while the other three still elect, so the role can leave a rank
+    // and come back without ever losing a majority.
+    let world = World::new(MachineConfig { noise: NoiseModel::none(), ..MachineConfig::default() })
+        .with_seed(13);
+    let nprocs = n_producers + 4;
+    // Stall for 5x the 12ms replication patience: far past the point
+    // where the standbys must suspect the (live) primary.
+    let stall_secs = 0.060;
+    let outcomes: Arc<Mutex<Vec<(usize, ReplicaOutcome<u64>)>>> = Arc::new(Mutex::new(Vec::new()));
+    let finishes: Arc<Mutex<Vec<(usize, ProducerFinish)>>> = Arc::new(Mutex::new(Vec::new()));
+    let (oc, fin) = (outcomes.clone(), finishes.clone());
+    let out = world.run_expect(nprocs, move |rank| {
+        let comm = rank.comm_world();
+        let me = rank.world_rank();
+        let role = if me < n_producers { Role::Producer } else { Role::Consumer };
+        let ch = StreamChannel::create(rank, &comm, role, config(3));
+        match role {
+            Role::Producer => {
+                let mut p: ReplicatedProducer<u64> = ReplicatedProducer::new(ch);
+                for i in 0..per_producer {
+                    rank.compute_exact(PER_ELEM_SECS);
+                    p.push(rank, (me as u64) << 32 | i);
+                }
+                let f = p.finish(rank);
+                fin.lock().push((me, f));
+            }
+            Role::Consumer => {
+                let mut folded = 0u64;
+                let mut stalled = false;
+                let outcome = run_replicated::<u64, u64, _, _>(rank, &ch, 0, |r, acc, v| {
+                    folded += 1;
+                    if folded == 5 && !stalled {
+                        // Stall mid-reign, exactly once per rank: long
+                        // enough to be deposed, alive enough to return.
+                        stalled = true;
+                        r.compute_exact(stall_secs);
+                    }
+                    *acc = acc.wrapping_add(mix64(v));
+                    ControlFlow::Continue(())
+                });
+                oc.lock().push((me, outcome));
+            }
+            Role::Bystander => unreachable!(),
+        }
+    });
+    assert_eq!(out.sim.killed, Vec::<usize>::new(), "nobody dies — every deposition is spurious");
+    let expect = expected_checksum(n_producers, per_producer);
+    let outcomes = outcomes.lock().clone();
+    assert_eq!(outcomes.len(), 4, "all four replicas must finish");
+    let final_view = outcomes.iter().map(|(_, o)| o.view).max().unwrap();
+    assert!(final_view >= 2, "the stalls must force repeated view changes, got {final_view}");
+    for (r, o) in &outcomes {
+        assert_ne!(o.role, ReplicaRole::Died, "rank {r} only stalled, never died");
+        assert_eq!(
+            o.state, expect,
+            "exactly-once violated on rank {r}: stale pre-deposition batches were re-folded"
+        );
+    }
+    let finishes = finishes.lock().clone();
+    let mut takeovers = 0u64;
+    for (p, f) in &finishes {
+        assert_eq!(f.sent, per_producer, "producer {p}");
+        takeovers = takeovers.max(f.takeovers);
+    }
+    assert!(takeovers >= 2, "the primary role must have moved repeatedly, got {takeovers}");
+}
+
 #[test]
 fn kill_before_any_commit_replays_from_zero() {
     let (n_producers, per_producer) = (2, 80);

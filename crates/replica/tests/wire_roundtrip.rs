@@ -6,7 +6,7 @@
 
 use mpistream::{Wire, WireError, MAX_WIRE_ELEMS};
 use proptest::prelude::*;
-use replica::{RepState, Snapshot, TakeoverMsg, VsrMsg};
+use replica::{CreditMsg, RepState, Snapshot, TakeoverMsg, VsrMsg};
 
 fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
     let bytes = v.to_frame();
@@ -110,6 +110,13 @@ proptest! {
         };
         roundtrip(&rep);
         total_on_prefixes(&rep);
+    }
+
+    #[test]
+    fn credit_messages_round_trip(view in any::<u64>(), acked in any::<u64>()) {
+        let credit = CreditMsg { view, acked };
+        roundtrip(&credit);
+        total_on_prefixes(&credit);
     }
 
     #[test]
